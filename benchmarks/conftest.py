@@ -1,0 +1,18 @@
+"""Shared helpers for the per-figure benchmark modules.
+
+Every benchmark regenerates one figure of the paper at a reduced scale (the
+``scale`` arguments below) so the whole suite completes in minutes on a
+laptop.  Pass ``--benchmark-only`` to run them; each benchmark prints the
+regenerated series so the numbers can be compared against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(title: str, text: str) -> None:
+    print(f"\n=== {title} ===\n{text}")

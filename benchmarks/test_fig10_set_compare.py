@@ -1,0 +1,34 @@
+"""Figure 10: AdaptSearch / PartAlloc / pkwise / Ring on set similarity search."""
+
+from conftest import run_once, show
+
+from repro.experiments.harness import format_rows
+from repro.experiments.figures import figure10_rows
+
+
+def _check(rows):
+    for tau in {row.tau for row in rows}:
+        by_algo = {row.algorithm: row for row in rows if row.tau == tau}
+        # All four algorithms are exact: identical result counts.
+        results = {round(row.avg_results, 6) for row in by_algo.values()}
+        assert len(results) == 1
+        # Ring candidates never exceed pkwise candidates.
+        assert by_algo["Ring"].avg_candidates <= by_algo["pkwise"].avg_candidates + 1e-9
+
+
+def test_fig10_enron_like(benchmark):
+    rows = run_once(
+        benchmark, figure10_rows,
+        dataset_name="enron", taus=(0.7, 0.8, 0.9), scale=0.5, seed=0,
+    )
+    show("Figure 10 (Enron-like)", format_rows(rows))
+    _check(rows)
+
+
+def test_fig10_dblp_like(benchmark):
+    rows = run_once(
+        benchmark, figure10_rows,
+        dataset_name="dblp", taus=(0.7, 0.8, 0.9), scale=0.5, seed=1,
+    )
+    show("Figure 10 (DBLP-like)", format_rows(rows))
+    _check(rows)

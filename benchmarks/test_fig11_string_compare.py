@@ -1,0 +1,30 @@
+"""Figure 11: Pivotal versus Ring on string edit distance search."""
+
+from conftest import run_once, show
+
+from repro.experiments.harness import format_rows
+from repro.experiments.figures import figure11_rows
+
+
+def _check(rows):
+    for tau in {row.tau for row in rows}:
+        by_algo = {row.algorithm: row for row in rows if row.tau == tau}
+        assert abs(by_algo["Ring"].avg_results - by_algo["Pivotal"].avg_results) < 1e-9
+
+
+def test_fig11_imdb_like(benchmark):
+    rows = run_once(
+        benchmark, figure11_rows,
+        dataset_name="imdb", taus=(1, 2, 3, 4), scale=0.5, seed=0,
+    )
+    show("Figure 11 (IMDB-like)", format_rows(rows))
+    _check(rows)
+
+
+def test_fig11_pubmed_like(benchmark):
+    rows = run_once(
+        benchmark, figure11_rows,
+        dataset_name="pubmed", taus=(4, 6), scale=0.4, seed=1,
+    )
+    show("Figure 11 (PubMed-like)", format_rows(rows))
+    _check(rows)

@@ -1,0 +1,31 @@
+"""Figure 12: Pars versus Ring on graph edit distance search."""
+
+from conftest import run_once, show
+
+from repro.experiments.harness import format_rows
+from repro.experiments.figures import figure12_rows
+
+
+def _check(rows):
+    for tau in {row.tau for row in rows}:
+        by_algo = {row.algorithm: row for row in rows if row.tau == tau}
+        assert by_algo["Ring"].avg_candidates <= by_algo["Pars"].avg_candidates + 1e-9
+        assert abs(by_algo["Ring"].avg_results - by_algo["Pars"].avg_results) < 1e-9
+
+
+def test_fig12_aids_like(benchmark):
+    rows = run_once(
+        benchmark, figure12_rows,
+        dataset_name="aids", taus=(1, 2, 3, 4), scale=0.5, seed=0,
+    )
+    show("Figure 12 (AIDS-like)", format_rows(rows))
+    _check(rows)
+
+
+def test_fig12_protein_like(benchmark):
+    rows = run_once(
+        benchmark, figure12_rows,
+        dataset_name="protein", taus=(1, 2, 3), scale=0.5, seed=1,
+    )
+    show("Figure 12 (Protein-like)", format_rows(rows))
+    _check(rows)

@@ -1,0 +1,20 @@
+"""Figure 2: analytical #false-positives / #results ratio versus chain length."""
+
+from conftest import run_once, show
+
+from repro.experiments.figures import figure2_rows
+
+
+def test_fig2_filtering_power_analysis(benchmark):
+    rows = run_once(benchmark, figure2_rows, range(1, 8))
+    lines = [
+        f"tau={row['tau']:>3} m={row['m']:>2} l={row['chain_length']} "
+        f"ratio={row['fp_to_result_ratio']:.3e}"
+        for row in rows
+    ]
+    show("Figure 2 (analytical model)", "\n".join(lines))
+    # The ratio must decrease monotonically with the chain length for every
+    # (tau, m) curve, the paper's central qualitative claim for Figure 2.
+    for key in {(row["tau"], row["m"]) for row in rows}:
+        series = [r["fp_to_result_ratio"] for r in rows if (r["tau"], r["m"]) == key]
+        assert all(b <= a * 1.0001 for a, b in zip(series, series[1:]))

@@ -1,0 +1,36 @@
+"""Figure 5: effect of chain length on Hamming distance search (GIST / SIFT stand-ins)."""
+
+from conftest import run_once, show
+
+from repro.experiments.harness import format_rows
+from repro.experiments.figures import figure5_rows
+
+
+def _check(rows):
+    # Candidates shrink monotonically with the chain length for every tau.
+    for tau in {row.tau for row in rows}:
+        series = [row.avg_candidates for row in rows if row.tau == tau]
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+        results = [row.avg_results for row in rows if row.tau == tau]
+        candidates = [row.avg_candidates for row in rows if row.tau == tau]
+        assert all(c >= r - 1e-9 for c, r in zip(candidates, results))
+
+
+def test_fig5_gist_like(benchmark):
+    rows = run_once(
+        benchmark, figure5_rows,
+        dataset_name="gist", taus=(32, 48), chain_lengths=(1, 2, 3, 4, 6, 8),
+        scale=0.4, seed=0,
+    )
+    show("Figure 5 (GIST-like)", format_rows(rows))
+    _check(rows)
+
+
+def test_fig5_sift_like(benchmark):
+    rows = run_once(
+        benchmark, figure5_rows,
+        dataset_name="sift", taus=(64, 96), chain_lengths=(1, 2, 4, 6, 8),
+        scale=0.25, seed=1,
+    )
+    show("Figure 5 (SIFT-like)", format_rows(rows))
+    _check(rows)

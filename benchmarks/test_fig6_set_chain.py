@@ -1,0 +1,32 @@
+"""Figure 6: effect of chain length on set similarity search (Enron / DBLP stand-ins)."""
+
+from conftest import run_once, show
+
+from repro.experiments.harness import format_rows
+from repro.experiments.figures import figure6_rows
+
+
+def _check(rows):
+    for tau in {row.tau for row in rows}:
+        series = [row.avg_candidates for row in rows if row.tau == tau]
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_fig6_enron_like(benchmark):
+    rows = run_once(
+        benchmark, figure6_rows,
+        dataset_name="enron", taus=(0.7, 0.8), chain_lengths=(1, 2, 3),
+        scale=0.5, seed=0,
+    )
+    show("Figure 6 (Enron-like)", format_rows(rows))
+    _check(rows)
+
+
+def test_fig6_dblp_like(benchmark):
+    rows = run_once(
+        benchmark, figure6_rows,
+        dataset_name="dblp", taus=(0.7, 0.8), chain_lengths=(1, 2, 3),
+        scale=0.5, seed=1,
+    )
+    show("Figure 6 (DBLP-like)", format_rows(rows))
+    _check(rows)

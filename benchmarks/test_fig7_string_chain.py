@@ -1,0 +1,32 @@
+"""Figure 7: effect of chain length on string edit distance search (IMDB / PubMed stand-ins)."""
+
+from conftest import run_once, show
+
+from repro.experiments.harness import format_rows
+from repro.experiments.figures import figure7_rows
+
+
+def _check(rows):
+    for tau in {row.tau for row in rows}:
+        series = [row.avg_candidates for row in rows if row.tau == tau]
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_fig7_imdb_like(benchmark):
+    rows = run_once(
+        benchmark, figure7_rows,
+        dataset_name="imdb", taus=(2, 4), chain_lengths=(1, 2, 3, 4),
+        scale=0.5, seed=0,
+    )
+    show("Figure 7 (IMDB-like)", format_rows(rows))
+    _check(rows)
+
+
+def test_fig7_pubmed_like(benchmark):
+    rows = run_once(
+        benchmark, figure7_rows,
+        dataset_name="pubmed", taus=(6,), chain_lengths=(1, 2, 3, 4),
+        scale=0.4, seed=1,
+    )
+    show("Figure 7 (PubMed-like)", format_rows(rows))
+    _check(rows)

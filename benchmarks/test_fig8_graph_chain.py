@@ -1,0 +1,32 @@
+"""Figure 8: effect of chain length on graph edit distance search (AIDS / Protein stand-ins)."""
+
+from conftest import run_once, show
+
+from repro.experiments.harness import format_rows
+from repro.experiments.figures import figure8_rows
+
+
+def _check(rows):
+    for tau in {row.tau for row in rows}:
+        series = [row.avg_candidates for row in rows if row.tau == tau]
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_fig8_aids_like(benchmark):
+    rows = run_once(
+        benchmark, figure8_rows,
+        dataset_name="aids", taus=(3, 4), chain_lengths=(1, 2, 3, 4),
+        scale=0.5, seed=0,
+    )
+    show("Figure 8 (AIDS-like)", format_rows(rows))
+    _check(rows)
+
+
+def test_fig8_protein_like(benchmark):
+    rows = run_once(
+        benchmark, figure8_rows,
+        dataset_name="protein", taus=(3,), chain_lengths=(1, 2, 3, 4),
+        scale=0.5, seed=1,
+    )
+    show("Figure 8 (Protein-like)", format_rows(rows))
+    _check(rows)

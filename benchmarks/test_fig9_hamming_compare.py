@@ -1,0 +1,32 @@
+"""Figure 9: GPH versus Ring on Hamming distance search."""
+
+from conftest import run_once, show
+
+from repro.experiments.harness import format_rows
+from repro.experiments.figures import figure9_rows
+
+
+def _check(rows):
+    # Ring never produces more candidates than GPH at the same threshold.
+    for tau in {row.tau for row in rows}:
+        by_algo = {row.algorithm: row for row in rows if row.tau == tau}
+        assert by_algo["Ring"].avg_candidates <= by_algo["GPH"].avg_candidates + 1e-9
+        assert abs(by_algo["Ring"].avg_results - by_algo["GPH"].avg_results) < 1e-9
+
+
+def test_fig9_gist_like(benchmark):
+    rows = run_once(
+        benchmark, figure9_rows,
+        dataset_name="gist", taus=(16, 32, 48), chain_length=5, scale=0.4, seed=0,
+    )
+    show("Figure 9 (GIST-like)", format_rows(rows))
+    _check(rows)
+
+
+def test_fig9_sift_like(benchmark):
+    rows = run_once(
+        benchmark, figure9_rows,
+        dataset_name="sift", taus=(32, 64, 96), chain_length=6, scale=0.25, seed=1,
+    )
+    show("Figure 9 (SIFT-like)", format_rows(rows))
+    _check(rows)

@@ -1,0 +1,37 @@
+"""Structure search with graph edit distance (the paper's AIDS use case).
+
+Molecule-like labelled graphs are searched for structures within a small
+graph edit distance of a query compound.  The example compares the Pars
+baseline with the pigeonring searcher -- a miniature of the paper's Figure 12.
+
+Run with:  python examples/molecule_search.py
+"""
+
+from repro.datasets.molecules import aids_like
+from repro.graphs import GraphDataset, ParsSearcher, RingGraphSearcher
+
+
+def main() -> None:
+    workload = aids_like(num_graphs=100, num_queries=6, seed=2)
+    dataset = GraphDataset(workload.graphs)
+    tau = 3
+
+    print(
+        f"dataset: {len(dataset)} molecule-like graphs, avg {workload.avg_vertices:.1f} vertices; "
+        f"GED threshold {tau}\n"
+    )
+
+    pars = ParsSearcher(dataset, tau)
+    ring = RingGraphSearcher(dataset, tau, chain_length=tau - 1)
+
+    print(f"{'algorithm':>10} | {'avg cand':>9} | {'avg results':>11} | {'avg time (ms)':>13}")
+    for name, searcher in (("Pars", pars), ("Ring", ring)):
+        outcomes = [searcher.search(query) for query in workload.queries]
+        candidates = sum(o.num_candidates for o in outcomes) / len(outcomes)
+        results = sum(o.num_results for o in outcomes) / len(outcomes)
+        time_ms = sum(o.total_time for o in outcomes) / len(outcomes) * 1000
+        print(f"{name:>10} | {candidates:>9.1f} | {results:>11.1f} | {time_ms:>13.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setup shim so editable installs work in offline environments without wheel."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-pigeonring",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Pigeonring: A Principle for Faster Thresholded "
+        "Similarity Search' (Qin & Xiao, VLDB 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

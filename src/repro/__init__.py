@@ -1,0 +1,24 @@
+"""repro -- a reproduction of "Pigeonring: A Principle for Faster Thresholded Similarity Search".
+
+The package is organised around the paper's structure:
+
+* :mod:`repro.core` -- the pigeonring principle itself (chains, theorems,
+  threshold allocation, the universal filtering framework, candidate
+  generation, and the analytical filtering-power model).
+* :mod:`repro.hamming` -- Hamming distance search: the GPH baseline and the
+  pigeonring-accelerated searcher.
+* :mod:`repro.sets` -- set similarity search: pkwise, AdaptSearch and
+  PartAlloc baselines plus the pigeonring-accelerated searcher.
+* :mod:`repro.strings` -- string edit distance search: the Pivotal baseline
+  and the pigeonring-accelerated searcher.
+* :mod:`repro.graphs` -- graph edit distance search: the Pars baseline and the
+  pigeonring-accelerated searcher.
+* :mod:`repro.datasets` -- synthetic dataset generators standing in for the
+  paper's eight real datasets.
+* :mod:`repro.experiments` -- harness code regenerating every figure of the
+  paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

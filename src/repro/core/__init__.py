@@ -1,0 +1,76 @@
+"""Core pigeonring machinery.
+
+This subpackage implements the paper's primary contribution:
+
+* :mod:`repro.core.chains` -- rings of boxes, chains, viability predicates.
+* :mod:`repro.core.principle` -- the pigeonhole principle (Theorem 1) and the
+  pigeonring principle in its basic (Theorem 2) and strong (Theorem 3) forms,
+  together with Corollaries 1 and 2.
+* :mod:`repro.core.thresholds` -- variable threshold allocation and integer
+  reduction (Theorems 4-7) for both the ``<=`` and ``>=`` directions.
+* :mod:`repro.core.framework` -- the universal filtering framework
+  ``<F, B, D>`` with completeness and tightness checks (Lemmas 6 and 7).
+* :mod:`repro.core.candidates` -- the generic two-step candidate generation of
+  Section 7 with the Corollary-2 skip optimisation.
+* :mod:`repro.core.analysis` -- the filtering-power analysis of Section 3.1.
+* :mod:`repro.core.geometry` -- the geometric interpretation of Appendix A.
+* :mod:`repro.core.integral` -- the integral forms of Appendix B.
+"""
+
+from repro.core.chains import (
+    Chain,
+    Ring,
+    chain_sum,
+    prefix_viable_lengths,
+    is_viable,
+    is_prefix_viable,
+    is_suffix_viable,
+)
+from repro.core.principle import (
+    pigeonhole_bound,
+    pigeonhole_witnesses,
+    passes_pigeonhole,
+    pigeonring_basic_witnesses,
+    passes_pigeonring_basic,
+    pigeonring_strong_witnesses,
+    passes_pigeonring_strong,
+    passes_pigeonring,
+)
+from repro.core.thresholds import (
+    ThresholdAllocation,
+    uniform_allocation,
+    integer_reduction_allocation,
+    Direction,
+)
+from repro.core.framework import FilteringInstance, check_completeness, check_tightness
+from repro.core.candidates import ChainChecker, generate_candidates
+from repro.core.analysis import BoxDistribution, FilterAnalysis
+
+__all__ = [
+    "Chain",
+    "Ring",
+    "chain_sum",
+    "prefix_viable_lengths",
+    "is_viable",
+    "is_prefix_viable",
+    "is_suffix_viable",
+    "pigeonhole_bound",
+    "pigeonhole_witnesses",
+    "passes_pigeonhole",
+    "pigeonring_basic_witnesses",
+    "passes_pigeonring_basic",
+    "pigeonring_strong_witnesses",
+    "passes_pigeonring_strong",
+    "passes_pigeonring",
+    "ThresholdAllocation",
+    "uniform_allocation",
+    "integer_reduction_allocation",
+    "Direction",
+    "FilteringInstance",
+    "check_completeness",
+    "check_tightness",
+    "ChainChecker",
+    "generate_candidates",
+    "BoxDistribution",
+    "FilterAnalysis",
+]

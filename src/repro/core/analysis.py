@@ -1,0 +1,283 @@
+"""Filtering-power analysis (Section 3.1) reproducing Figure 2.
+
+The paper estimates, under the assumption that the ``m`` boxes are i.i.d.
+random variables with density ``p`` and that ``||B(x, q)||_1 = f(x, q)``:
+
+* ``Pr(w_i)`` -- the probability that a chain of length ``i`` is a *word*:
+  its first ``i - 1`` boxes form a prefix-viable chain and the ``i``-th box
+  pushes the total over the quota ``i * tau / m`` (for ``i = 1`` the single
+  box is simply non-viable).
+* ``M(x)`` -- the probability that a chain of length ``x`` is a *target
+  chain*, i.e. a concatenation of words (it then contains no prefix-viable
+  chain of length ``l``), via the recurrence
+  ``M(x) = sum_i M(x - i) * Pr(w_i)``.
+* ``N(x)`` -- the probability that a ring of ``x`` boxes contains no
+  prefix-viable chain of length ``l``, correcting for the position at which
+  the ring is cut: ``N(x) = M(x) + sum_{i>=2} M(x - i) (i - 1) Pr(w_i)``.
+* ``Pr(CAND_l) = 1 - N(m)`` and ``Pr(RES) = Pr(sum of m boxes <= tau)``.
+
+The implementation works with *discrete* box distributions (probability mass
+functions).  That is exact for Hamming distance search, where each box is the
+Hamming distance over ``d / m`` dimensions and is Binomial(d/m, 1/2) under the
+uniform-data model the paper uses for Figure 2.  Continuous densities can be
+analysed after discretisation with :meth:`BoxDistribution.from_pdf`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+
+def _merge(pmf: dict[float, float], value: float, prob: float) -> None:
+    if prob <= 0.0:
+        return
+    pmf[value] = pmf.get(value, 0.0) + prob
+
+
+class BoxDistribution:
+    """A discrete probability distribution of a single box value."""
+
+    def __init__(self, pmf: Mapping[float, float]):
+        total = sum(pmf.values())
+        if total <= 0.0:
+            raise ValueError("a box distribution needs positive total probability")
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"probabilities must sum to 1 (got {total})")
+        self._pmf = {float(value): float(prob) for value, prob in pmf.items() if prob > 0.0}
+
+    @property
+    def pmf(self) -> dict[float, float]:
+        return dict(self._pmf)
+
+    @property
+    def support(self) -> list[float]:
+        return sorted(self._pmf)
+
+    def probability(self, value: float) -> float:
+        return self._pmf.get(float(value), 0.0)
+
+    def cdf(self, value: float) -> float:
+        """``Pr(box <= value)``."""
+        return sum(prob for v, prob in self._pmf.items() if v <= value + 1e-12)
+
+    def tail(self, value: float) -> float:
+        """``Pr(box > value)``."""
+        return 1.0 - self.cdf(value)
+
+    def mean(self) -> float:
+        return sum(v * p for v, p in self._pmf.items())
+
+    @classmethod
+    def binomial(cls, trials: int, prob: float = 0.5) -> "BoxDistribution":
+        """Binomial(trials, prob) -- the per-partition Hamming distance under uniform data."""
+        if trials < 0:
+            raise ValueError("trials must be non-negative")
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("prob must be in [0, 1]")
+        pmf = {
+            float(k): math.comb(trials, k) * prob**k * (1.0 - prob) ** (trials - k)
+            for k in range(trials + 1)
+        }
+        return cls(pmf)
+
+    @classmethod
+    def uniform(cls, values: Sequence[float]) -> "BoxDistribution":
+        """Uniform distribution over an explicit support."""
+        if not values:
+            raise ValueError("uniform distribution needs at least one value")
+        prob = 1.0 / len(values)
+        pmf: dict[float, float] = {}
+        for value in values:
+            _merge(pmf, float(value), prob)
+        return cls(pmf)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BoxDistribution":
+        """Empirical distribution of observed box values (used for real datasets)."""
+        if not samples:
+            raise ValueError("cannot build a distribution from zero samples")
+        prob = 1.0 / len(samples)
+        pmf: dict[float, float] = {}
+        for value in samples:
+            _merge(pmf, float(value), prob)
+        return cls(pmf)
+
+    @classmethod
+    def from_pdf(
+        cls, pdf: Callable[[float], float], low: float, high: float, bins: int = 256
+    ) -> "BoxDistribution":
+        """Discretise a continuous density on ``[low, high]`` into ``bins`` midpoints."""
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        if high <= low:
+            raise ValueError("high must exceed low")
+        width = (high - low) / bins
+        pmf: dict[float, float] = {}
+        for i in range(bins):
+            mid = low + (i + 0.5) * width
+            _merge(pmf, mid, pdf(mid) * width)
+        total = sum(pmf.values())
+        return cls({v: p / total for v, p in pmf.items()})
+
+    def convolve(self, other: "BoxDistribution") -> "BoxDistribution":
+        """Distribution of the sum of two independent boxes."""
+        pmf: dict[float, float] = {}
+        for v1, p1 in self._pmf.items():
+            for v2, p2 in other._pmf.items():
+                _merge(pmf, v1 + v2, p1 * p2)
+        return BoxDistribution(pmf)
+
+    def convolve_power(self, times: int) -> "BoxDistribution":
+        """Distribution of the sum of ``times`` independent copies of this box."""
+        if times <= 0:
+            raise ValueError("times must be positive")
+        result = self
+        for _ in range(times - 1):
+            result = result.convolve(self)
+        return result
+
+
+@dataclass
+class AnalysisPoint:
+    """One point of the Figure-2 analysis."""
+
+    chain_length: int
+    candidate_probability: float
+    result_probability: float
+
+    @property
+    def candidate_to_result_ratio(self) -> float:
+        """``Pr(CAND_l) / Pr(RES)`` -- the quantity the paper plots in Figure 2."""
+        if self.result_probability <= 0.0:
+            return math.inf
+        return self.candidate_probability / self.result_probability
+
+    @property
+    def false_positive_to_result_ratio(self) -> float:
+        """``(Pr(CAND_l) - Pr(RES)) / Pr(RES)`` -- expected false positives per result."""
+        if self.result_probability <= 0.0:
+            return math.inf
+        return max(0.0, self.candidate_probability - self.result_probability) / self.result_probability
+
+
+class FilterAnalysis:
+    """Analytical model of the pigeonring filter for i.i.d. boxes.
+
+    Args:
+        box: distribution of a single box value.
+        m: number of boxes on the ring.
+        tau: selection threshold; the quota of a single box is ``tau / m``.
+    """
+
+    def __init__(self, box: BoxDistribution, m: int, tau: float):
+        if m <= 0:
+            raise ValueError("m must be positive")
+        self._box = box
+        self._m = m
+        self._tau = float(tau)
+        self._quota = self._tau / m
+        self._word_cache: dict[int, float] = {}
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def tau(self) -> float:
+        return self._tau
+
+    @property
+    def quota(self) -> float:
+        return self._quota
+
+    def word_probability(self, length: int) -> float:
+        """``Pr(w_length)`` -- probability that a chain of ``length`` boxes is a word."""
+        if length <= 0:
+            raise ValueError("word length must be positive")
+        if length in self._word_cache:
+            return self._word_cache[length]
+        if length == 1:
+            result = self._box.tail(self._quota)
+        else:
+            # Distribution of prefix sums conditioned on staying prefix-viable
+            # for the first (length - 1) boxes, then the final box breaks the
+            # quota of the full chain.
+            viable_sums: dict[float, float] = {0.0: 1.0}
+            for step in range(1, length):
+                next_sums: dict[float, float] = {}
+                bound = step * self._quota
+                for total, prob in viable_sums.items():
+                    for value, p in self._box.pmf.items():
+                        new_total = total + value
+                        if new_total <= bound + 1e-12:
+                            _merge(next_sums, new_total, prob * p)
+                viable_sums = next_sums
+            full_bound = length * self._quota
+            result = 0.0
+            for total, prob in viable_sums.items():
+                result += prob * self._box.tail(full_bound - total)
+        self._word_cache[length] = result
+        return result
+
+    def target_chain_probability(self, length: int, chain_length: int) -> float:
+        """``M(length)`` -- probability that a chain of ``length`` boxes is a target chain."""
+        words = [self.word_probability(i) for i in range(1, chain_length + 1)]
+        m_values = [1.0] + [0.0] * length
+        for x in range(1, length + 1):
+            total = 0.0
+            for i in range(1, min(x, chain_length) + 1):
+                total += m_values[x - i] * words[i - 1]
+            m_values[x] = total
+        return m_values[length]
+
+    def no_candidate_probability(self, chain_length: int) -> float:
+        """``N(m)`` -- probability that a ring of ``m`` boxes has no prefix-viable chain."""
+        if not 1 <= chain_length <= self._m:
+            raise ValueError(f"chain length must be in [1, {self._m}], got {chain_length}")
+        words = [self.word_probability(i) for i in range(1, chain_length + 1)]
+        m_values = [1.0] + [0.0] * self._m
+        for x in range(1, self._m + 1):
+            total = 0.0
+            for i in range(1, min(x, chain_length) + 1):
+                total += m_values[x - i] * words[i - 1]
+            m_values[x] = total
+        x = self._m
+        if x == 1:
+            return m_values[1]
+        result = m_values[x]
+        for i in range(2, min(x, chain_length) + 1):
+            result += m_values[x - i] * (i - 1) * words[i - 1]
+        return min(1.0, result)
+
+    def candidate_probability(self, chain_length: int) -> float:
+        """``Pr(CAND_l) = 1 - N(m)``."""
+        return max(0.0, 1.0 - self.no_candidate_probability(chain_length))
+
+    def result_probability(self) -> float:
+        """``Pr(RES)`` -- probability that the sum of the ``m`` boxes is within ``tau``."""
+        total = self._box.convolve_power(self._m)
+        return total.cdf(self._tau)
+
+    def point(self, chain_length: int) -> AnalysisPoint:
+        return AnalysisPoint(
+            chain_length=chain_length,
+            candidate_probability=self.candidate_probability(chain_length),
+            result_probability=self.result_probability(),
+        )
+
+    def sweep(self, chain_lengths: Sequence[int]) -> list[AnalysisPoint]:
+        """Evaluate the model for several chain lengths (one Figure-2 curve)."""
+        return [self.point(length) for length in chain_lengths]
+
+
+def hamming_uniform_analysis(d: int, m: int, tau: float) -> FilterAnalysis:
+    """The Figure-2 setting: uniform binary vectors, ``d`` dimensions, ``m`` parts.
+
+    Each box is the Hamming distance over ``d / m`` dimensions between two
+    uniformly random binary vectors, i.e. Binomial(d / m, 1/2).
+    """
+    if d % m != 0:
+        raise ValueError("d must be divisible by m for equi-width partitions")
+    return FilterAnalysis(BoxDistribution.binomial(d // m, 0.5), m, tau)

@@ -1,0 +1,173 @@
+"""Generic two-step candidate generation (Section 7).
+
+Every pigeonring searcher in this repository follows the same two-step scheme:
+
+1. **First step** -- find, with an index, the data objects that have at least
+   one viable single box.  This step is identical to the candidate generation
+   of the underlying pigeonhole algorithm (GPH, pkwise, Pivotal, Pars).
+2. **Second step** -- for each viable box found, check on the fly whether the
+   chains of lengths ``2, ..., l`` starting from that box are all viable
+   (i.e. whether the chain of length ``l`` is prefix-viable).  Only objects
+   passing this check become candidates.
+
+The second step needs only the box values along the chain, which the substrate
+provides through a callable; boxes are therefore evaluated lazily and the
+check stops at the first violating prefix.  The Corollary-2 skip is applied:
+when the chain starting at ``i`` first violates at prefix length ``l'``, no
+chain starting anywhere in ``[i .. i + l' - 1]`` can be prefix-viable for the
+same target length, so those starts are not re-examined for this object.
+
+:class:`ChainChecker` implements the per-object second step;
+:func:`generate_candidates` drives both steps for an arbitrary problem given
+its index-probe and box-evaluation callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator
+
+from repro.core.thresholds import ThresholdAllocation
+
+
+@dataclass
+class CandidateStats:
+    """Counters describing one candidate-generation run.
+
+    Attributes:
+        probed_boxes: viable single boxes produced by the first step (``|V|``
+            in the cost analysis of Section 7).
+        chain_checks: chains whose prefix-viability was evaluated.
+        box_evaluations: individual box values computed during the second
+            step (the dominant cost term ``(l - 1) * |V| * c_B``).
+        candidates: objects that survived both steps.
+    """
+
+    probed_boxes: int = 0
+    chain_checks: int = 0
+    box_evaluations: int = 0
+    candidates: int = 0
+
+
+class ChainChecker:
+    """Per-object second-step checker with lazy box evaluation and skipping.
+
+    One ``ChainChecker`` is created per (data object, query) pair that reached
+    the second step.  Box values are computed at most once each and cached, so
+    probing the same object from several viable starting boxes does not repeat
+    work.
+    """
+
+    def __init__(
+        self,
+        allocation: ThresholdAllocation,
+        box_value: Callable[[int], float],
+        length: int,
+    ):
+        """Args:
+            allocation: threshold allocation defining viability.
+            box_value: callable returning the value of box ``i`` for this
+                (data object, query) pair.
+            length: target chain length ``l``.
+        """
+        if not 1 <= length <= allocation.m:
+            raise ValueError(
+                f"chain length must be in [1, {allocation.m}], got {length}"
+            )
+        self._allocation = allocation
+        self._box_value = box_value
+        self._length = length
+        self._cache: dict[int, float] = {}
+        self._skip_until: dict[int, int] = {}
+        self.stats = CandidateStats()
+
+    def _value(self, index: int) -> float:
+        index %= self._allocation.m
+        if index not in self._cache:
+            self._cache[index] = self._box_value(index)
+            self.stats.box_evaluations += 1
+        return self._cache[index]
+
+    def check_from(self, start: int) -> bool:
+        """Whether the chain of the target length starting at ``start`` is prefix-viable."""
+        m = self._allocation.m
+        start %= m
+        self.stats.chain_checks += 1
+        running = 0.0
+        for offset in range(self._length):
+            running += self._value((start + offset) % m)
+            if not self._allocation.chain_satisfies(running, start, offset + 1):
+                # Corollary-2 skip: starts in [start .. start + offset] cannot
+                # yield a prefix-viable chain of the target length either.
+                for skipped in range(offset + 1):
+                    self._skip_until[(start + skipped) % m] = self._length
+                return False
+        return True
+
+    def should_skip(self, start: int) -> bool:
+        """Whether ``start`` was already ruled out by a previous failed check."""
+        return self._skip_until.get(start % self._allocation.m, 0) >= self._length
+
+    def is_candidate(self, starts: Iterable[int]) -> bool:
+        """Whether any of the given starting boxes yields a prefix-viable chain."""
+        for start in starts:
+            if self.should_skip(start):
+                continue
+            if self.check_from(start):
+                return True
+        return False
+
+
+def generate_candidates(
+    query: object,
+    probe_index: Callable[[object], Iterable[tuple[Hashable, int]]],
+    box_value: Callable[[Hashable, int], float],
+    allocation_for: Callable[[Hashable], ThresholdAllocation],
+    length: int,
+    stats: CandidateStats | None = None,
+) -> Iterator[Hashable]:
+    """Drive the two-step candidate generation for one query.
+
+    Args:
+        query: the query object (passed through to ``probe_index``).
+        probe_index: first step -- yields ``(object_id, box_index)`` pairs for
+            every viable single box found by the underlying index.  The same
+            object may be yielded several times with different box indices.
+        box_value: second step -- returns ``b_i(x, q)`` for a data object id
+            and box index.
+        allocation_for: returns the threshold allocation to use for a given
+            data object (allocations may be object-specific, e.g. when the
+            number of boxes depends on the object's size).
+        length: chain length ``l``.  ``1`` reproduces the pigeonhole filter.
+        stats: optional shared counters to accumulate into.
+
+    Yields:
+        Candidate object ids, each at most once, in first-seen order.
+    """
+    checkers: dict[Hashable, ChainChecker] = {}
+    emitted: set[Hashable] = set()
+    for obj_id, box_index in probe_index(query):
+        if stats is not None:
+            stats.probed_boxes += 1
+        if obj_id in emitted:
+            continue
+        checker = checkers.get(obj_id)
+        if checker is None:
+            allocation = allocation_for(obj_id)
+            checker = ChainChecker(
+                allocation,
+                lambda i, _obj=obj_id: box_value(_obj, i),
+                min(length, allocation.m),
+            )
+            checkers[obj_id] = checker
+        if checker.should_skip(box_index):
+            continue
+        if checker.check_from(box_index):
+            emitted.add(obj_id)
+            if stats is not None:
+                stats.candidates += 1
+            yield obj_id
+    if stats is not None:
+        for checker in checkers.values():
+            stats.chain_checks += checker.stats.chain_checks
+            stats.box_evaluations += checker.stats.box_evaluations

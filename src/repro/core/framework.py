@@ -1,0 +1,188 @@
+"""The universal filtering framework ``<F, B, D>`` (Section 5).
+
+A pigeonring filtering instance is a triplet of
+
+* a *featuring* function ``F`` mapping an object to a bag of features,
+* a sequence of *box* functions ``b_i(x, q)`` each returning a real number, and
+* a *bounding* function ``D`` mapping the selection threshold ``tau`` to the
+  bound on ``||B(x, q)||_1``.
+
+The instance is **complete** when ``||B(x, q)||_1 <= D(tau)`` is a necessary
+condition of ``f(x, q) <= tau`` (no result can be filtered out), and **tight**
+when the two conditions are equivalent (with ``l = m`` candidates are exactly
+results).  Lemmas 6 and 7 give checkable characterisations; this module
+provides empirical checkers over a sample of object pairs, which the tests use
+to certify the concrete filtering instances of the four case studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.thresholds import Direction, ThresholdAllocation, uniform_allocation
+
+
+@dataclass
+class FilteringInstance:
+    """A concrete ``<F, B, D>`` filtering instance for a tau-selection problem.
+
+    Args:
+        featuring: ``F`` -- maps an object to its bag of features.  Only used
+            by callers that want to inspect features; ``boxes`` receives the
+            raw objects so that implementations may cache extracted features.
+        boxes: ``B`` -- maps ``(x, q)`` to the sequence of m box values.
+        bound: ``D`` -- maps the selection threshold ``tau`` to the bound on
+            ``||B(x, q)||_1``.  The identity is the common case.
+        selection: the selection function ``f`` being filtered (used by the
+            completeness / tightness checkers and by verification).
+        direction: whether results satisfy ``f <= tau`` or ``f >= tau``.
+    """
+
+    featuring: Callable[[object], object]
+    boxes: Callable[[object, object], Sequence[float]]
+    bound: Callable[[float], float]
+    selection: Callable[[object, object], float]
+    direction: Direction = Direction.LEQ
+
+    def box_values(self, x: object, q: object) -> list[float]:
+        """``B(x, q)`` as a list."""
+        return list(self.boxes(x, q))
+
+    def box_sum(self, x: object, q: object) -> float:
+        """``||B(x, q)||_1``."""
+        return sum(self.boxes(x, q))
+
+    def bound_value(self, tau: float) -> float:
+        """``D(tau)``."""
+        return self.bound(tau)
+
+    def allocation(self, tau: float, m: int) -> ThresholdAllocation:
+        """The uniform allocation with ``n = D(tau)`` used by Theorems 2/3."""
+        return uniform_allocation(self.bound(tau), m, direction=self.direction)
+
+    def passes(
+        self,
+        x: object,
+        q: object,
+        tau: float,
+        length: int,
+        allocation: ThresholdAllocation | None = None,
+        strong: bool = True,
+    ) -> bool:
+        """Whether ``x`` survives the pigeonring filter for query ``q``.
+
+        When ``allocation`` is omitted the uniform allocation with
+        ``n = D(tau)`` is used.  ``length`` is the chain length ``l``;
+        ``length == 1`` reduces to the pigeonhole filter.
+        """
+        values = self.box_values(x, q)
+        if allocation is None:
+            allocation = uniform_allocation(
+                self.bound(tau), len(values), direction=self.direction
+            )
+        if strong:
+            return allocation.passes(values, length)
+        return allocation.passes_basic(values, length)
+
+    def is_result(self, x: object, q: object, tau: float) -> bool:
+        """Whether ``x`` is an actual result of the tau-selection query."""
+        value = self.selection(x, q)
+        if self.direction is Direction.LEQ:
+            return value <= tau
+        return value >= tau
+
+
+def check_completeness(
+    instance: FilteringInstance,
+    pairs: Iterable[tuple[object, object]],
+    taus: Sequence[float] | None = None,
+) -> bool:
+    """Empirically check the completeness conditions of Lemma 6 on sample pairs.
+
+    Condition 1: for every pair, ``||B(x, q)||_1 <= D(f(x, q))`` (``>=`` for
+    the ``GEQ`` direction).  Condition 2: no pair with a strictly smaller
+    ``f`` value may have a box sum exceeding ``D`` of a larger ``f`` value.
+    Additionally, when explicit ``taus`` are given, the direct definition is
+    checked: every result at ``tau`` satisfies the bound at ``tau``.
+
+    Returns ``True`` when no violation is found in the sample.  This cannot
+    *prove* completeness (that needs the per-problem argument given in the
+    case studies) but it is an effective certification harness for the
+    concrete implementations.
+    """
+    observed: list[tuple[float, float]] = []
+    for x, q in pairs:
+        f_value = instance.selection(x, q)
+        b_sum = instance.box_sum(x, q)
+        observed.append((f_value, b_sum))
+        if instance.direction is Direction.LEQ:
+            if b_sum > instance.bound(f_value) + 1e-9:
+                return False
+        else:
+            if b_sum < instance.bound(f_value) - 1e-9:
+                return False
+    # Condition 2 of Lemma 6 across all observed pairs.
+    for f1, b1 in observed:
+        for f2, _ in observed:
+            if instance.direction is Direction.LEQ:
+                if f1 < f2 and b1 > instance.bound(f2) + 1e-9:
+                    return False
+            else:
+                if f1 > f2 and b1 < instance.bound(f2) - 1e-9:
+                    return False
+    if taus is not None:
+        for tau in taus:
+            bound = instance.bound(tau)
+            for f_value, b_sum in observed:
+                if instance.direction is Direction.LEQ:
+                    if f_value <= tau and b_sum > bound + 1e-9:
+                        return False
+                else:
+                    if f_value >= tau and b_sum < bound - 1e-9:
+                        return False
+    return True
+
+
+def check_tightness(
+    instance: FilteringInstance,
+    pairs: Iterable[tuple[object, object]],
+    taus: Sequence[float],
+) -> bool:
+    """Empirically check the tightness definition on sample pairs.
+
+    Tightness (Definition 2) requires ``||B(x, q)||_1 <= D(tau)`` to be
+    necessary *and sufficient* for ``f(x, q) <= tau``.  For every sampled pair
+    and every ``tau`` the two sides of the equivalence are compared.
+    """
+    observed = [
+        (instance.selection(x, q), instance.box_sum(x, q)) for x, q in pairs
+    ]
+    for tau in taus:
+        bound = instance.bound(tau)
+        for f_value, b_sum in observed:
+            if instance.direction is Direction.LEQ:
+                is_result = f_value <= tau
+                satisfies = b_sum <= bound + 1e-9
+            else:
+                is_result = f_value >= tau
+                satisfies = b_sum >= bound - 1e-9
+            if is_result != satisfies:
+                return False
+    return True
+
+
+def trivial_complete_instance(selection: Callable[[object, object], float]) -> FilteringInstance:
+    """The trivial complete (but useless) instance from Section 5.
+
+    A single box always equal to ``-1`` bounded by ``D(tau) = 0``: every data
+    object is a candidate.  Provided as the degenerate baseline used in tests
+    of the framework definitions.
+    """
+    return FilteringInstance(
+        featuring=lambda obj: [obj],
+        boxes=lambda x, q: [-1.0],
+        bound=lambda tau: 0.0,
+        selection=selection,
+        direction=Direction.LEQ,
+    )

@@ -1,0 +1,99 @@
+"""Integral (continuous) forms of the principles (Appendix B).
+
+* Theorem 8: if ``b`` is Riemann-integrable and the integral of ``b`` over
+  ``[u, u + m]`` is at most ``n``, then some point ``x`` in the interval has
+  ``b(x) <= n / m``.
+* Theorem 9: if additionally ``b`` is periodic with period ``m``, then some
+  ``x1`` exists such that for every ``x2`` in ``[x1, x1 + m]`` the integral
+  from ``x1`` to ``x2`` is at most ``(x2 - x1) * n / m`` -- the continuous
+  analogue of a prefix-viable chain.
+
+These are verified numerically on a uniform grid: the integral is evaluated
+with the trapezoidal rule and the witnesses are located with the same
+max-intercept construction as Appendix A.  The functions return the witness
+(or ``None`` when the premise does not hold numerically), so tests can assert
+existence over families of periodic functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def _grid(u: float, period: float, samples: int) -> np.ndarray:
+    return np.linspace(u, u + period, samples + 1)
+
+
+def integral_over_period(
+    b: Callable[[float], float], u: float, period: float, samples: int = 2048
+) -> float:
+    """Trapezoidal estimate of the integral of ``b`` over ``[u, u + period]``."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    xs = _grid(u, period, samples)
+    values = np.array([b(float(x)) for x in xs])
+    return float(np.trapezoid(values, xs))
+
+
+def pointwise_witness(
+    b: Callable[[float], float],
+    u: float,
+    period: float,
+    n: float,
+    samples: int = 2048,
+) -> float | None:
+    """A point ``x`` with ``b(x) <= n / period`` when the Theorem-8 premise holds.
+
+    Returns ``None`` when the integral over the period exceeds ``n`` (premise
+    fails) or -- which cannot happen for well-behaved functions but may for a
+    too-coarse grid -- when no grid point satisfies the bound.
+    """
+    total = integral_over_period(b, u, period, samples)
+    if total > n + 1e-9:
+        return None
+    quota = n / period
+    xs = _grid(u, period, samples)
+    values = np.array([b(float(x)) for x in xs])
+    below = np.nonzero(values <= quota + 1e-9)[0]
+    if len(below) == 0:
+        return None
+    return float(xs[below[0]])
+
+
+def prefix_viable_witness(
+    b: Callable[[float], float],
+    u: float,
+    period: float,
+    n: float,
+    samples: int = 2048,
+) -> float | None:
+    """A starting point ``x1`` satisfying the Theorem-9 condition on a grid.
+
+    The condition is checked on the sampled grid: for every grid point ``x2``
+    in ``[x1, x1 + period]`` the cumulative trapezoidal integral from ``x1``
+    must not exceed ``(x2 - x1) * n / period``.  The witness is found with the
+    max-intercept construction applied to the cumulative integral, mirroring
+    Appendix A.
+    """
+    total = integral_over_period(b, u, period, samples)
+    if total > n + 1e-9:
+        return None
+    # Sample two periods so chains can wrap, exactly as the discrete ring does.
+    xs = np.linspace(u, u + 2 * period, 2 * samples + 1)
+    values = np.array([b(float(x)) for x in xs])
+    step = period / samples
+    cumulative = np.concatenate(([0.0], np.cumsum((values[1:] + values[:-1]) * 0.5 * step)))
+    slope = total / period
+    intercepts = cumulative[: samples + 1] - slope * (xs[: samples + 1] - u)
+    start_idx = int(np.argmax(intercepts))
+    # Validate the witness on the grid.
+    quota = n / period
+    base = cumulative[start_idx]
+    for offset in range(1, samples + 1):
+        idx = start_idx + offset
+        span = xs[idx] - xs[start_idx]
+        if cumulative[idx] - base > span * quota + 1e-6 * max(1.0, abs(n)):
+            return None
+    return float(xs[start_idx])

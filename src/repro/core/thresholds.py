@@ -1,0 +1,209 @@
+"""Variable threshold allocation and integer reduction (Section 4).
+
+Instead of the uniform quota ``n / m``, a filtering instance may assign a
+threshold ``t_i`` to every box.  The paper proves the pigeonring analogues of
+the two classic pigeonhole variants:
+
+* Theorem 6 (variable threshold allocation): if ``||B||_1 <= n`` and
+  ``||T||_1 = n``, then for every ``l`` some chain has *all* prefixes
+  satisfying ``||c_i^{l'}||_1 <= sum_{j=i}^{i+l'-1} t_j``.
+* Theorem 7 (integer reduction): for integer boxes and thresholds, if
+  ``||B||_1 <= n`` and ``||T||_1 = n - m + 1``, the prefix condition relaxes to
+  ``||c_i^{l'}||_1 <= l' - 1 + sum t_j``.
+
+Both theorems also hold with ``>=`` in place of ``<=``; for the ``>=``
+direction integer reduction requires ``||T||_1 = n + m - 1`` and the prefix
+condition becomes ``||c_i^{l'}||_1 >= 1 - l' + sum t_j``.  The set-similarity
+searcher uses exactly that variant (results satisfy ``f(x, q) >= tau``).
+
+:class:`ThresholdAllocation` wraps a concrete threshold sequence together with
+the comparison direction and the integer-reduction slack, and provides the
+viability / prefix-viability predicates and witness enumeration used by the
+substrate searchers and by the property tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class Direction(enum.Enum):
+    """Comparison direction of the selection constraint ``f(x, q) <=/>= tau``."""
+
+    LEQ = "leq"
+    GEQ = "geq"
+
+
+@dataclass(frozen=True)
+class ThresholdAllocation:
+    """A per-box threshold sequence ``T = (t_0, ..., t_{m-1})``.
+
+    Args:
+        thresholds: per-box thresholds.
+        direction: whether boxes must stay below (``LEQ``) or above (``GEQ``)
+            their thresholds for a chain to be viable.
+        integer_reduction: when True, the per-prefix slack of Theorem 7 is
+            applied (``+ (l' - 1)`` for ``LEQ``, ``- (l' - 1)`` for ``GEQ``).
+    """
+
+    thresholds: tuple[float, ...]
+    direction: Direction = Direction.LEQ
+    integer_reduction: bool = False
+
+    def __init__(
+        self,
+        thresholds: Sequence[float],
+        direction: Direction = Direction.LEQ,
+        integer_reduction: bool = False,
+    ):
+        object.__setattr__(self, "thresholds", tuple(thresholds))
+        object.__setattr__(self, "direction", direction)
+        object.__setattr__(self, "integer_reduction", integer_reduction)
+        if not self.thresholds:
+            raise ValueError("a threshold allocation needs at least one box")
+
+    @property
+    def m(self) -> int:
+        return len(self.thresholds)
+
+    @property
+    def total(self) -> float:
+        """``||T||_1``."""
+        return sum(self.thresholds)
+
+    def validates_bound(self, n: float) -> bool:
+        """Whether ``||T||_1`` matches the value required for exactness.
+
+        * ``LEQ`` without integer reduction: ``||T||_1 == n`` (Theorem 6).
+        * ``LEQ`` with integer reduction: ``||T||_1 == n - m + 1`` (Theorem 7).
+        * ``GEQ`` without integer reduction: ``||T||_1 == n``.
+        * ``GEQ`` with integer reduction: ``||T||_1 == n + m - 1``.
+
+        Substrate algorithms may legitimately use a *looser* allocation (a
+        smaller ``||T||_1`` for ``LEQ`` is still complete, just weaker); this
+        helper checks the tight value stated by the theorems.
+        """
+        if self.direction is Direction.LEQ:
+            target = n - self.m + 1 if self.integer_reduction else n
+        else:
+            target = n + self.m - 1 if self.integer_reduction else n
+        return math.isclose(self.total, target, rel_tol=0.0, abs_tol=1e-9)
+
+    def chain_threshold(self, start: int, length: int) -> float:
+        """The threshold against which ``||c_start^length||_1`` is compared.
+
+        Includes the integer-reduction slack when enabled.
+        """
+        if not 0 <= length <= self.m:
+            raise ValueError(f"chain length must be in [0, {self.m}], got {length}")
+        start %= self.m
+        total = 0.0
+        for offset in range(length):
+            total += self.thresholds[(start + offset) % self.m]
+        if self.integer_reduction and length > 0:
+            if self.direction is Direction.LEQ:
+                total += length - 1
+            else:
+                total -= length - 1
+        return total
+
+    def box_satisfies(self, value: float, index: int) -> bool:
+        """Whether a single box value satisfies its own threshold (chain length 1)."""
+        return self.chain_satisfies(value, index, 1)
+
+    def chain_satisfies(self, chain_total: float, start: int, length: int) -> bool:
+        """Whether a chain sum satisfies the (slack-adjusted) chain threshold."""
+        bound = self.chain_threshold(start, length)
+        if self.direction is Direction.LEQ:
+            return chain_total <= bound + 1e-12
+        return chain_total >= bound - 1e-12
+
+    def is_viable(self, boxes: Sequence[float], start: int, length: int) -> bool:
+        """Viability of ``c_start^length`` under this allocation."""
+        self._check_boxes(boxes)
+        total = 0.0
+        start %= self.m
+        for offset in range(length):
+            total += boxes[(start + offset) % self.m]
+        return self.chain_satisfies(total, start, length)
+
+    def is_prefix_viable(
+        self, boxes: Sequence[float], start: int, length: int
+    ) -> bool:
+        """Prefix-viability of ``c_start^length`` under this allocation."""
+        self._check_boxes(boxes)
+        start %= self.m
+        running = 0.0
+        for offset in range(length):
+            running += boxes[(start + offset) % self.m]
+            if not self.chain_satisfies(running, start, offset + 1):
+                return False
+        return True
+
+    def first_prefix_violation(
+        self, boxes: Sequence[float], start: int, length: int
+    ) -> int | None:
+        """Smallest prefix length violating the allocation, or ``None`` if none does."""
+        self._check_boxes(boxes)
+        start %= self.m
+        running = 0.0
+        for offset in range(length):
+            running += boxes[(start + offset) % self.m]
+            if not self.chain_satisfies(running, start, offset + 1):
+                return offset + 1
+        return None
+
+    def strong_witnesses(self, boxes: Sequence[float], length: int) -> list[int]:
+        """Starting indices of prefix-viable chains of ``length`` (Theorems 6/7)."""
+        self._check_boxes(boxes)
+        if not 1 <= length <= self.m:
+            raise ValueError(f"chain length must be in [1, {self.m}], got {length}")
+        return [
+            i for i in range(self.m) if self.is_prefix_viable(boxes, i, length)
+        ]
+
+    def passes(self, boxes: Sequence[float], length: int) -> bool:
+        """Filtering condition: some chain of ``length`` is prefix-viable."""
+        return bool(self.strong_witnesses(boxes, length))
+
+    def passes_basic(self, boxes: Sequence[float], length: int) -> bool:
+        """Basic-form filtering condition: some chain of ``length`` is viable."""
+        self._check_boxes(boxes)
+        if not 1 <= length <= self.m:
+            raise ValueError(f"chain length must be in [1, {self.m}], got {length}")
+        return any(self.is_viable(boxes, i, length) for i in range(self.m))
+
+    def _check_boxes(self, boxes: Sequence[float]) -> None:
+        if len(boxes) != self.m:
+            raise ValueError(
+                f"expected {self.m} box values, got {len(boxes)}"
+            )
+
+
+def uniform_allocation(
+    n: float, m: int, direction: Direction = Direction.LEQ
+) -> ThresholdAllocation:
+    """The uniform allocation ``t_i = n / m`` (Theorem 3 as a special case of Theorem 6)."""
+    if m <= 0:
+        raise ValueError("the number of boxes m must be positive")
+    return ThresholdAllocation([n / m] * m, direction=direction, integer_reduction=False)
+
+
+def integer_reduction_allocation(
+    n: int, m: int, direction: Direction = Direction.LEQ
+) -> ThresholdAllocation:
+    """An as-even-as-possible integer allocation with the Theorem 5/7 total.
+
+    For ``LEQ`` the thresholds sum to ``n - m + 1``; for ``GEQ`` to
+    ``n + m - 1``.  The remainder is spread over the leading boxes so the
+    allocation is deterministic.
+    """
+    if m <= 0:
+        raise ValueError("the number of boxes m must be positive")
+    total = n - m + 1 if direction is Direction.LEQ else n + m - 1
+    base, remainder = divmod(total, m)
+    thresholds = [base + 1 if i < remainder else base for i in range(m)]
+    return ThresholdAllocation(thresholds, direction=direction, integer_reduction=True)

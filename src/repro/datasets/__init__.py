@@ -1,0 +1,35 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on eight real datasets (GIST, SIFT, Enron, DBLP, IMDB,
+PubMed, AIDS, Protein) that are not redistributable here.  Each generator in
+this package produces a laptop-scale synthetic stand-in that preserves the
+properties the filters are sensitive to:
+
+* :mod:`repro.datasets.binary` -- clustered binary vectors (GIST / SIFT
+  stand-ins): a background of near-uniform vectors plus planted clusters so
+  that thresholded queries have non-trivial result sets.
+* :mod:`repro.datasets.tokens` -- Zipfian token sets with noisy duplicates
+  (Enron / DBLP stand-ins): token-frequency skew drives prefix filtering.
+* :mod:`repro.datasets.text` -- name-like and title-like strings with edit
+  noise (IMDB / PubMed stand-ins).
+* :mod:`repro.datasets.molecules` -- molecule-like labelled graphs with edit
+  noise (AIDS / Protein stand-ins).
+
+All generators take an explicit ``seed`` and are deterministic.
+"""
+
+from repro.datasets.binary import BinaryWorkload, gist_like, sift_like
+from repro.datasets.tokens import TokenSetWorkload, dblp_like, enron_like
+from repro.datasets.text import StringWorkload, imdb_like, pubmed_like
+
+__all__ = [
+    "BinaryWorkload",
+    "gist_like",
+    "sift_like",
+    "TokenSetWorkload",
+    "enron_like",
+    "dblp_like",
+    "StringWorkload",
+    "imdb_like",
+    "pubmed_like",
+]

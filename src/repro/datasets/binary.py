@@ -1,0 +1,127 @@
+"""Synthetic binary-vector workloads (GIST / SIFT stand-ins).
+
+The GIST and SIFT datasets of the paper are binary codes produced by spectral
+hashing over image descriptors.  What the partition filters are sensitive to
+is (a) the existence of query results at realistic thresholds and (b) a
+dominant mass of far-away background vectors that must be filtered out.  The
+generator therefore plants clusters of near-duplicate codes inside a uniform
+background and samples queries from the clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BinaryWorkload:
+    """A dataset of binary vectors plus a query workload.
+
+    Attributes:
+        vectors: ``(n, d)`` 0/1 matrix of data vectors.
+        queries: ``(q, d)`` 0/1 matrix of query vectors.
+        d: dimensionality.
+    """
+
+    vectors: np.ndarray
+    queries: np.ndarray
+
+    @property
+    def d(self) -> int:
+        return int(self.vectors.shape[1])
+
+    @property
+    def num_vectors(self) -> int:
+        return int(self.vectors.shape[0])
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+
+def clustered_binary_workload(
+    num_vectors: int,
+    d: int,
+    num_queries: int,
+    num_clusters: int = 20,
+    cluster_fraction: float = 0.5,
+    cluster_radius: float = 0.08,
+    query_radius: float = 0.10,
+    seed: int = 0,
+) -> BinaryWorkload:
+    """Generate a clustered binary workload.
+
+    Args:
+        num_vectors: number of data vectors.
+        d: dimensionality (e.g. 256 for the GIST stand-in, 512 for SIFT).
+        num_queries: number of query vectors, sampled near cluster centres so
+            thresholded queries have results.
+        num_clusters: number of planted clusters.
+        cluster_fraction: fraction of data vectors drawn from clusters (the
+            rest is uniform background).
+        cluster_radius: expected fraction of flipped bits between a cluster
+            member and its centre.
+        query_radius: expected fraction of flipped bits between a query and
+            its cluster centre.
+        seed: RNG seed.
+    """
+    if num_vectors <= 0 or num_queries <= 0:
+        raise ValueError("the workload needs at least one vector and one query")
+    if d <= 0:
+        raise ValueError("dimensionality must be positive")
+    if not 0.0 <= cluster_fraction <= 1.0:
+        raise ValueError("cluster_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    centers = rng.integers(0, 2, size=(max(1, num_clusters), d), dtype=np.uint8)
+
+    num_clustered = int(round(num_vectors * cluster_fraction))
+    num_background = num_vectors - num_clustered
+
+    members = []
+    if num_clustered:
+        assignment = rng.integers(0, len(centers), size=num_clustered)
+        flips = rng.random((num_clustered, d)) < cluster_radius
+        members.append(np.bitwise_xor(centers[assignment], flips.astype(np.uint8)))
+    if num_background:
+        members.append(rng.integers(0, 2, size=(num_background, d), dtype=np.uint8))
+    vectors = np.concatenate(members, axis=0)
+    rng.shuffle(vectors, axis=0)
+
+    query_assignment = rng.integers(0, len(centers), size=num_queries)
+    query_flips = rng.random((num_queries, d)) < query_radius
+    queries = np.bitwise_xor(centers[query_assignment], query_flips.astype(np.uint8))
+    return BinaryWorkload(vectors=vectors, queries=queries)
+
+
+def gist_like(
+    num_vectors: int = 20000, num_queries: int = 50, seed: int = 0
+) -> BinaryWorkload:
+    """A 256-dimensional stand-in for the GIST binary codes."""
+    return clustered_binary_workload(
+        num_vectors=num_vectors,
+        d=256,
+        num_queries=num_queries,
+        num_clusters=32,
+        cluster_fraction=0.4,
+        cluster_radius=0.08,
+        query_radius=0.12,
+        seed=seed,
+    )
+
+
+def sift_like(
+    num_vectors: int = 20000, num_queries: int = 50, seed: int = 1
+) -> BinaryWorkload:
+    """A 512-dimensional stand-in for the SIFT binary codes."""
+    return clustered_binary_workload(
+        num_vectors=num_vectors,
+        d=512,
+        num_queries=num_queries,
+        num_clusters=32,
+        cluster_fraction=0.4,
+        cluster_radius=0.06,
+        query_radius=0.10,
+        seed=seed,
+    )

@@ -1,0 +1,150 @@
+"""Synthetic string workloads (IMDB / PubMed stand-ins).
+
+String edit-distance filtering depends on q-gram frequency skew and on the
+existence of near-duplicate strings within small edit distances.  The
+generator composes strings from a skewed syllable vocabulary (producing
+realistic repeated q-grams) and plants noisy duplicates created with random
+edit operations.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+import numpy as np
+
+_SYLLABLES = [
+    "an", "ar", "el", "en", "er", "in", "is", "le", "li", "lo",
+    "ma", "mi", "na", "ne", "on", "or", "ra", "re", "ri", "ro",
+    "sa", "se", "si", "ta", "te", "ti", "to", "va", "vi", "zu",
+]
+
+_TITLE_WORDS = [
+    "analysis", "protein", "clinical", "study", "gene", "expression", "cell",
+    "human", "patients", "effects", "treatment", "model", "cancer", "brain",
+    "structure", "function", "activity", "response", "disease", "molecular",
+    "binding", "receptor", "factor", "growth", "acid", "dna", "rna", "tumor",
+    "membrane", "protein", "kinase", "pathway", "signal", "regulation",
+]
+
+
+@dataclass
+class StringWorkload:
+    """A dataset of strings plus a query workload."""
+
+    records: list[str]
+    queries: list[str]
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def avg_length(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(len(r) for r in self.records) / len(self.records)
+
+
+def _random_edits(rng: np.random.Generator, text: str, num_edits: int, alphabet: str) -> str:
+    """Apply ``num_edits`` random insert / delete / substitute operations."""
+    chars = list(text)
+    for _ in range(num_edits):
+        operation = rng.integers(0, 3)
+        if operation == 0 and len(chars) > 1:  # deletion
+            position = int(rng.integers(0, len(chars)))
+            del chars[position]
+        elif operation == 1:  # insertion
+            position = int(rng.integers(0, len(chars) + 1))
+            chars.insert(position, alphabet[int(rng.integers(0, len(alphabet)))])
+        else:  # substitution
+            position = int(rng.integers(0, len(chars)))
+            chars[position] = alphabet[int(rng.integers(0, len(alphabet)))]
+    return "".join(chars)
+
+
+def _name(rng: np.random.Generator) -> str:
+    def word() -> str:
+        count = int(rng.integers(2, 5))
+        syllables = [
+            _SYLLABLES[int(rng.integers(0, len(_SYLLABLES)))] for _ in range(count)
+        ]
+        return "".join(syllables)
+
+    return f"{word()} {word()}"
+
+
+def _title(rng: np.random.Generator, num_words: int) -> str:
+    words = [
+        _TITLE_WORDS[int(rng.integers(0, len(_TITLE_WORDS)))] for _ in range(num_words)
+    ]
+    return " ".join(words)
+
+
+def name_workload(
+    num_records: int,
+    num_queries: int,
+    duplicate_fraction: float = 0.5,
+    max_edits: int = 3,
+    seed: int = 0,
+) -> StringWorkload:
+    """Short name-like strings (IMDB actor-name stand-in, ~16 characters)."""
+    if num_records <= 0 or num_queries <= 0:
+        raise ValueError("the workload needs at least one record and one query")
+    rng = np.random.default_rng(seed)
+    alphabet = string.ascii_lowercase
+    num_sources = max(1, int(round(num_records * (1.0 - duplicate_fraction))))
+    records = [_name(rng) for _ in range(num_sources)]
+    while len(records) < num_records:
+        source = records[int(rng.integers(0, num_sources))]
+        records.append(_random_edits(rng, source, int(rng.integers(1, max_edits + 1)), alphabet))
+    rng.shuffle(records)
+    queries = []
+    for _ in range(num_queries):
+        source = records[int(rng.integers(0, len(records)))]
+        queries.append(_random_edits(rng, source, int(rng.integers(0, max_edits + 1)), alphabet))
+    return StringWorkload(records=records, queries=queries)
+
+
+def title_workload(
+    num_records: int,
+    num_queries: int,
+    avg_words: int = 14,
+    duplicate_fraction: float = 0.5,
+    max_edits: int = 8,
+    seed: int = 0,
+) -> StringWorkload:
+    """Long title-like strings (PubMed title stand-in, ~100 characters)."""
+    if num_records <= 0 or num_queries <= 0:
+        raise ValueError("the workload needs at least one record and one query")
+    rng = np.random.default_rng(seed)
+    alphabet = string.ascii_lowercase + " "
+    num_sources = max(1, int(round(num_records * (1.0 - duplicate_fraction))))
+    records = [
+        _title(rng, int(rng.integers(max(2, avg_words - 4), avg_words + 5)))
+        for _ in range(num_sources)
+    ]
+    while len(records) < num_records:
+        source = records[int(rng.integers(0, num_sources))]
+        records.append(_random_edits(rng, source, int(rng.integers(1, max_edits + 1)), alphabet))
+    rng.shuffle(records)
+    queries = []
+    for _ in range(num_queries):
+        source = records[int(rng.integers(0, len(records)))]
+        queries.append(_random_edits(rng, source, int(rng.integers(0, max_edits + 1)), alphabet))
+    return StringWorkload(records=records, queries=queries)
+
+
+def imdb_like(num_records: int = 5000, num_queries: int = 50, seed: int = 0) -> StringWorkload:
+    """Stand-in for the IMDB actor-name dataset."""
+    return name_workload(num_records, num_queries, seed=seed)
+
+
+def pubmed_like(num_records: int = 2000, num_queries: int = 20, seed: int = 1) -> StringWorkload:
+    """Stand-in for the PubMed publication-title dataset."""
+    return title_workload(num_records, num_queries, seed=seed)

@@ -1,0 +1,332 @@
+"""Per-figure experiment runners.
+
+Each ``figure_*`` function reproduces one figure of the paper's evaluation on
+a laptop-scale synthetic workload and returns the rows the paper plots.  The
+``scale`` parameter multiplies the default dataset / query sizes so the same
+code serves quick benchmark runs (``scale < 1``) and more faithful overnight
+runs (``scale > 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.analysis import hamming_uniform_analysis
+from repro.datasets.binary import clustered_binary_workload
+from repro.datasets.molecules import molecule_workload
+from repro.datasets.text import name_workload, title_workload
+from repro.datasets.tokens import zipfian_set_workload
+from repro.experiments.harness import (
+    ChainLengthRow,
+    ComparisonRow,
+    chain_length_rows,
+    comparison_rows,
+)
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.pars import ParsSearcher
+from repro.graphs.ring import RingGraphSearcher
+from repro.hamming.dataset import BinaryVectorDataset
+from repro.hamming.gph import GPHSearcher
+from repro.hamming.ring import RingHammingSearcher
+from repro.sets.adaptsearch import AdaptSearchSearcher
+from repro.sets.dataset import SetDataset
+from repro.sets.partalloc import PartAllocSearcher
+from repro.sets.pkwise import PkwiseSearcher
+from repro.sets.ring import RingSetSearcher
+from repro.sets.similarity import JaccardPredicate
+from repro.strings.dataset import StringDataset
+from repro.strings.pivotal import PivotalSearcher
+from repro.strings.ring import RingStringSearcher
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 -- analytical filtering-power model.
+# ---------------------------------------------------------------------------
+
+def figure2_rows(chain_lengths: Sequence[int] = range(1, 8)) -> list[dict]:
+    """The four analytical curves of Figure 2 (d = 256, uniform data)."""
+    settings = [
+        {"tau": 96, "m": 16},
+        {"tau": 64, "m": 16},
+        {"tau": 48, "m": 8},
+        {"tau": 32, "m": 8},
+    ]
+    rows = []
+    for setting in settings:
+        analysis = hamming_uniform_analysis(d=256, m=setting["m"], tau=setting["tau"])
+        for point in analysis.sweep(list(chain_lengths)):
+            rows.append(
+                {
+                    "tau": setting["tau"],
+                    "m": setting["m"],
+                    "chain_length": point.chain_length,
+                    "fp_to_result_ratio": point.candidate_to_result_ratio,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 5 and 9 -- Hamming distance search.
+# ---------------------------------------------------------------------------
+
+def _hamming_setup(name: str, scale: float, seed: int):
+    d = 256 if name == "gist" else 512
+    workload = clustered_binary_workload(
+        num_vectors=_scaled(4000, scale),
+        d=d,
+        num_queries=_scaled(10, scale),
+        num_clusters=16,
+        cluster_fraction=0.4,
+        cluster_radius=0.08,
+        query_radius=0.12,
+        seed=seed,
+    )
+    dataset = BinaryVectorDataset(workload.vectors, num_parts=d // 32)
+    return workload, dataset
+
+
+def figure5_rows(
+    dataset_name: str = "gist",
+    taus: Sequence[int] = (48, 64),
+    chain_lengths: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ChainLengthRow]:
+    """Effect of chain length on Hamming distance search (Figure 5)."""
+    workload, dataset = _hamming_setup(dataset_name, scale, seed)
+    rows: list[ChainLengthRow] = []
+    for tau in taus:
+        def make(length: int, tau=tau):
+            searcher = RingHammingSearcher(dataset, chain_length=length)
+            return lambda query: searcher.search(query, tau)
+
+        rows.extend(
+            chain_length_rows(dataset_name, tau, chain_lengths, make, list(workload.queries))
+        )
+    return rows
+
+
+def figure9_rows(
+    dataset_name: str = "gist",
+    taus: Sequence[int] = (16, 32, 48, 64),
+    chain_length: int = 5,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ComparisonRow]:
+    """GPH versus Ring on Hamming distance search (Figure 9)."""
+    workload, dataset = _hamming_setup(dataset_name, scale, seed)
+    gph = GPHSearcher(dataset)
+    ring = RingHammingSearcher(dataset, chain_length=chain_length)
+    rows: list[ComparisonRow] = []
+    for tau in taus:
+        rows.extend(
+            comparison_rows(
+                dataset_name,
+                tau,
+                {
+                    "GPH": lambda query, tau=tau: gph.search(query, tau),
+                    "Ring": lambda query, tau=tau: ring.search(query, tau),
+                },
+                list(workload.queries),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 10 -- set similarity search.
+# ---------------------------------------------------------------------------
+
+def _set_setup(name: str, scale: float, seed: int):
+    if name == "enron":
+        workload = zipfian_set_workload(
+            num_records=_scaled(1500, scale),
+            num_queries=_scaled(15, scale),
+            universe_size=10000,
+            avg_size=80,
+            size_spread=25,
+            skew=1.15,
+            noise_fraction=0.08,
+            seed=seed,
+        )
+    else:  # dblp-like
+        workload = zipfian_set_workload(
+            num_records=_scaled(3000, scale),
+            num_queries=_scaled(25, scale),
+            universe_size=6000,
+            avg_size=14,
+            size_spread=5,
+            skew=1.25,
+            noise_fraction=0.12,
+            seed=seed,
+        )
+    dataset = SetDataset(workload.records, num_classes=4)
+    return workload, dataset
+
+
+def figure6_rows(
+    dataset_name: str = "dblp",
+    taus: Sequence[float] = (0.7, 0.8),
+    chain_lengths: Sequence[int] = (1, 2, 3),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ChainLengthRow]:
+    """Effect of chain length on set similarity search (Figure 6)."""
+    workload, dataset = _set_setup(dataset_name, scale, seed)
+    rows: list[ChainLengthRow] = []
+    for tau in taus:
+        predicate = JaccardPredicate(tau)
+
+        def make(length: int, predicate=predicate):
+            searcher = RingSetSearcher(dataset, predicate, chain_length=length)
+            return searcher.search
+
+        rows.extend(
+            chain_length_rows(dataset_name, tau, chain_lengths, make, workload.queries)
+        )
+    return rows
+
+
+def figure10_rows(
+    dataset_name: str = "dblp",
+    taus: Sequence[float] = (0.7, 0.75, 0.8, 0.85, 0.9),
+    chain_length: int = 2,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ComparisonRow]:
+    """AdaptSearch / PartAlloc / pkwise / Ring on set similarity search (Figure 10)."""
+    workload, dataset = _set_setup(dataset_name, scale, seed)
+    rows: list[ComparisonRow] = []
+    for tau in taus:
+        predicate = JaccardPredicate(tau)
+        searchers = {
+            "AdaptSearch": AdaptSearchSearcher(dataset, predicate).search,
+            "PartAlloc": PartAllocSearcher(dataset, predicate).search,
+            "pkwise": PkwiseSearcher(dataset, predicate).search,
+            "Ring": RingSetSearcher(dataset, predicate, chain_length=chain_length).search,
+        }
+        rows.extend(comparison_rows(dataset_name, tau, searchers, workload.queries))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 and 11 -- string edit distance search.
+# ---------------------------------------------------------------------------
+
+def _string_setup(name: str, scale: float, seed: int):
+    if name == "imdb":
+        workload = name_workload(
+            num_records=_scaled(2000, scale), num_queries=_scaled(20, scale),
+            max_edits=4, seed=seed,
+        )
+        kappa = 2
+    else:  # pubmed-like
+        workload = title_workload(
+            num_records=_scaled(600, scale), num_queries=_scaled(10, scale),
+            max_edits=10, seed=seed,
+        )
+        kappa = 4
+    dataset = StringDataset(workload.records, kappa=kappa)
+    return workload, dataset
+
+
+def figure7_rows(
+    dataset_name: str = "imdb",
+    taus: Sequence[int] = (2, 4),
+    chain_lengths: Sequence[int] = (1, 2, 3, 4),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ChainLengthRow]:
+    """Effect of chain length on string edit distance search (Figure 7)."""
+    workload, dataset = _string_setup(dataset_name, scale, seed)
+    rows: list[ChainLengthRow] = []
+    for tau in taus:
+        def make(length: int, tau=tau):
+            return RingStringSearcher(dataset, tau, chain_length=length).search
+
+        rows.extend(
+            chain_length_rows(dataset_name, tau, chain_lengths, make, workload.queries)
+        )
+    return rows
+
+
+def figure11_rows(
+    dataset_name: str = "imdb",
+    taus: Sequence[int] = (1, 2, 3, 4),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ComparisonRow]:
+    """Pivotal versus Ring on string edit distance search (Figure 11)."""
+    workload, dataset = _string_setup(dataset_name, scale, seed)
+    rows: list[ComparisonRow] = []
+    for tau in taus:
+        searchers = {
+            "Pivotal": PivotalSearcher(dataset, tau).search,
+            "Ring": RingStringSearcher(dataset, tau).search,
+        }
+        rows.extend(comparison_rows(dataset_name, tau, searchers, workload.queries))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 and 12 -- graph edit distance search.
+# ---------------------------------------------------------------------------
+
+def _graph_setup(name: str, scale: float, seed: int):
+    if name == "aids":
+        workload = molecule_workload(
+            num_graphs=_scaled(120, scale), num_queries=_scaled(6, scale),
+            min_vertices=8, max_vertices=11, extra_edges=2,
+            num_vertex_labels=10, num_edge_labels=3, max_edits=4, seed=seed,
+        )
+    else:  # protein-like
+        workload = molecule_workload(
+            num_graphs=_scaled(80, scale), num_queries=_scaled(5, scale),
+            min_vertices=8, max_vertices=10, extra_edges=4,
+            num_vertex_labels=3, num_edge_labels=5, max_edits=4, seed=seed,
+        )
+    dataset = GraphDataset(workload.graphs)
+    return workload, dataset
+
+
+def figure8_rows(
+    dataset_name: str = "aids",
+    taus: Sequence[int] = (4, 5),
+    chain_lengths: Sequence[int] = (1, 2, 3, 4, 5),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ChainLengthRow]:
+    """Effect of chain length on graph edit distance search (Figure 8)."""
+    workload, dataset = _graph_setup(dataset_name, scale, seed)
+    rows: list[ChainLengthRow] = []
+    for tau in taus:
+        def make(length: int, tau=tau):
+            return RingGraphSearcher(dataset, tau, chain_length=length).search
+
+        rows.extend(
+            chain_length_rows(dataset_name, tau, chain_lengths, make, workload.queries)
+        )
+    return rows
+
+
+def figure12_rows(
+    dataset_name: str = "aids",
+    taus: Sequence[int] = (1, 2, 3, 4, 5),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ComparisonRow]:
+    """Pars versus Ring on graph edit distance search (Figure 12)."""
+    workload, dataset = _graph_setup(dataset_name, scale, seed)
+    rows: list[ComparisonRow] = []
+    for tau in taus:
+        searchers = {
+            "Pars": ParsSearcher(dataset, tau).search,
+            "Ring": RingGraphSearcher(dataset, tau, chain_length=max(1, tau - 1)).search,
+        }
+        rows.extend(comparison_rows(dataset_name, tau, searchers, workload.queries))
+    return rows

@@ -1,0 +1,115 @@
+"""Generic experiment drivers shared by all figures."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.common.stats import QueryStats, SearchResult
+
+
+def run_workload(
+    search: Callable[[object], SearchResult], queries: Iterable[object]
+) -> QueryStats:
+    """Run one searcher over a query workload and aggregate the statistics."""
+    stats = QueryStats()
+    for query in queries:
+        stats.add(search(query))
+    return stats
+
+
+@dataclass
+class ChainLengthRow:
+    """One point of an effect-of-chain-length experiment (Figures 5-8)."""
+
+    dataset: str
+    tau: float
+    chain_length: int
+    avg_candidates: float
+    avg_results: float
+    avg_candidate_time_ms: float
+    avg_total_time_ms: float
+
+
+@dataclass
+class ComparisonRow:
+    """One point of an algorithm-comparison experiment (Figures 9-12)."""
+
+    dataset: str
+    tau: float
+    algorithm: str
+    avg_candidates: float
+    avg_results: float
+    avg_candidate_time_ms: float
+    avg_total_time_ms: float
+
+
+def chain_length_rows(
+    dataset_name: str,
+    tau: float,
+    chain_lengths: Sequence[int],
+    make_searcher: Callable[[int], Callable[[object], SearchResult]],
+    queries: Sequence[object],
+) -> list[ChainLengthRow]:
+    """Sweep the chain length and collect candidate / time series."""
+    rows = []
+    for length in chain_lengths:
+        search = make_searcher(length)
+        stats = run_workload(search, queries)
+        rows.append(
+            ChainLengthRow(
+                dataset=dataset_name,
+                tau=tau,
+                chain_length=length,
+                avg_candidates=stats.avg_candidates,
+                avg_results=stats.avg_results,
+                avg_candidate_time_ms=stats.avg_candidate_time * 1000.0,
+                avg_total_time_ms=stats.avg_total_time * 1000.0,
+            )
+        )
+    return rows
+
+
+def comparison_rows(
+    dataset_name: str,
+    tau: float,
+    searchers: dict[str, Callable[[object], SearchResult]],
+    queries: Sequence[object],
+) -> list[ComparisonRow]:
+    """Run several algorithms on the same workload and collect their series."""
+    rows = []
+    for name, search in searchers.items():
+        stats = run_workload(search, queries)
+        rows.append(
+            ComparisonRow(
+                dataset=dataset_name,
+                tau=tau,
+                algorithm=name,
+                avg_candidates=stats.avg_candidates,
+                avg_results=stats.avg_results,
+                avg_candidate_time_ms=stats.avg_candidate_time * 1000.0,
+                avg_total_time_ms=stats.avg_total_time * 1000.0,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: Sequence[object]) -> str:
+    """Render experiment rows as an aligned text table (one row per line)."""
+    if not rows:
+        return "(no rows)"
+    dicts = [asdict(row) for row in rows]
+    headers = list(dicts[0].keys())
+    table = [headers] + [
+        [
+            f"{value:.3f}" if isinstance(value, float) else str(value)
+            for value in row.values()
+        ]
+        for row in dicts
+    ]
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in table
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Subgraph isomorphism and partial-mapping lower bounds.
+
+Two related questions are answered here:
+
+* :func:`subgraph_isomorphic` -- is the pattern graph isomorphic to a subgraph
+  of the target (labels must match exactly)?  This is the Pars first-step
+  test: a data-graph part within edit distance 0 of some query subgraph.
+* :func:`min_mapping_cost` -- the cheapest way to embed the pattern into the
+  target when deviations are charged like the deletion-neighbourhood
+  operations of Section 6.4: wildcarding a vertex label, deleting an edge, or
+  deleting a vertex (after its edges) each cost 1.  For every subgraph ``q'``
+  of the target, ``min_mapping_cost(pattern, target) <= ged(pattern, q')``, so
+  the value is a valid lower bound of the box ``b_i = min ged(x_i, q')`` used
+  by the Ring chain check.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+
+def subgraph_isomorphic(pattern: Graph, target: Graph) -> bool:
+    """Whether ``pattern`` is isomorphic to a (not necessarily induced) subgraph of ``target``."""
+    return min_mapping_cost(pattern, target, budget=0) == 0
+
+
+def _label_feasible(pattern: Graph, target: Graph, budget: int) -> bool:
+    """Cheap necessary condition: missing vertex labels alone already cost more than the budget."""
+    target_counts = target.vertex_label_counts()
+    missing = 0
+    for label, count in pattern.vertex_label_counts().items():
+        missing += max(0, count - target_counts.get(label, 0))
+        if missing > budget:
+            return False
+    return True
+
+
+def min_mapping_cost(pattern: Graph, target: Graph, budget: int) -> int:
+    """Minimum deletion-neighbourhood cost of embedding ``pattern`` into ``target``.
+
+    The search assigns every pattern vertex either to a distinct target vertex
+    or to "deleted".  Costs: 1 per deleted vertex, 1 per pattern edge that is
+    not matched by a target edge with the same label between the images
+    (including edges incident to deleted vertices), and 1 per mapped vertex
+    whose label differs from its image's label.  The exact minimum is returned
+    when it is at most ``budget``; otherwise ``budget + 1`` is returned (the
+    caller only needs to know the bound was exceeded).
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    if pattern.num_vertices == 0:
+        return 0
+    if not _label_feasible(pattern, target, budget):
+        return budget + 1
+
+    # Order pattern vertices most-constrained first (highest degree).
+    order = sorted(pattern.vertices, key=lambda v: -pattern.degree(v))
+    target_vertices = target.vertices
+    best = budget + 1
+
+    def edge_cost(vertex, image, mapping) -> int:
+        """Cost of pattern edges between ``vertex`` and already-mapped vertices."""
+        cost = 0
+        for neighbor in pattern.neighbors(vertex):
+            if neighbor not in mapping:
+                continue
+            neighbor_image = mapping[neighbor]
+            if image is None or neighbor_image is None:
+                cost += 1
+                continue
+            if not target.has_edge(image, neighbor_image):
+                cost += 1
+            elif target.edge_label(image, neighbor_image) != pattern.edge_label(
+                vertex, neighbor
+            ):
+                cost += 1
+        return cost
+
+    def backtrack(index: int, cost: int, mapping: dict, used: set) -> None:
+        nonlocal best
+        if cost >= best:
+            return
+        if index == len(order):
+            best = cost
+            return
+        vertex = order[index]
+        label = pattern.vertex_label(vertex)
+        for image in target_vertices:
+            if image in used:
+                continue
+            step = 0 if target.vertex_label(image) == label else 1
+            step += edge_cost(vertex, image, mapping)
+            if cost + step >= best:
+                continue
+            mapping[vertex] = image
+            used.add(image)
+            backtrack(index + 1, cost + step, mapping, used)
+            used.discard(image)
+            del mapping[vertex]
+        # Deleting the vertex: 1 for the vertex plus 1 per incident edge to
+        # already-mapped neighbours (edges to later vertices are charged when
+        # those vertices are processed).
+        step = 1 + edge_cost(vertex, None, mapping)
+        if cost + step < best:
+            mapping[vertex] = None
+            backtrack(index + 1, cost + step, mapping, used)
+            del mapping[vertex]
+
+    backtrack(0, 0, {}, set())
+    return best

@@ -1,0 +1,34 @@
+"""Brute-force graph edit distance search (ground truth for tests)."""
+
+from __future__ import annotations
+
+from repro.common.stats import SearchResult, Timer
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.ged import ged_within
+from repro.graphs.graph import Graph
+
+
+class LinearGraphSearcher:
+    """Evaluate the threshold-limited GED against every data graph."""
+
+    def __init__(self, dataset: GraphDataset):
+        self._dataset = dataset
+
+    @property
+    def dataset(self) -> GraphDataset:
+        return self._dataset
+
+    def search(self, query: Graph, tau: int) -> SearchResult:
+        timer = Timer()
+        results = [
+            obj_id
+            for obj_id in range(len(self._dataset))
+            if ged_within(self._dataset.graph(obj_id), query, tau)
+        ]
+        elapsed = timer.elapsed()
+        return SearchResult(
+            results=results,
+            candidates=list(range(len(self._dataset))),
+            candidate_time=0.0,
+            verify_time=elapsed,
+        )

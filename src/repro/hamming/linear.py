@@ -1,0 +1,35 @@
+"""Brute-force Hamming distance search (ground truth for tests)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.stats import SearchResult, Timer
+from repro.hamming.dataset import BinaryVectorDataset
+
+
+class LinearHammingSearcher:
+    """Compute the distance to every data vector and keep those within ``tau``.
+
+    This is the naive algorithm the paper contrasts filter-and-refine methods
+    against; every data object is a "candidate".
+    """
+
+    def __init__(self, dataset: BinaryVectorDataset):
+        self._dataset = dataset
+
+    @property
+    def dataset(self) -> BinaryVectorDataset:
+        return self._dataset
+
+    def search(self, query: np.ndarray, tau: int) -> SearchResult:
+        timer = Timer()
+        distances = self._dataset.distances_to(query)
+        results = np.nonzero(distances <= tau)[0].tolist()
+        elapsed = timer.elapsed()
+        return SearchResult(
+            results=results,
+            candidates=list(range(len(self._dataset))),
+            candidate_time=0.0,
+            verify_time=elapsed,
+        )

@@ -1,0 +1,54 @@
+"""Dataset container for set similarity search."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sets.tokens import TokenOrder
+
+
+class SetDataset:
+    """A collection of token sets encoded in a global frequency order.
+
+    Args:
+        records: raw records (iterables of hashable integer tokens).
+        num_classes: number of token classes for the pkwise-family searchers
+            (the paper's ``m - 1``; the default 4 matches the paper's
+            ``m = 5``).
+    """
+
+    def __init__(self, records: Sequence[Sequence[int]], num_classes: int = 4):
+        if not records:
+            raise ValueError("the dataset needs at least one record")
+        if num_classes < 1:
+            raise ValueError("num_classes must be at least 1")
+        self._raw = [list(record) for record in records]
+        self._order = TokenOrder(self._raw, num_classes=num_classes)
+        self._encoded = [self._order.encode(record) for record in self._raw]
+
+    @property
+    def order(self) -> TokenOrder:
+        return self._order
+
+    @property
+    def num_classes(self) -> int:
+        return self._order.num_classes
+
+    @property
+    def encoded(self) -> list[list[int]]:
+        """Records as sorted rank arrays (in dataset order)."""
+        return self._encoded
+
+    def record(self, obj_id: int) -> list[int]:
+        """The encoded record with the given id."""
+        return self._encoded[obj_id]
+
+    def size(self, obj_id: int) -> int:
+        return len(self._encoded[obj_id])
+
+    def encode_query(self, query: Sequence[int]) -> list[int]:
+        """Encode a query with the dataset's global order."""
+        return self._order.encode(query)
+
+    def __len__(self) -> int:
+        return len(self._encoded)

@@ -1,0 +1,79 @@
+"""Prefix-length computations for prefix filtering and pkwise.
+
+* Standard prefix filtering: with required overlap ``t`` the prefix of a
+  record of size ``s`` is its first ``s - t + 1`` tokens in the global order;
+  two records with overlap ``>= t`` must share a prefix token.
+* pkwise: the prefix is extended until the k-wise condition covers the same
+  budget: the prefix length ``p`` is the smallest integer with
+  ``sum_k max(0, cnt(x, p, k) - k + 1) >= s - t + 1`` where ``cnt(x, p, k)``
+  counts class-``k`` tokens among the first ``p`` tokens.  If every class
+  shares fewer than ``k`` tokens with the partner's prefix, the total overlap
+  is below ``t``; hence sharing ``>= k`` class-``k`` tokens for some ``k`` is
+  a complete filter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def standard_prefix_length(size: int, required_overlap: int) -> int:
+    """Prefix length ``size - t + 1`` clamped to ``[0, size]``.
+
+    A non-positive value (``t > size``) means the record can never reach the
+    required overlap; callers skip such records.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if required_overlap < 1:
+        raise ValueError("required_overlap must be at least 1")
+    return max(0, min(size, size - required_overlap + 1))
+
+
+def pkwise_prefix_length(
+    token_classes: Sequence[int], num_classes: int, required_overlap: int
+) -> int:
+    """Smallest pkwise prefix length for a record given its tokens' classes.
+
+    Args:
+        token_classes: class (1-based) of each of the record's tokens, in
+            global order.
+        num_classes: the number of classes ``m - 1``.
+        required_overlap: the required overlap ``t`` (the loosest bound for
+            the record, e.g. ``ceil(tau * |x|)`` under Jaccard).
+
+    Returns:
+        The prefix length ``p``; ``0`` when the record cannot reach the
+        required overlap at all (``t > |x|``).
+    """
+    if num_classes < 1:
+        raise ValueError("num_classes must be at least 1")
+    if required_overlap < 1:
+        raise ValueError("required_overlap must be at least 1")
+    size = len(token_classes)
+    target = size - required_overlap + 1
+    if target <= 0:
+        return 0
+    counts = [0] * (num_classes + 1)
+    budget = 0
+    for position, token_class in enumerate(token_classes):
+        if not 1 <= token_class <= num_classes:
+            raise ValueError(
+                f"token class {token_class} outside [1, {num_classes}]"
+            )
+        counts[token_class] += 1
+        if counts[token_class] >= token_class:
+            # Adding this token raised max(0, cnt - k + 1) by one.
+            budget += 1
+        if budget >= target:
+            return position + 1
+    # The whole record is the prefix (possible when classes are scarce).
+    return size
+
+
+def class_counts(token_classes: Sequence[int], prefix_length: int, num_classes: int) -> list[int]:
+    """``cnt(x, p, k)`` for every class ``k`` (index 0 unused, classes are 1-based)."""
+    counts = [0] * (num_classes + 1)
+    for token_class in token_classes[:prefix_length]:
+        counts[token_class] += 1
+    return counts

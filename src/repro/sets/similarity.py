@@ -1,0 +1,106 @@
+"""Set similarity measures and threshold arithmetic.
+
+The searchers are written against *overlap* thresholds.  A Jaccard constraint
+is converted to an equivalent overlap constraint per pair:
+
+    ``J(x, q) >= tau  <=>  |x & q| >= tau / (1 + tau) * (|x| + |q|)``
+
+and to the looser, single-sided bounds used at index / query time:
+
+    required overlap >= ceil(tau * |x|)  and  >= ceil(tau * |q|),
+
+together with the length filter ``tau * |q| <= |x| <= |q| / tau``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def overlap(x: Sequence[int], q: Sequence[int]) -> int:
+    """``|x & q|`` for two token collections (duplicates ignored)."""
+    return len(set(x) & set(q))
+
+
+def jaccard(x: Sequence[int], q: Sequence[int]) -> float:
+    """Jaccard similarity of two token collections."""
+    sx, sq = set(x), set(q)
+    union = len(sx | sq)
+    if union == 0:
+        return 1.0
+    return len(sx & sq) / union
+
+
+def _ceil(value: float) -> int:
+    """Ceiling that is robust to floating point just-below-integer values."""
+    return int(math.ceil(value - 1e-9))
+
+
+@dataclass(frozen=True)
+class OverlapPredicate:
+    """Selection predicate ``|x & q| >= tau`` with a fixed integer threshold."""
+
+    tau: int
+
+    def __post_init__(self) -> None:
+        if self.tau < 1:
+            raise ValueError("the overlap threshold must be at least 1")
+
+    def similarity(self, x: Sequence[int], q: Sequence[int]) -> float:
+        return float(overlap(x, q))
+
+    def is_result(self, x: Sequence[int], q: Sequence[int]) -> bool:
+        return overlap(x, q) >= self.tau
+
+    def pair_required_overlap(self, len_x: int, len_q: int) -> int:
+        """Required overlap for a specific pair of set sizes."""
+        return self.tau
+
+    def index_required_overlap(self, len_x: int) -> int:
+        """Smallest required overlap over all admissible partners of a data set."""
+        return self.tau
+
+    def query_required_overlap(self, len_q: int) -> int:
+        """Smallest required overlap over all admissible partners of a query set."""
+        return self.tau
+
+    def length_bounds(self, len_q: int) -> tuple[int, int]:
+        """Sizes a data set must have to possibly satisfy the predicate."""
+        return self.tau, 10**9
+
+
+@dataclass(frozen=True)
+class JaccardPredicate:
+    """Selection predicate ``J(x, q) >= tau`` for ``tau`` in (0, 1]."""
+
+    tau: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tau <= 1.0:
+            raise ValueError("the Jaccard threshold must be in (0, 1]")
+
+    def similarity(self, x: Sequence[int], q: Sequence[int]) -> float:
+        return jaccard(x, q)
+
+    def is_result(self, x: Sequence[int], q: Sequence[int]) -> bool:
+        return jaccard(x, q) >= self.tau - 1e-12
+
+    def pair_required_overlap(self, len_x: int, len_q: int) -> int:
+        """Equivalent overlap threshold for the given pair of set sizes."""
+        return _ceil(self.tau / (1.0 + self.tau) * (len_x + len_q))
+
+    def index_required_overlap(self, len_x: int) -> int:
+        """Loosest equivalent overlap over admissible query sizes (``|q| = tau |x|``)."""
+        return max(1, _ceil(self.tau * len_x))
+
+    def query_required_overlap(self, len_q: int) -> int:
+        """Loosest equivalent overlap over admissible data sizes (``|x| = tau |q|``)."""
+        return max(1, _ceil(self.tau * len_q))
+
+    def length_bounds(self, len_q: int) -> tuple[int, int]:
+        """The length filter: ``tau |q| <= |x| <= |q| / tau``."""
+        lower = _ceil(self.tau * len_q)
+        upper = int(math.floor(len_q / self.tau + 1e-9))
+        return lower, upper

@@ -1,0 +1,52 @@
+"""Fast verification of set-similarity candidates.
+
+Candidates are verified by merging the two sorted rank arrays.  The merge
+stops early as soon as the remaining tokens of either record cannot lift the
+overlap to the required threshold, the "fast verification" of [60] that the
+paper equips every compared algorithm with.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def merge_overlap(x: Sequence[int], q: Sequence[int]) -> int:
+    """Exact overlap of two sorted rank arrays."""
+    i = j = count = 0
+    while i < len(x) and j < len(q):
+        if x[i] == q[j]:
+            count += 1
+            i += 1
+            j += 1
+        elif x[i] < q[j]:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+def overlap_at_least(x: Sequence[int], q: Sequence[int], required: int) -> bool:
+    """Whether the overlap of two sorted rank arrays reaches ``required``.
+
+    Stops as soon as the bound ``count + min(remaining_x, remaining_q)`` drops
+    below ``required`` or the count reaches it.
+    """
+    if required <= 0:
+        return True
+    i = j = count = 0
+    len_x, len_q = len(x), len(q)
+    while i < len_x and j < len_q:
+        if count + min(len_x - i, len_q - j) < required:
+            return False
+        if x[i] == q[j]:
+            count += 1
+            if count >= required:
+                return True
+            i += 1
+            j += 1
+        elif x[i] < q[j]:
+            i += 1
+        else:
+            j += 1
+    return count >= required

@@ -1,0 +1,39 @@
+"""String edit distance search (Problem 4, Section 6.3).
+
+The paper's pigeonring searcher builds on the Pivotal algorithm [28]: each
+string's q-grams are sorted by a global frequency order, the first
+``kappa * tau + 1`` grams form the prefix, and ``tau + 1`` position-disjoint
+*pivotal* grams are chosen from the prefix.  A result must have an exact
+pivotal-gram match in the other string's prefix (pivotal prefix filter), and
+the sum of the per-pivotal-gram minimum edit distances to nearby substrings is
+at most ``tau`` (alignment filter).  The Ring searcher replaces the alignment
+filter with the prefix-viable chain check of Theorem 3, evaluating each box by
+the cheap content-based (character bit-vector) lower bound instead of exact
+edit distances.
+
+Public API:
+
+* :class:`repro.strings.dataset.StringDataset`
+* :class:`repro.strings.pivotal.PivotalSearcher` -- the pigeonhole baseline
+  (reports Cand-1 and Cand-2 like the paper's Figure 11).
+* :class:`repro.strings.ring.RingStringSearcher` -- the pigeonring searcher.
+* :class:`repro.strings.linear.LinearStringSearcher` -- brute force.
+"""
+
+from repro.strings.edit_distance import edit_distance, edit_distance_within
+from repro.strings.qgrams import QGramExtractor, positional_qgrams
+from repro.strings.dataset import StringDataset
+from repro.strings.linear import LinearStringSearcher
+from repro.strings.pivotal import PivotalSearcher
+from repro.strings.ring import RingStringSearcher
+
+__all__ = [
+    "edit_distance",
+    "edit_distance_within",
+    "QGramExtractor",
+    "positional_qgrams",
+    "StringDataset",
+    "LinearStringSearcher",
+    "PivotalSearcher",
+    "RingStringSearcher",
+]

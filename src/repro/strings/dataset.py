@@ -1,0 +1,41 @@
+"""Dataset container for string edit distance search."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.strings.qgrams import QGramExtractor
+
+
+class StringDataset:
+    """A collection of strings with a q-gram extractor learned from them.
+
+    Args:
+        records: the data strings.
+        kappa: q-gram length; the paper tunes it per dataset and threshold
+            (e.g. 2-3 for short name strings, 4-8 for long titles).
+    """
+
+    def __init__(self, records: Sequence[str], kappa: int = 2):
+        if not records:
+            raise ValueError("the dataset needs at least one string")
+        self._records = list(records)
+        self._extractor = QGramExtractor(kappa, self._records)
+
+    @property
+    def records(self) -> list[str]:
+        return self._records
+
+    @property
+    def extractor(self) -> QGramExtractor:
+        return self._extractor
+
+    @property
+    def kappa(self) -> int:
+        return self._extractor.kappa
+
+    def record(self, obj_id: int) -> str:
+        return self._records[obj_id]
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,73 @@
+"""Edit distance computations.
+
+Verification uses the banded (Ukkonen) dynamic program: when only the
+predicate ``ed(x, q) <= tau`` matters, cells farther than ``tau`` from the
+diagonal cannot contribute and the computation is ``O(tau * min(|x|, |q|))``.
+"""
+
+from __future__ import annotations
+
+
+def edit_distance(x: str, y: str) -> int:
+    """Exact Levenshtein distance (full dynamic program)."""
+    if x == y:
+        return 0
+    if not x:
+        return len(y)
+    if not y:
+        return len(x)
+    previous = list(range(len(y) + 1))
+    for i, cx in enumerate(x, start=1):
+        current = [i] + [0] * len(y)
+        for j, cy in enumerate(y, start=1):
+            cost = 0 if cx == cy else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost  # substitution / match
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_distance_within(x: str, y: str, tau: int) -> bool:
+    """Whether ``ed(x, y) <= tau`` using the banded dynamic program."""
+    if tau < 0:
+        return False
+    if x == y:
+        return True
+    len_x, len_y = len(x), len(y)
+    if abs(len_x - len_y) > tau:
+        return False
+    if len_x == 0 or len_y == 0:
+        return max(len_x, len_y) <= tau
+    # Ensure x is the shorter string so the band is over the longer one.
+    if len_x > len_y:
+        x, y = y, x
+        len_x, len_y = len_y, len_x
+    big = tau + 1
+    previous = [j if j <= tau else big for j in range(len_y + 1)]
+    for i in range(1, len_x + 1):
+        low = max(1, i - tau)
+        high = min(len_y, i + tau)
+        current = [big] * (len_y + 1)
+        if low == 1:
+            current[0] = i if i <= tau else big
+        cx = x[i - 1]
+        row_min = big
+        for j in range(low, high + 1):
+            cost = 0 if cx == y[j - 1] else 1
+            value = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + cost,
+            )
+            if value > big:
+                value = big
+            current[j] = value
+            if value < row_min:
+                row_min = value
+        if row_min > tau:
+            return False
+        previous = current
+    return previous[len_y] <= tau

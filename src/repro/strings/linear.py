@@ -1,0 +1,33 @@
+"""Brute-force string edit distance search (ground truth for tests)."""
+
+from __future__ import annotations
+
+from repro.common.stats import SearchResult, Timer
+from repro.strings.dataset import StringDataset
+from repro.strings.edit_distance import edit_distance_within
+
+
+class LinearStringSearcher:
+    """Evaluate the banded edit-distance predicate against every string."""
+
+    def __init__(self, dataset: StringDataset):
+        self._dataset = dataset
+
+    @property
+    def dataset(self) -> StringDataset:
+        return self._dataset
+
+    def search(self, query: str, tau: int) -> SearchResult:
+        timer = Timer()
+        results = [
+            obj_id
+            for obj_id in range(len(self._dataset))
+            if edit_distance_within(self._dataset.record(obj_id), query, tau)
+        ]
+        elapsed = timer.elapsed()
+        return SearchResult(
+            results=results,
+            candidates=list(range(len(self._dataset))),
+            candidate_time=0.0,
+            verify_time=elapsed,
+        )

@@ -1,0 +1,115 @@
+"""Positional q-grams, global gram ordering, and the content-based filter.
+
+A positional q-gram of a string ``x`` is a pair ``(gram, position)`` where
+``gram = x[position : position + kappa]``.  Prefixes sort a string's grams by
+a global (increasing document frequency) order; pivotal grams are
+position-disjoint grams picked greedily from the prefix.
+
+The content-based filter of [114] maps a (sub)string to a bit mask with one
+bit per symbol that occurs in it; ``ed(x, y) <= t`` implies the masks differ
+in at most ``2 t`` bits, so ``ceil(popcount(mask_x XOR mask_y) / 2)`` is a
+lower bound of the edit distance used by the Ring box evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class PositionalGram:
+    """A q-gram together with its starting position in the source string."""
+
+    gram: str
+    position: int
+
+
+def positional_qgrams(text: str, kappa: int) -> list[PositionalGram]:
+    """All positional ``kappa``-grams of ``text`` (empty for short strings)."""
+    if kappa <= 0:
+        raise ValueError("the q-gram length kappa must be positive")
+    return [
+        PositionalGram(text[i : i + kappa], i) for i in range(len(text) - kappa + 1)
+    ]
+
+
+def character_mask(text: str) -> int:
+    """Bit mask with one bit per distinct character of ``text``."""
+    mask = 0
+    for char in text:
+        mask |= 1 << (ord(char) % 64)
+    return mask
+
+
+def content_lower_bound(mask_a: int, mask_b: int) -> int:
+    """``ceil(H(mask_a, mask_b) / 2)`` -- a lower bound on the edit distance."""
+    return ((mask_a ^ mask_b).bit_count() + 1) // 2
+
+
+class QGramExtractor:
+    """Extracts prefixes and pivotal grams under a global gram order.
+
+    Args:
+        kappa: q-gram length.
+        records: the string collection used to learn gram frequencies.
+    """
+
+    def __init__(self, kappa: int, records: Iterable[str]):
+        if kappa <= 0:
+            raise ValueError("the q-gram length kappa must be positive")
+        self._kappa = kappa
+        frequency: Counter = Counter()
+        for record in records:
+            frequency.update(gram.gram for gram in positional_qgrams(record, kappa))
+        ordered = sorted(frequency, key=lambda gram: (frequency[gram], gram))
+        self._rank = {gram: rank for rank, gram in enumerate(ordered)}
+        self._unknown_base = len(ordered)
+
+    @property
+    def kappa(self) -> int:
+        return self._kappa
+
+    def rank(self, gram: str) -> int:
+        """Global rank of a gram (unseen grams rank after all known grams)."""
+        rank = self._rank.get(gram)
+        if rank is None:
+            return self._unknown_base + hash(gram) % (1 << 30)
+        return rank
+
+    def sorted_grams(self, text: str) -> list[PositionalGram]:
+        """The string's positional grams sorted by the global order."""
+        grams = positional_qgrams(text, self._kappa)
+        return sorted(grams, key=lambda g: (self.rank(g.gram), g.position))
+
+    def prefix(self, text: str, tau: int) -> list[PositionalGram]:
+        """The first ``kappa * tau + 1`` grams by global order."""
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        return self.sorted_grams(text)[: self._kappa * tau + 1]
+
+    def pivotal(self, prefix: Sequence[PositionalGram], tau: int) -> list[PositionalGram] | None:
+        """``tau + 1`` position-disjoint grams selected greedily from the prefix.
+
+        Returns ``None`` when fewer than ``tau + 1`` disjoint grams exist,
+        which happens for strings too short for the (kappa, tau) combination;
+        callers must then treat the string conservatively.
+        """
+        chosen: list[PositionalGram] = []
+        for gram in sorted(prefix, key=lambda g: g.position):
+            if all(abs(gram.position - other.position) >= self._kappa for other in chosen):
+                chosen.append(gram)
+        if len(chosen) < tau + 1:
+            return None
+        # Keep the tau + 1 rarest of the disjoint grams, in position order.
+        chosen.sort(key=lambda g: self.rank(g.gram))
+        selected = chosen[: tau + 1]
+        selected.sort(key=lambda g: g.position)
+        return selected
+
+    def last_prefix_rank(self, prefix: Sequence[PositionalGram]) -> int:
+        """Rank of the last (most frequent) gram of a prefix."""
+        if not prefix:
+            return -1
+        return max(self.rank(gram.gram) for gram in prefix)

@@ -1,0 +1,152 @@
+"""Pigeonring-accelerated string edit distance search (Section 6.3).
+
+The Ring searcher keeps Pivotal's first step (the pivotal prefix filter)
+and replaces the alignment filter with the prefix-viable chain check of
+Theorem 3: ``m = tau + 1`` boxes (one per pivotal gram), uniform quota
+``tau / m < 1``, so a chain can only start at a box whose value is zero (an
+exact pivotal-gram match).  Box values along the chain are evaluated with the
+content-based bit-vector lower bound instead of exact edit distances, which
+preserves completeness (a lower bound can only make a chain look *more*
+viable) at a fraction of the cost -- the paper's key implementation remark.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import SearchResult, Timer
+from repro.strings.dataset import StringDataset
+from repro.strings.edit_distance import edit_distance_within
+from repro.strings.pivotal import PivotalIndexBase, _Candidate, _QueryPlan
+from repro.strings.qgrams import PositionalGram, character_mask, content_lower_bound
+
+
+class RingStringSearcher(PivotalIndexBase):
+    """Pigeonring searcher for string edit distance.
+
+    Args:
+        dataset: the indexed collection.
+        tau: the edit distance threshold (prefixes depend on it).
+        chain_length: chain length ``l``; the paper finds ``min(3, tau + 1)``
+            best overall.
+    """
+
+    def __init__(self, dataset: StringDataset, tau: int, chain_length: int | None = None):
+        super().__init__(dataset, tau)
+        if chain_length is None:
+            chain_length = min(3, tau + 1)
+        if chain_length < 1:
+            raise ValueError("chain_length must be at least 1")
+        self._chain_length = min(chain_length, self._m)
+
+    @property
+    def chain_length(self) -> int:
+        return self._chain_length
+
+    def _box_lower_bound(
+        self, gram: PositionalGram, text: str, mask_cache: dict[int, int]
+    ) -> int:
+        """Content-filter lower bound of one alignment box.
+
+        For every substring of ``text`` starting within ``tau`` of the gram's
+        position and of length up to ``kappa + tau``, take
+        ``ceil(popcount(mask(gram) XOR mask(substring)) / 2)`` and return the
+        minimum.  In an optimal edit script of cost at most ``tau`` the gram
+        is aligned to one of these substrings at cost ``c_i``, and the content
+        bound of that substring is at most ``c_i``; therefore the chain check
+        driven by these values never rejects a true result.
+        """
+        kappa = len(gram.gram)
+        gram_mask = character_mask(gram.gram)
+        # Empty aligned segment: the gram is fully deleted, bound <= kappa.
+        best = (gram_mask.bit_count() + 1) // 2
+        if best == 0:
+            return 0
+        low = max(0, gram.position - self._tau)
+        high = min(gram.position + self._tau, len(text) - 1)
+        max_length = kappa + self._tau
+        for start in range(low, high + 1):
+            cached = mask_cache.get(start)
+            if cached is None:
+                cached = []
+                mask = 0
+                for offset in range(min(max_length, len(text) - start)):
+                    mask |= 1 << (ord(text[start + offset]) % 64)
+                    cached.append(mask)
+                mask_cache[start] = cached
+            for mask in cached:
+                bound = content_lower_bound(gram_mask, mask)
+                if bound < best:
+                    best = bound
+                    if best == 0:
+                        return 0
+        return best
+
+    def _passes_chain_check(
+        self, obj_id: int, candidate: _Candidate, query: str, plan: _QueryPlan
+    ) -> bool:
+        pivotal, text = self.candidate_boxes(obj_id, candidate, query, plan)
+        m = self._m
+        length = self._chain_length
+        quota = self._tau / m
+        values: dict[int, float] = {box: 0.0 for box in candidate.matched_boxes}
+        mask_cache: dict[int, list[int]] = {}
+
+        def box_value(index: int) -> float:
+            value = values.get(index)
+            if value is None:
+                value = float(
+                    self._box_lower_bound(pivotal[index], text, mask_cache)
+                )
+                values[index] = value
+            return value
+
+        def prefix_viable_from(start: int) -> bool:
+            running = 0.0
+            for offset in range(length):
+                running += box_value((start + offset) % m)
+                if running > (offset + 1) * quota + 1e-12:
+                    return False
+            return True
+
+        for start in sorted(candidate.matched_boxes):
+            if prefix_viable_from(start):
+                return True
+        # Theorem 3 only guarantees a prefix-viable chain starting at *some*
+        # zero-valued box, which may be a pivotal gram whose exact match lies
+        # outside the other side's prefix.  Checking the remaining zero-valued
+        # boxes (under the same cheap lower bound) keeps the filter complete.
+        for start in range(m):
+            if start in candidate.matched_boxes:
+                continue
+            if box_value(start) <= quota and prefix_viable_from(start):
+                return True
+        return False
+
+    def candidates(self, query: str) -> list[int]:
+        plan = self.query_plan(query)
+        matches, unconditional = self.first_step(query, plan)
+        ordered = list(unconditional)
+        seen = set(unconditional)
+        for obj_id, candidate in matches.items():
+            if obj_id in seen:
+                continue
+            if self._passes_chain_check(obj_id, candidate, query, plan):
+                seen.add(obj_id)
+                ordered.append(obj_id)
+        return sorted(seen)
+
+    def search(self, query: str) -> SearchResult:
+        timer = Timer()
+        candidates = self.candidates(query)
+        candidate_time = timer.restart()
+        results = [
+            obj_id
+            for obj_id in candidates
+            if edit_distance_within(self._dataset.record(obj_id), query, self._tau)
+        ]
+        verify_time = timer.elapsed()
+        return SearchResult(
+            results=results,
+            candidates=candidates,
+            candidate_time=candidate_time,
+            verify_time=verify_time,
+        )

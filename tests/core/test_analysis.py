@@ -1,0 +1,152 @@
+"""Tests for the filtering-power analysis of Section 3.1 (Figure 2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.analysis import (
+    AnalysisPoint,
+    BoxDistribution,
+    FilterAnalysis,
+    hamming_uniform_analysis,
+)
+from repro.core.principle import passes_pigeonring_strong
+
+
+class TestBoxDistribution:
+    def test_binomial_mass_sums_to_one(self):
+        dist = BoxDistribution.binomial(16, 0.5)
+        assert math.isclose(sum(dist.pmf.values()), 1.0, abs_tol=1e-12)
+
+    def test_binomial_mean(self):
+        dist = BoxDistribution.binomial(16, 0.5)
+        assert math.isclose(dist.mean(), 8.0, abs_tol=1e-9)
+
+    def test_cdf_and_tail_are_complementary(self):
+        dist = BoxDistribution.binomial(8, 0.5)
+        for value in range(-1, 10):
+            assert math.isclose(dist.cdf(value) + dist.tail(value), 1.0, abs_tol=1e-12)
+
+    def test_uniform_distribution(self):
+        dist = BoxDistribution.uniform([0, 1, 2, 3])
+        assert dist.probability(2) == 0.25
+        assert dist.cdf(1) == 0.5
+
+    def test_from_samples(self):
+        dist = BoxDistribution.from_samples([1, 1, 2, 4])
+        assert dist.probability(1) == 0.5
+        assert dist.probability(4) == 0.25
+
+    def test_from_pdf_normalises(self):
+        dist = BoxDistribution.from_pdf(lambda x: 1.0, 0.0, 4.0, bins=64)
+        assert math.isclose(sum(dist.pmf.values()), 1.0, abs_tol=1e-9)
+        assert math.isclose(dist.mean(), 2.0, abs_tol=1e-6)
+
+    def test_convolution_matches_binomial_identity(self):
+        # Binomial(4) + Binomial(4) == Binomial(8).
+        d4 = BoxDistribution.binomial(4, 0.5)
+        d8 = BoxDistribution.binomial(8, 0.5)
+        conv = d4.convolve(d4)
+        for value in range(9):
+            assert math.isclose(conv.probability(value), d8.probability(value), abs_tol=1e-12)
+
+    def test_convolve_power(self):
+        d2 = BoxDistribution.binomial(2, 0.5)
+        d8 = d2.convolve_power(4)
+        expected = BoxDistribution.binomial(8, 0.5)
+        for value in range(9):
+            assert math.isclose(d8.probability(value), expected.probability(value), abs_tol=1e-12)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            BoxDistribution({})
+        with pytest.raises(ValueError):
+            BoxDistribution({0: 0.4})
+        with pytest.raises(ValueError):
+            BoxDistribution.binomial(-1)
+        with pytest.raises(ValueError):
+            BoxDistribution.uniform([])
+        with pytest.raises(ValueError):
+            BoxDistribution.from_samples([])
+        with pytest.raises(ValueError):
+            BoxDistribution.binomial(4).convolve_power(0)
+
+
+class TestFilterAnalysis:
+    def test_word_probability_length_one(self):
+        analysis = hamming_uniform_analysis(d=32, m=4, tau=16)
+        # Quota is 4; Pr(b > 4) for Binomial(8, 1/2).
+        expected = BoxDistribution.binomial(8, 0.5).tail(4.0)
+        assert math.isclose(analysis.word_probability(1), expected, abs_tol=1e-12)
+
+    def test_word_probability_monotone_decreasing(self):
+        analysis = hamming_uniform_analysis(d=64, m=8, tau=32)
+        probs = [analysis.word_probability(i) for i in range(1, 6)]
+        assert all(b <= a + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_candidate_probability_decreases_with_chain_length(self):
+        analysis = hamming_uniform_analysis(d=256, m=16, tau=96)
+        probs = [analysis.candidate_probability(l) for l in range(1, 8)]
+        assert all(b <= a + 1e-9 for a, b in zip(probs, probs[1:]))
+
+    def test_candidate_probability_at_least_result_probability(self):
+        analysis = hamming_uniform_analysis(d=128, m=8, tau=48)
+        result = analysis.result_probability()
+        for length in range(1, 9):
+            assert analysis.candidate_probability(length) >= result - 1e-9
+
+    def test_result_probability_matches_binomial_cdf(self):
+        analysis = hamming_uniform_analysis(d=64, m=8, tau=24)
+        expected = BoxDistribution.binomial(64, 0.5).cdf(24)
+        assert math.isclose(analysis.result_probability(), expected, abs_tol=1e-12)
+
+    def test_sweep_and_point(self):
+        analysis = hamming_uniform_analysis(d=64, m=8, tau=24)
+        points = analysis.sweep([1, 2, 3])
+        assert [p.chain_length for p in points] == [1, 2, 3]
+        assert all(isinstance(p, AnalysisPoint) for p in points)
+        assert points[0].candidate_to_result_ratio >= points[1].candidate_to_result_ratio
+
+    def test_figure_2_ratio_scale(self):
+        # Figure 2: for tau = 96, m = 16, d = 256 the l = 1 ratio is orders of
+        # magnitude above 1 and drops by orders of magnitude by l = 7.
+        analysis = hamming_uniform_analysis(d=256, m=16, tau=96)
+        first = analysis.point(1).candidate_to_result_ratio
+        last = analysis.point(7).candidate_to_result_ratio
+        assert first > 100.0
+        assert last < first / 10.0
+
+    def test_ratios_handle_zero_result_probability(self):
+        point = AnalysisPoint(chain_length=1, candidate_probability=0.5, result_probability=0.0)
+        assert point.candidate_to_result_ratio == math.inf
+        assert point.false_positive_to_result_ratio == math.inf
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_uniform_analysis(d=100, m=16, tau=10)
+        with pytest.raises(ValueError):
+            FilterAnalysis(BoxDistribution.binomial(4), 0, 1)
+        analysis = hamming_uniform_analysis(d=64, m=8, tau=24)
+        with pytest.raises(ValueError):
+            analysis.word_probability(0)
+        with pytest.raises(ValueError):
+            analysis.no_candidate_probability(0)
+        with pytest.raises(ValueError):
+            analysis.no_candidate_probability(9)
+
+    def test_model_agrees_with_monte_carlo(self):
+        """The analytical Pr(CAND_l) tracks a direct simulation of random rings."""
+        rng = random.Random(7)
+        m, tau, width = 8, 20, 6
+        analysis = FilterAnalysis(BoxDistribution.binomial(width, 0.5), m, tau)
+        trials = 4000
+        for length in (1, 2, 3):
+            hits = 0
+            for _ in range(trials):
+                boxes = [sum(rng.random() < 0.5 for _ in range(width)) for _ in range(m)]
+                if passes_pigeonring_strong(boxes, tau, length):
+                    hits += 1
+            simulated = hits / trials
+            predicted = analysis.candidate_probability(length)
+            assert abs(simulated - predicted) < 0.05

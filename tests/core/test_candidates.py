@@ -1,0 +1,158 @@
+"""Tests for the generic two-step candidate generation (Section 7)."""
+
+import pytest
+
+from repro.core.candidates import CandidateStats, ChainChecker, generate_candidates
+from repro.core.thresholds import Direction, ThresholdAllocation, uniform_allocation
+
+
+class TestChainChecker:
+    def test_accepts_prefix_viable_chain(self):
+        boxes = [0, 2, 0, 2, 1]
+        checker = ChainChecker(uniform_allocation(5, 5), boxes.__getitem__, 2)
+        assert checker.check_from(0)
+
+    def test_rejects_non_prefix_viable_chain(self):
+        boxes = [2, 0, 3, 1, 2]
+        checker = ChainChecker(uniform_allocation(5, 5), boxes.__getitem__, 2)
+        assert not checker.check_from(0)
+
+    def test_box_values_are_cached(self):
+        calls = []
+
+        def box_value(i):
+            calls.append(i)
+            return 0
+
+        checker = ChainChecker(uniform_allocation(5, 5), box_value, 3)
+        assert checker.check_from(0)
+        assert checker.check_from(1)
+        # Boxes 0..3 evaluated once each even though chains overlap.
+        assert sorted(calls) == [0, 1, 2, 3]
+        assert checker.stats.box_evaluations == 4
+
+    def test_corollary_2_skip(self):
+        # Failing at prefix length 2 from start 0 rules out starts 0 and 1.
+        boxes = [1, 5, 0, 0, 0]
+        checker = ChainChecker(uniform_allocation(5, 5), boxes.__getitem__, 3)
+        assert not checker.check_from(0)
+        assert checker.should_skip(0)
+        assert checker.should_skip(1)
+        assert not checker.should_skip(2)
+
+    def test_skip_is_sound(self):
+        # Any start the checker skips must indeed not be prefix-viable at the
+        # target length.
+        boxes = [3, 1, 0, 4, 0, 1]
+        allocation = uniform_allocation(6, 6)
+        length = 3
+        checker = ChainChecker(allocation, boxes.__getitem__, length)
+        for start in range(6):
+            if not checker.should_skip(start):
+                checker.check_from(start)
+        for start in range(6):
+            if checker.should_skip(start):
+                assert not allocation.is_prefix_viable(boxes, start, length)
+
+    def test_is_candidate_over_multiple_starts(self):
+        boxes = [2, 1, 0, 0, 2]
+        checker = ChainChecker(uniform_allocation(5, 5), boxes.__getitem__, 2)
+        assert checker.is_candidate([0, 1, 2])
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            ChainChecker(uniform_allocation(5, 5), lambda i: 0, 6)
+        with pytest.raises(ValueError):
+            ChainChecker(uniform_allocation(5, 5), lambda i: 0, 0)
+
+    def test_geq_direction(self):
+        boxes = [0, 3, 3, 0, 0]
+        alloc = ThresholdAllocation([1, 1, 1, 1, 1], direction=Direction.GEQ)
+        checker = ChainChecker(alloc, boxes.__getitem__, 2)
+        assert checker.check_from(1)
+        assert not checker.check_from(3)
+
+
+class SmallProblem:
+    """A miniature tau-selection problem over explicit box tables.
+
+    Box values for each of four objects against the (implicit) query are the
+    Example 2 / Example 5 values, so expected candidate sets are known from
+    the paper.
+    """
+
+    BOXES = {
+        "x1": [2, 1, 2, 2, 1],
+        "x2": [0, 2, 0, 2, 1],
+        "x3": [1, 2, 2, 1, 1],
+        "x4": [2, 2, 2, 2, 2],
+    }
+
+    def probe(self, query):
+        # First step: yield (object, box index) for every viable single box.
+        for obj_id, boxes in self.BOXES.items():
+            for i, value in enumerate(boxes):
+                if value <= 1:
+                    yield obj_id, i
+
+    def box_value(self, obj_id, i):
+        return self.BOXES[obj_id][i]
+
+
+class TestGenerateCandidates:
+    def setup_method(self):
+        self.problem = SmallProblem()
+        self.allocation = uniform_allocation(5, 5)
+
+    def run(self, length, stats=None):
+        return list(
+            generate_candidates(
+                query=None,
+                probe_index=self.problem.probe,
+                box_value=self.problem.box_value,
+                allocation_for=lambda obj_id: self.allocation,
+                length=length,
+                stats=stats,
+            )
+        )
+
+    def test_length_one_matches_pigeonhole_candidates(self):
+        assert set(self.run(1)) == {"x1", "x2", "x3"}
+
+    def test_length_two_matches_example_5(self):
+        assert set(self.run(2)) == {"x2", "x3"}
+
+    def test_length_five_matches_results(self):
+        assert set(self.run(5)) == {"x2"}
+
+    def test_candidates_are_yielded_once(self):
+        candidates = self.run(1)
+        assert len(candidates) == len(set(candidates))
+
+    def test_monotone_in_chain_length(self):
+        previous = set(self.run(1))
+        for length in range(2, 6):
+            current = set(self.run(length))
+            assert current <= previous
+            previous = current
+
+    def test_stats_collected(self):
+        stats = CandidateStats()
+        self.run(2, stats=stats)
+        assert stats.probed_boxes > 0
+        assert stats.candidates == 2
+        assert stats.box_evaluations > 0
+
+    def test_length_is_clamped_to_object_ring_size(self):
+        # Objects with fewer boxes than the requested chain length use l = m.
+        small_alloc = uniform_allocation(2, 2)
+        candidates = list(
+            generate_candidates(
+                query=None,
+                probe_index=lambda q: [("tiny", 0)],
+                box_value=lambda obj, i: [1, 1][i],
+                allocation_for=lambda obj: small_alloc,
+                length=5,
+            )
+        )
+        assert candidates == ["tiny"]

@@ -1,0 +1,234 @@
+"""Unit and property tests for the ring / chain machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.chains import (
+    Chain,
+    Ring,
+    chain_sum,
+    first_prefix_violation,
+    is_prefix_viable,
+    is_suffix_viable,
+    is_viable,
+    prefix_sums,
+    prefix_viable_lengths,
+)
+
+# The ring of Figure 1(a): layout (2, 1, 2, 2, 1) with n = m = 5.
+FIG1A = (2, 1, 2, 2, 1)
+# The ring of Figure 1(b): layout (2, 0, 3, 1, 2).
+FIG1B = (2, 0, 3, 1, 2)
+
+
+class TestChainSum:
+    def test_simple_sum(self):
+        assert chain_sum(FIG1A, 0, 2) == 3
+
+    def test_wraps_around_the_ring(self):
+        assert chain_sum(FIG1A, 4, 2) == 1 + 2
+        assert chain_sum(FIG1A, 3, 4) == 2 + 1 + 2 + 1
+
+    def test_example_4_c43(self):
+        # Example 4: c_3^4 = (b3, b4, b0, b1), sum 2 + 1 + 2 + 1 = 6.
+        assert chain_sum(FIG1A, 3, 4) == 6
+
+    def test_empty_chain_is_zero(self):
+        assert chain_sum(FIG1A, 2, 0) == 0
+
+    def test_complete_chain_equals_total(self):
+        for start in range(5):
+            assert chain_sum(FIG1A, start, 5) == sum(FIG1A)
+
+    def test_start_is_taken_modulo_m(self):
+        assert chain_sum(FIG1A, 7, 2) == chain_sum(FIG1A, 2, 2)
+
+    def test_length_above_m_rejected(self):
+        with pytest.raises(ValueError):
+            chain_sum(FIG1A, 0, 6)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            chain_sum(FIG1A, 0, -1)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            chain_sum([], 0, 0)
+
+
+class TestPrefixSums:
+    def test_prefix_sums_accumulate(self):
+        assert prefix_sums(FIG1A, 3, 4) == [2, 3, 5, 6]
+
+    def test_prefix_sums_empty(self):
+        assert prefix_sums(FIG1A, 1, 0) == []
+
+
+class TestChainDataclass:
+    def test_indices_wrap(self):
+        chain = Chain(3, 4, 5)
+        assert chain.indices == (3, 4, 0, 1)
+
+    def test_sum_matches_chain_sum(self):
+        chain = Chain(3, 4, 5)
+        assert chain.sum(FIG1A) == chain_sum(FIG1A, 3, 4)
+
+    def test_prefix_and_suffix(self):
+        chain = Chain(3, 4, 5)
+        assert chain.prefix(2) == Chain(3, 2, 5)
+        assert chain.suffix(3) == Chain(4, 3, 5)
+
+    def test_complete_chain_flag(self):
+        assert Chain(2, 5, 5).is_complete
+        assert not Chain(2, 4, 5).is_complete
+
+    def test_subchains_of_example_4(self):
+        # c_4^2 is a subchain of c_3^4.
+        chain = Chain(3, 4, 5)
+        assert Chain(4, 2, 5) in set(chain.subchains())
+
+    def test_subchain_count(self):
+        chain = Chain(0, 4, 5)
+        assert len(list(chain.subchains())) == 4 + 3 + 2 + 1
+
+    def test_concatenate_contiguous(self):
+        left = Chain(3, 2, 5)
+        right = Chain(0, 2, 5)
+        assert left.concatenate(right) == Chain(3, 4, 5)
+
+    def test_concatenate_non_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            Chain(3, 2, 5).concatenate(Chain(1, 2, 5))
+
+    def test_wrong_box_count_rejected(self):
+        with pytest.raises(ValueError):
+            Chain(0, 2, 5).sum([1, 2, 3])
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            Chain(0, 6, 5)
+
+    def test_bad_prefix_length_rejected(self):
+        with pytest.raises(ValueError):
+            Chain(0, 3, 5).prefix(4)
+
+
+class TestRing:
+    def test_total(self):
+        assert Ring(FIG1A).total == 8
+
+    def test_chain_enumeration_counts(self):
+        ring = Ring(FIG1A)
+        assert len(list(ring.chains())) == 5 * 5
+        assert len(list(ring.chains(length=2))) == 5
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            Ring([])
+
+    def test_viability_queries_delegate(self):
+        ring = Ring(FIG1A)
+        assert ring.is_viable(1, 1, 1.0)
+        assert not ring.is_viable(0, 2, 1.0)
+        assert ring.is_prefix_viable(1, 1, 1.0)
+        assert ring.is_suffix_viable(4, 1, 1.0)
+
+
+class TestViability:
+    def test_example_1_layouts_have_a_viable_box(self):
+        # Both layouts in Example 1 pass the pigeonhole filter (some b_i <= 1).
+        assert any(is_viable(FIG1A, i, 1, 1.0) for i in range(5))
+        assert any(is_viable(FIG1B, i, 1, 1.0) for i in range(5))
+
+    def test_example_1_layout_a_fails_length_two(self):
+        # (2,1,2,2,1): all pairs of adjacent boxes sum to >= 3 > 2.
+        assert not any(is_viable(FIG1A, i, 2, 1.0) for i in range(5))
+
+    def test_example_6_layout_b_passes_basic_but_not_strong(self):
+        # (2,0,3,1,2): c_0^2 sums to 2 <= 2 so the basic form passes at l=2...
+        assert is_viable(FIG1B, 0, 2, 1.0)
+        # ...but its 1-prefix is 2 > 1, so it is not prefix-viable.
+        assert not is_prefix_viable(FIG1B, 0, 2, 1.0)
+        assert not any(is_prefix_viable(FIG1B, i, 2, 1.0) for i in range(5))
+
+    def test_suffix_viability(self):
+        # For (2,1,2,2,1) with quota 1.6 (n=8): the complete chain is viable
+        # and must have a prefix-viable suffix (Lemma 3) -- check directly.
+        quota = 8 / 5
+        assert is_viable(FIG1A, 0, 5, quota)
+        assert any(is_suffix_viable(FIG1A, i, length, quota)
+                   for length in range(1, 6) for i in range(5))
+
+    def test_prefix_viable_lengths_counts(self):
+        # From box 1 of (2,1,2,2,1) with quota 1.6: sums 1, 3, 5, 6, 8 vs
+        # bounds 1.6, 3.2, 4.8, 6.4, 8.0 -> fails at length 3.
+        assert prefix_viable_lengths(FIG1A, 1, 8 / 5) == 2
+
+    def test_prefix_viable_lengths_zero_when_start_nonviable(self):
+        assert prefix_viable_lengths(FIG1A, 0, 1.0) == 0
+
+    def test_prefix_viable_lengths_respects_max_length(self):
+        assert prefix_viable_lengths(FIG1A, 1, 10.0, max_length=3) == 3
+
+    def test_first_prefix_violation(self):
+        assert first_prefix_violation(FIG1A, 0, 1.0, 3) == 1
+        assert first_prefix_violation(FIG1A, 1, 1.0, 1) is None
+        assert first_prefix_violation(FIG1B, 0, 1.0, 2) == 1
+
+
+@st.composite
+def rings(draw, max_m=8, max_value=10):
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    return draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_value), min_size=m, max_size=m
+        )
+    )
+
+
+class TestChainProperties:
+    @given(rings())
+    def test_sum_of_all_chains_of_length_l_equals_l_times_total(self, boxes):
+        m = len(boxes)
+        for length in range(1, m + 1):
+            total = sum(chain_sum(boxes, i, length) for i in range(m))
+            assert total == length * sum(boxes)
+
+    @given(rings())
+    def test_prefix_viable_implies_viable(self, boxes):
+        m = len(boxes)
+        quota = sum(boxes) / m if m else 0.0
+        for i in range(m):
+            for length in range(1, m + 1):
+                if is_prefix_viable(boxes, i, length, quota):
+                    assert is_viable(boxes, i, length, quota)
+
+    @given(rings(), st.integers(min_value=0, max_value=7))
+    def test_concatenating_viable_chains_is_viable(self, boxes, start):
+        # Lemma 2 on random splits of random chains.
+        m = len(boxes)
+        start %= m
+        quota = max(boxes) / 2 + 1.0
+        for l1 in range(1, m):
+            for l2 in range(1, m - l1 + 1):
+                left_viable = is_viable(boxes, start, l1, quota)
+                right_viable = is_viable(boxes, start + l1, l2, quota)
+                if left_viable and right_viable:
+                    assert is_viable(boxes, start, l1 + l2, quota)
+
+    @given(rings())
+    def test_viable_chain_has_prefix_viable_suffix(self, boxes):
+        # Lemma 3: every viable chain has a suffix that is prefix-viable.
+        m = len(boxes)
+        quota = sum(boxes) / m if sum(boxes) else 1.0
+        for i in range(m):
+            for length in range(1, m + 1):
+                if not is_viable(boxes, i, length, quota):
+                    continue
+                found = False
+                for suffix_len in range(1, length + 1):
+                    suffix_start = (i + length - suffix_len) % m
+                    if is_prefix_viable(boxes, suffix_start, suffix_len, quota):
+                        found = True
+                        break
+                assert found

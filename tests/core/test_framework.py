@@ -1,0 +1,175 @@
+"""Tests for the universal filtering framework <F, B, D> (Section 5)."""
+
+import pytest
+
+from repro.core.framework import (
+    FilteringInstance,
+    check_completeness,
+    check_tightness,
+    trivial_complete_instance,
+)
+from repro.core.thresholds import Direction, ThresholdAllocation
+
+
+def _hamming(x, q):
+    return sum(1 for a, b in zip(x, q) if a != b)
+
+
+def _hamming_boxes(x, q, m=5):
+    """Equi-width partition boxes for binary tuples of length divisible by m."""
+    width = len(x) // m
+    return [
+        _hamming(x[i * width : (i + 1) * width], q[i * width : (i + 1) * width])
+        for i in range(m)
+    ]
+
+
+def _partition_features(x, m=5):
+    width = len(x) // m
+    return [x[i * width : (i + 1) * width] for i in range(m)]
+
+
+# Table 2 of the paper: d = 10, m = 5, tau = 5.
+TABLE2_QUERY = (0, 0, 1, 0, 0, 1, 0, 0, 1, 1)
+TABLE2_DATA = {
+    "x1": (1, 1, 1, 1, 1, 0, 1, 1, 1, 0),
+    "x2": (0, 0, 0, 1, 0, 1, 1, 1, 1, 0),
+    "x3": (0, 1, 0, 1, 1, 0, 0, 1, 1, 0),
+    "x4": (1, 1, 0, 1, 1, 0, 1, 1, 0, 0),
+}
+
+
+def hamming_instance() -> FilteringInstance:
+    return FilteringInstance(
+        featuring=_partition_features,
+        boxes=_hamming_boxes,
+        bound=lambda tau: tau,
+        selection=_hamming,
+        direction=Direction.LEQ,
+    )
+
+
+class TestFilteringInstance:
+    def test_box_sum_equals_selection_for_disjoint_partitions(self):
+        instance = hamming_instance()
+        for x in TABLE2_DATA.values():
+            assert instance.box_sum(x, TABLE2_QUERY) == _hamming(x, TABLE2_QUERY)
+
+    def test_example_2_box_values(self):
+        instance = hamming_instance()
+        assert instance.box_values(TABLE2_DATA["x1"], TABLE2_QUERY) == [2, 1, 2, 2, 1]
+        assert instance.box_values(TABLE2_DATA["x2"], TABLE2_QUERY) == [0, 2, 0, 2, 1]
+        assert instance.box_values(TABLE2_DATA["x3"], TABLE2_QUERY) == [1, 2, 2, 1, 1]
+        assert instance.box_values(TABLE2_DATA["x4"], TABLE2_QUERY) == [2, 2, 2, 2, 2]
+
+    def test_example_2_pigeonhole_candidates(self):
+        # With l = 1 (pigeonhole), x1, x2, x3 are candidates and x4 is not.
+        instance = hamming_instance()
+        passing = {
+            name
+            for name, x in TABLE2_DATA.items()
+            if instance.passes(x, TABLE2_QUERY, tau=5, length=1)
+        }
+        assert passing == {"x1", "x2", "x3"}
+
+    def test_example_5_pigeonring_candidates_at_length_two(self):
+        # With l = 2 only x2 and x3 remain candidates.
+        instance = hamming_instance()
+        passing = {
+            name
+            for name, x in TABLE2_DATA.items()
+            if instance.passes(x, TABLE2_QUERY, tau=5, length=2)
+        }
+        assert passing == {"x2", "x3"}
+
+    def test_length_m_candidates_equal_results(self):
+        instance = hamming_instance()
+        passing = {
+            name
+            for name, x in TABLE2_DATA.items()
+            if instance.passes(x, TABLE2_QUERY, tau=5, length=5)
+        }
+        results = {
+            name
+            for name, x in TABLE2_DATA.items()
+            if instance.is_result(x, TABLE2_QUERY, tau=5)
+        }
+        assert passing == results == {"x2"}
+
+    def test_passes_with_explicit_allocation(self):
+        instance = hamming_instance()
+        alloc = ThresholdAllocation([1, 1, 1, 1, 1])
+        assert instance.passes(
+            TABLE2_DATA["x2"], TABLE2_QUERY, tau=5, length=2, allocation=alloc
+        )
+
+    def test_basic_form_option(self):
+        instance = hamming_instance()
+        # (2, 0, 3, 1, 2) corresponds to no object in Table 2; use x2 whose
+        # boxes (0,2,0,2,1) pass both forms at l = 2.
+        assert instance.passes(TABLE2_DATA["x2"], TABLE2_QUERY, 5, 2, strong=False)
+
+    def test_allocation_helper(self):
+        instance = hamming_instance()
+        alloc = instance.allocation(5, 5)
+        assert alloc.thresholds == (1.0,) * 5
+
+    def test_is_result_geq_direction(self):
+        overlap_instance = FilteringInstance(
+            featuring=lambda s: sorted(s),
+            boxes=lambda x, q: [len(set(x) & set(q))],
+            bound=lambda tau: tau,
+            selection=lambda x, q: len(set(x) & set(q)),
+            direction=Direction.GEQ,
+        )
+        assert overlap_instance.is_result({1, 2, 3}, {2, 3, 4}, tau=2)
+        assert not overlap_instance.is_result({1, 2, 3}, {4, 5}, tau=1)
+
+
+class TestCompletenessAndTightness:
+    def pairs(self):
+        return [(x, TABLE2_QUERY) for x in TABLE2_DATA.values()]
+
+    def test_hamming_instance_is_complete_and_tight(self):
+        instance = hamming_instance()
+        assert check_completeness(instance, self.pairs(), taus=[3, 5, 7])
+        assert check_tightness(instance, self.pairs(), taus=[3, 5, 7])
+
+    def test_lower_bounding_instance_is_complete_but_not_tight(self):
+        # Boxes sum to floor(H / 2): a valid lower bound, complete, not tight.
+        instance = FilteringInstance(
+            featuring=_partition_features,
+            boxes=lambda x, q: [_hamming(x, q) // 2],
+            bound=lambda tau: tau,
+            selection=_hamming,
+        )
+        assert check_completeness(instance, self.pairs(), taus=[3, 5, 7])
+        assert not check_tightness(instance, self.pairs(), taus=[5])
+
+    def test_broken_instance_is_not_complete(self):
+        # Boxes sum to H + 1 with D(tau) = tau: violates Condition 1 of Lemma 6.
+        instance = FilteringInstance(
+            featuring=_partition_features,
+            boxes=lambda x, q: [_hamming(x, q) + 1],
+            bound=lambda tau: tau,
+            selection=_hamming,
+        )
+        assert not check_completeness(instance, self.pairs())
+
+    def test_trivial_instance_is_complete(self):
+        instance = trivial_complete_instance(_hamming)
+        assert check_completeness(instance, self.pairs(), taus=[0, 5, 10])
+        assert not check_tightness(instance, self.pairs(), taus=[5])
+
+    def test_geq_completeness(self):
+        overlap = lambda x, q: len(set(x) & set(q))  # noqa: E731
+        instance = FilteringInstance(
+            featuring=lambda s: sorted(s),
+            boxes=lambda x, q: [overlap(x, q)],
+            bound=lambda tau: tau,
+            selection=overlap,
+            direction=Direction.GEQ,
+        )
+        pairs = [({1, 2, 3}, {2, 3, 4}), ({1}, {2}), ({5, 6}, {5, 6})]
+        assert check_completeness(instance, pairs, taus=[1, 2])
+        assert check_tightness(instance, pairs, taus=[1, 2])

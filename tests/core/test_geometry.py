@@ -1,0 +1,86 @@
+"""Tests for the geometric interpretation of Appendix A."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.core.geometry import (
+    constructive_prefix_viable_start,
+    cumulative_sums,
+    line_intercept,
+    max_intercept_start,
+    verify_geometric_witness,
+)
+from repro.core.chains import is_prefix_viable
+from repro.core.principle import pigeonring_strong_witnesses
+
+import pytest
+
+FIG1A = (2, 1, 2, 2, 1)
+
+
+class TestCumulativeSums:
+    def test_values(self):
+        assert cumulative_sums((1, 2, 3)) == [0, 1, 3, 6, 7, 9]
+
+    def test_length_is_two_m(self):
+        assert len(cumulative_sums(FIG1A)) == 2 * len(FIG1A)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_sums(())
+
+
+class TestIntercepts:
+    def test_line_intercept_at_origin_start(self):
+        assert line_intercept((1, 2, 3), 0) == 0.0
+
+    def test_intercepts_reflect_running_balance(self):
+        # Boxes (3, 0, 0): starting after the heavy box has the best intercept.
+        assert max_intercept_start((3, 0, 0)) == 1
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ValueError):
+            line_intercept((1, 2, 3), 3)
+
+
+class TestConstructiveWitness:
+    def test_returns_none_when_premise_fails(self):
+        assert constructive_prefix_viable_start(FIG1A, 5) is None
+
+    def test_witness_for_within_budget_layout(self):
+        layout = (2, 1, 0, 1, 1)
+        start = constructive_prefix_viable_start(layout, 5)
+        assert start is not None
+        quota = 1.0
+        for length in range(1, 6):
+            assert is_prefix_viable(layout, start, length, quota)
+
+    def test_witness_matches_exhaustive_search(self):
+        layout = (0, 2, 1, 1, 1)
+        start = constructive_prefix_viable_start(layout, 5)
+        for length in range(1, 6):
+            assert start in pigeonring_strong_witnesses(layout, 5, length)
+
+    def test_verify_geometric_witness_on_examples(self):
+        assert verify_geometric_witness((1, 1, 1, 1, 1), 5)
+        assert verify_geometric_witness(FIG1A, 5)  # premise fails -> vacuously true
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), min_size=1, max_size=10)
+    )
+    def test_constructive_witness_property(self, boxes):
+        """Whenever ||B||_1 <= n, the Appendix-A start is prefix-viable at every length."""
+        n = sum(boxes) + 1e-9
+        start = constructive_prefix_viable_start(boxes, n)
+        assert start is not None
+        quota = n / len(boxes)
+        for length in range(1, len(boxes) + 1):
+            assert is_prefix_viable(boxes, start, length, quota)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_verify_geometric_witness_property(self, boxes, n):
+        assert verify_geometric_witness(boxes, n)

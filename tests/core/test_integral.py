@@ -1,0 +1,81 @@
+"""Tests for the integral (continuous) forms of Appendix B."""
+
+import math
+
+import pytest
+
+from repro.core.integral import (
+    integral_over_period,
+    pointwise_witness,
+    prefix_viable_witness,
+)
+
+
+class TestIntegralOverPeriod:
+    def test_constant_function(self):
+        assert math.isclose(integral_over_period(lambda x: 2.0, 0.0, 3.0), 6.0, rel_tol=1e-9)
+
+    def test_sine_over_full_period_is_zero(self):
+        value = integral_over_period(math.sin, 0.0, 2 * math.pi)
+        assert abs(value) < 1e-6
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            integral_over_period(lambda x: 1.0, 0.0, 0.0)
+
+
+class TestTheorem8:
+    def test_constant_function_witness(self):
+        x = pointwise_witness(lambda t: 1.0, 0.0, 4.0, n=4.0)
+        assert x is not None
+        assert 0.0 <= x <= 4.0
+
+    def test_witness_value_is_within_quota(self):
+        b = lambda t: 2.0 + math.sin(t)  # noqa: E731
+        period = 2 * math.pi
+        n = integral_over_period(b, 0.0, period) + 1e-9
+        x = pointwise_witness(b, 0.0, period, n)
+        assert x is not None
+        assert b(x) <= n / period + 1e-6
+
+    def test_premise_failure_returns_none(self):
+        assert pointwise_witness(lambda t: 2.0, 0.0, 4.0, n=4.0) is None
+
+
+class TestTheorem9:
+    def test_constant_function(self):
+        x1 = prefix_viable_witness(lambda t: 1.0, 0.0, 5.0, n=5.0)
+        assert x1 is not None
+
+    def test_periodic_sine(self):
+        period = 2 * math.pi
+        b = lambda t: 1.0 + math.sin(t)  # noqa: E731
+        n = integral_over_period(b, 0.0, period) + 1e-6
+        x1 = prefix_viable_witness(b, 0.0, period, n)
+        assert x1 is not None
+        # The cumulative integral from x1 must stay under the linear budget.
+        samples = 512
+        quota = n / period
+        step = period / samples
+        running = 0.0
+        previous = b(x1)
+        for k in range(1, samples + 1):
+            current = b(x1 + k * step)
+            running += 0.5 * (previous + current) * step
+            previous = current
+            assert running <= k * step * quota + 1e-3
+
+    def test_square_wave(self):
+        period = 4.0
+
+        def b(t):
+            return 3.0 if (t % period) < 1.0 else 0.5
+
+        n = integral_over_period(b, 0.0, period) + 1e-9
+        x1 = prefix_viable_witness(b, 0.0, period, n, samples=4096)
+        assert x1 is not None
+        # The witness must start after the heavy pulse.
+        assert (x1 % period) >= 1.0 - 1e-2
+
+    def test_premise_failure_returns_none(self):
+        assert prefix_viable_witness(lambda t: 2.0, 0.0, 4.0, n=4.0) is None

@@ -1,0 +1,203 @@
+"""Tests for variable threshold allocation and integer reduction (Theorems 4-7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.thresholds import (
+    Direction,
+    ThresholdAllocation,
+    integer_reduction_allocation,
+    uniform_allocation,
+)
+
+
+class TestConstruction:
+    def test_uniform_allocation_values(self):
+        alloc = uniform_allocation(5, 5)
+        assert alloc.thresholds == (1.0, 1.0, 1.0, 1.0, 1.0)
+        assert alloc.direction is Direction.LEQ
+        assert not alloc.integer_reduction
+
+    def test_uniform_allocation_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            uniform_allocation(5, 0)
+
+    def test_integer_reduction_allocation_total_leq(self):
+        alloc = integer_reduction_allocation(5, 5)
+        assert alloc.total == 5 - 5 + 1
+        assert alloc.integer_reduction
+
+    def test_integer_reduction_allocation_total_geq(self):
+        alloc = integer_reduction_allocation(9, 5, direction=Direction.GEQ)
+        assert alloc.total == 9 + 5 - 1
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdAllocation([])
+
+    def test_validates_bound(self):
+        assert uniform_allocation(5, 5).validates_bound(5)
+        assert integer_reduction_allocation(5, 5).validates_bound(5)
+        assert not uniform_allocation(5, 5).validates_bound(6)
+        geq = integer_reduction_allocation(9, 5, direction=Direction.GEQ)
+        assert geq.validates_bound(9)
+
+
+class TestChainThresholds:
+    def test_chain_threshold_sums_box_thresholds(self):
+        alloc = ThresholdAllocation([1, 2, 0, 1, 1])
+        assert alloc.chain_threshold(0, 2) == 3
+        assert alloc.chain_threshold(3, 3) == 1 + 1 + 1  # wraps to t_0
+
+    def test_chain_threshold_with_integer_reduction_leq(self):
+        alloc = ThresholdAllocation([0, 1, 0], integer_reduction=True)
+        assert alloc.chain_threshold(0, 2) == 0 + 1 + (2 - 1)
+
+    def test_chain_threshold_with_integer_reduction_geq(self):
+        alloc = ThresholdAllocation(
+            [4, 1, 2, 2, 4], direction=Direction.GEQ, integer_reduction=True
+        )
+        # Example 10: t_2 + t_3 - (l - 1) = 2 + 2 - 1 = 3.
+        assert alloc.chain_threshold(2, 2) == 3
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdAllocation([1, 1]).chain_threshold(0, 3)
+
+
+class TestExample7:
+    """Example 7: x1 = (2,1,2,2,1), T = (1,2,0,1,1), variable allocation."""
+
+    BOXES = (2, 1, 2, 2, 1)
+    ALLOC = ThresholdAllocation([1, 2, 0, 1, 1])
+
+    def test_chain_0_2_is_viable(self):
+        assert self.ALLOC.is_viable(self.BOXES, 0, 2)
+
+    def test_it_is_the_only_viable_chain_of_length_two(self):
+        viable = [i for i in range(5) if self.ALLOC.is_viable(self.BOXES, i, 2)]
+        assert viable == [0]
+
+    def test_its_one_prefix_violates(self):
+        assert not self.ALLOC.is_prefix_viable(self.BOXES, 0, 2)
+
+    def test_object_is_filtered(self):
+        assert not self.ALLOC.passes(self.BOXES, 2)
+
+
+class TestExample8:
+    """Example 8: x3 = (1,2,2,1,1), T = (1,0,0,0,0), integer reduction."""
+
+    BOXES = (1, 2, 2, 1, 1)
+    ALLOC = ThresholdAllocation([1, 0, 0, 0, 0], integer_reduction=True)
+
+    def test_chain_4_2_is_viable(self):
+        assert self.ALLOC.is_viable(self.BOXES, 4, 2)
+
+    def test_it_is_the_only_viable_chain_of_length_two(self):
+        viable = [i for i in range(5) if self.ALLOC.is_viable(self.BOXES, i, 2)]
+        assert viable == [4]
+
+    def test_its_one_prefix_violates(self):
+        assert not self.ALLOC.is_prefix_viable(self.BOXES, 4, 2)
+
+    def test_object_is_filtered(self):
+        assert not self.ALLOC.passes(self.BOXES, 2)
+
+
+class TestGeqDirection:
+    def test_example_10_set_similarity_boxes(self):
+        # Example 10: tau = 9, m = 5, T = (4, 1, 2, 2, 4), f(x, q) = 8.
+        # b2 = 2 is the only box with b_i >= t_i; b2 + b3 = 2 < t2 + t3 - 1 = 3.
+        boxes = (3, 0, 2, 0, 3)
+        alloc = ThresholdAllocation(
+            [4, 1, 2, 2, 4], direction=Direction.GEQ, integer_reduction=True
+        )
+        # Pigeonhole (l = 1) lets the object through via b2...
+        assert alloc.passes(boxes, 1)
+        assert alloc.strong_witnesses(boxes, 1) == [2]
+        # ...but the chain of length 2 starting at b2 is not viable, so the
+        # pigeonring filter removes the false positive, as in the paper.
+        assert not alloc.is_viable(boxes, 2, 2)
+        assert not alloc.passes(boxes, 2)
+
+    def test_geq_guarantee(self):
+        # If ||B||_1 >= n and ||T||_1 = n, some chain is prefix-viable (>= case).
+        boxes = (3, 2, 4, 1, 2)
+        alloc = ThresholdAllocation([2, 2, 4, 2, 2], direction=Direction.GEQ)
+        assert sum(boxes) >= alloc.total
+        for length in range(1, 6):
+            assert alloc.passes(boxes, length)
+
+
+@st.composite
+def integer_cases(draw, max_m=7, max_value=10):
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    boxes = draw(
+        st.lists(st.integers(min_value=0, max_value=max_value), min_size=m, max_size=m)
+    )
+    thresholds = draw(
+        st.lists(st.integers(min_value=0, max_value=max_value), min_size=m, max_size=m)
+    )
+    return boxes, thresholds
+
+
+class TestTheoremProperties:
+    @given(integer_cases())
+    def test_theorem_6_guarantee(self, case):
+        """Variable allocation: if ||B||_1 <= ||T||_1 a prefix-viable chain exists."""
+        boxes, thresholds = case
+        alloc = ThresholdAllocation(thresholds)
+        if sum(boxes) > alloc.total:
+            return
+        for length in range(1, len(boxes) + 1):
+            assert alloc.passes(boxes, length)
+
+    @given(integer_cases())
+    def test_theorem_7_guarantee(self, case):
+        """Integer reduction: ||B||_1 <= ||T||_1 + m - 1 still guarantees a witness."""
+        boxes, thresholds = case
+        alloc = ThresholdAllocation(thresholds, integer_reduction=True)
+        n = alloc.total + len(boxes) - 1
+        if sum(boxes) > n:
+            return
+        for length in range(1, len(boxes) + 1):
+            assert alloc.passes(boxes, length)
+
+    @given(integer_cases())
+    def test_theorem_6_geq_guarantee(self, case):
+        boxes, thresholds = case
+        alloc = ThresholdAllocation(thresholds, direction=Direction.GEQ)
+        if sum(boxes) < alloc.total:
+            return
+        for length in range(1, len(boxes) + 1):
+            assert alloc.passes(boxes, length)
+
+    @given(integer_cases())
+    def test_theorem_7_geq_guarantee(self, case):
+        boxes, thresholds = case
+        alloc = ThresholdAllocation(
+            thresholds, direction=Direction.GEQ, integer_reduction=True
+        )
+        n = alloc.total - len(boxes) + 1
+        if sum(boxes) < n:
+            return
+        for length in range(1, len(boxes) + 1):
+            assert alloc.passes(boxes, length)
+
+    @given(integer_cases())
+    def test_strong_witnesses_subset_of_basic(self, case):
+        boxes, thresholds = case
+        alloc = ThresholdAllocation(thresholds)
+        for length in range(1, len(boxes) + 1):
+            if alloc.passes(boxes, length):
+                assert alloc.passes_basic(boxes, length)
+
+    @given(integer_cases())
+    def test_first_prefix_violation_consistency(self, case):
+        boxes, thresholds = case
+        alloc = ThresholdAllocation(thresholds)
+        for start in range(len(boxes)):
+            violation = alloc.first_prefix_violation(boxes, start, len(boxes))
+            prefix_viable = alloc.is_prefix_viable(boxes, start, len(boxes))
+            assert (violation is None) == prefix_viable

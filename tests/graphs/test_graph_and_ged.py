@@ -1,0 +1,220 @@
+"""Tests for the graph structure, subgraph isomorphism and graph edit distance."""
+
+import pytest
+
+from repro.graphs.ged import ged_within, graph_edit_distance
+from repro.graphs.graph import Graph
+from repro.graphs.isomorphism import min_mapping_cost, subgraph_isomorphic
+from repro.graphs.partition import partition_graph, partition_vertices
+
+
+def path_graph(labels, edge_label="e"):
+    graph = Graph()
+    for i, label in enumerate(labels):
+        graph.add_vertex(i, label)
+    for i in range(len(labels) - 1):
+        graph.add_edge(i, i + 1, edge_label)
+    return graph
+
+
+def triangle(labels=("C", "C", "C"), edge_label="e"):
+    graph = Graph()
+    for i, label in enumerate(labels):
+        graph.add_vertex(i, label)
+    graph.add_edge(0, 1, edge_label)
+    graph.add_edge(1, 2, edge_label)
+    graph.add_edge(0, 2, edge_label)
+    return graph
+
+
+class TestGraph:
+    def test_add_and_query(self):
+        graph = path_graph(["C", "N", "O"])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.vertex_label(1) == "N"
+        assert graph.has_edge(0, 1)
+        assert graph.edge_label(1, 2) == "e"
+        assert graph.degree(1) == 2
+        assert graph.neighbors(1) == {0, 2}
+
+    def test_self_loop_rejected(self):
+        graph = path_graph(["C"])
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0, "e")
+
+    def test_edge_requires_existing_vertices(self):
+        graph = path_graph(["C"])
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 7, "e")
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = triangle()
+        graph.remove_vertex(1)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+
+    def test_induced_subgraph(self):
+        graph = triangle(("C", "N", "O"))
+        sub = graph.induced_subgraph([0, 1])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert sub.vertex_label(1) == "N"
+
+    def test_copy_and_equality(self):
+        graph = triangle()
+        clone = graph.copy()
+        assert clone == graph
+        clone.remove_edge(0, 1)
+        assert clone != graph
+
+    def test_label_counts(self):
+        graph = triangle(("C", "C", "N"))
+        assert graph.vertex_label_counts() == {"C": 2, "N": 1}
+        assert graph.edge_label_counts() == {"e": 3}
+
+
+class TestSubgraphIsomorphism:
+    def test_path_in_triangle(self):
+        assert subgraph_isomorphic(path_graph(["C", "C"]), triangle())
+
+    def test_triangle_not_in_path(self):
+        assert not subgraph_isomorphic(triangle(), path_graph(["C", "C", "C"]))
+
+    def test_label_mismatch(self):
+        assert not subgraph_isomorphic(path_graph(["C", "S"]), triangle())
+
+    def test_edge_label_must_match(self):
+        pattern = path_graph(["C", "C"], edge_label="double")
+        assert not subgraph_isomorphic(pattern, triangle(edge_label="single"))
+
+    def test_empty_pattern_is_always_isomorphic(self):
+        assert subgraph_isomorphic(Graph(), triangle())
+
+    def test_isolated_vertex_pattern(self):
+        pattern = Graph({0: "C"})
+        assert subgraph_isomorphic(pattern, triangle())
+        assert not subgraph_isomorphic(Graph({0: "X"}), triangle())
+
+
+class TestMinMappingCost:
+    def test_zero_cost_for_subgraph(self):
+        assert min_mapping_cost(path_graph(["C", "C"]), triangle(), budget=3) == 0
+
+    def test_label_mismatch_costs_one(self):
+        assert min_mapping_cost(Graph({0: "X"}), triangle(), budget=3) == 1
+
+    def test_missing_edge_costs_one(self):
+        pattern = triangle(("C", "C", "C"))
+        target = path_graph(["C", "C", "C"])
+        assert min_mapping_cost(pattern, target, budget=3) == 1
+
+    def test_budget_truncation(self):
+        pattern = triangle(("X", "Y", "Z"))
+        target = path_graph(["C", "C"])
+        assert min_mapping_cost(pattern, target, budget=1) == 2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            min_mapping_cost(Graph(), Graph(), budget=-1)
+
+    def test_lower_bound_of_ged_to_any_subgraph(self):
+        # min_mapping_cost(pattern, target) <= ged(pattern, target subgraph).
+        pattern = triangle(("C", "N", "O"))
+        target = path_graph(["C", "N", "O", "C"])
+        cost = min_mapping_cost(pattern, target, budget=10)
+        best = min(
+            graph_edit_distance(pattern, target.induced_subgraph(subset))
+            for subset in ([0, 1, 2], [1, 2, 3], [0, 1], [2, 3], [0, 1, 2, 3])
+        )
+        assert cost <= best
+
+
+class TestGraphEditDistance:
+    def test_identical_graphs(self):
+        assert graph_edit_distance(triangle(), triangle()) == 0
+
+    def test_single_vertex_relabel(self):
+        assert graph_edit_distance(triangle(("C", "C", "C")), triangle(("C", "C", "N"))) == 1
+
+    def test_single_edge_deletion(self):
+        assert graph_edit_distance(triangle(), path_graph(["C", "C", "C"])) == 1
+
+    def test_edge_relabel(self):
+        a = path_graph(["C", "C"], edge_label="single")
+        b = path_graph(["C", "C"], edge_label="double")
+        assert graph_edit_distance(a, b) == 1
+
+    def test_vertex_insertion(self):
+        a = path_graph(["C", "C"])
+        b = path_graph(["C", "C", "C"])
+        # Insert one vertex and one edge.
+        assert graph_edit_distance(a, b) == 2
+
+    def test_empty_versus_triangle(self):
+        assert graph_edit_distance(Graph(), triangle()) == 6  # 3 vertices + 3 edges
+
+    def test_symmetry(self):
+        a = triangle(("C", "N", "O"))
+        b = path_graph(["C", "N", "S", "O"])
+        assert graph_edit_distance(a, b) == graph_edit_distance(b, a)
+
+    def test_upper_bound_truncation(self):
+        a = Graph()
+        b = triangle()
+        assert graph_edit_distance(a, b, upper_bound=2) == 3
+
+    def test_ged_within(self):
+        assert ged_within(triangle(), triangle(), 0)
+        assert ged_within(triangle(), path_graph(["C", "C", "C"]), 1)
+        assert not ged_within(triangle(), path_graph(["C", "C", "C"]), 0)
+        assert not ged_within(triangle(), triangle(), -1)
+
+    def test_paper_example_12_structure(self):
+        # Example 12: x and q are 5-vertex molecule graphs with ged(x, q) = 3.
+        x = Graph(
+            {0: "S", 1: "C", 2: "C", 3: "P", 4: "O"},
+            [(0, 1, "-"), (1, 2, "-"), (2, 3, "-"), (3, 4, "-")],
+        )
+        q = Graph(
+            {0: "S", 1: "C", 2: "C", 3: "N", 4: "C"},
+            [(0, 1, "-"), (1, 2, "-"), (2, 3, "-"), (3, 4, "-")],
+        )
+        assert graph_edit_distance(x, q) <= 3
+        assert not ged_within(x, q, 1)
+
+
+class TestPartitioning:
+    def test_partition_covers_all_vertices(self):
+        graph = path_graph(["C"] * 7)
+        groups = partition_vertices(graph, 3)
+        flattened = sorted(v for group in groups for v in group)
+        assert flattened == sorted(graph.vertices)
+        assert [len(g) for g in groups] == [3, 2, 2]
+
+    def test_partition_graph_parts_are_disjoint(self):
+        graph = triangle(("C", "N", "O"))
+        parts = partition_graph(graph, 2)
+        vertices = [set(part.vertices) for part in parts]
+        assert vertices[0].isdisjoint(vertices[1])
+
+    def test_invalid_num_parts(self):
+        with pytest.raises(ValueError):
+            partition_vertices(triangle(), 0)
+
+    def test_more_parts_than_vertices(self):
+        graph = path_graph(["C", "C"])
+        parts = partition_graph(graph, 4)
+        assert len(parts) == 4
+        assert sum(part.num_vertices for part in parts) == 2
+
+    def test_untouched_part_is_subgraph_of_close_graph(self):
+        # The completeness argument behind Pars: if ged(x, q) <= tau, some part
+        # of the (tau + 1)-partition is subgraph-isomorphic to q.
+        x = path_graph(["C", "N", "O", "C", "N", "O"])
+        q = x.copy()
+        q.add_vertex(99, "S")
+        q.add_edge(99, 0, "e")
+        tau = 2  # ged(x, q) = 2
+        parts = partition_graph(x, tau + 1)
+        assert any(subgraph_isomorphic(part, q) for part in parts)

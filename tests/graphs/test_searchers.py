@@ -1,0 +1,135 @@
+"""Correctness and containment tests for the graph edit distance searchers."""
+
+import pytest
+
+from repro.datasets.molecules import molecule_workload
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.linear import LinearGraphSearcher
+from repro.graphs.pars import ParsSearcher
+from repro.graphs.ring import RingGraphSearcher
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return molecule_workload(
+        num_graphs=60,
+        num_queries=6,
+        min_vertices=6,
+        max_vertices=9,
+        extra_edges=2,
+        num_vertex_labels=6,
+        num_edge_labels=2,
+        max_edits=3,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(workload):
+    return GraphDataset(workload.graphs)
+
+
+def ground_truth(dataset, query, tau):
+    return sorted(LinearGraphSearcher(dataset).search(query, tau).results)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("tau", (1, 2, 3))
+    def test_pars_matches_linear_scan(self, workload, dataset, tau):
+        searcher = ParsSearcher(dataset, tau)
+        for query in workload.queries:
+            assert sorted(searcher.search(query).results) == ground_truth(
+                dataset, query, tau
+            )
+
+    @pytest.mark.parametrize("tau", (1, 2, 3))
+    @pytest.mark.parametrize("chain_length", (1, 2, 3, None))
+    def test_ring_matches_linear_scan(self, workload, dataset, tau, chain_length):
+        searcher = RingGraphSearcher(dataset, tau, chain_length=chain_length)
+        for query in workload.queries:
+            assert sorted(searcher.search(query).results) == ground_truth(
+                dataset, query, tau
+            )
+
+    def test_queries_have_results(self, workload, dataset):
+        total = sum(len(ground_truth(dataset, q, 3)) for q in workload.queries)
+        assert total > 0
+
+
+class TestCandidateContainment:
+    @pytest.mark.parametrize("tau", (2, 3))
+    def test_ring_candidates_subset_of_pars(self, workload, dataset, tau):
+        pars = ParsSearcher(dataset, tau)
+        for chain_length in (2, 3):
+            ring = RingGraphSearcher(dataset, tau, chain_length=chain_length)
+            for query in workload.queries:
+                assert set(ring.candidates(query)) <= set(pars.candidates(query))
+
+    def test_chain_length_one_equals_pars(self, workload, dataset):
+        tau = 2
+        pars = ParsSearcher(dataset, tau)
+        ring = RingGraphSearcher(dataset, tau, chain_length=1)
+        for query in workload.queries:
+            assert set(ring.candidates(query)) == set(pars.candidates(query))
+
+    def test_candidates_contain_results(self, workload, dataset):
+        ring = RingGraphSearcher(dataset, 3)
+        for query in workload.queries:
+            outcome = ring.search(query)
+            assert set(outcome.results) <= set(outcome.candidates)
+
+    def test_candidates_shrink_with_chain_length(self, workload, dataset):
+        tau = 3
+        searchers = {
+            length: RingGraphSearcher(dataset, tau, chain_length=length)
+            for length in (1, 2, 4)
+        }
+        for query in workload.queries:
+            previous = None
+            for length in (1, 2, 4):
+                current = set(searchers[length].candidates(query))
+                if previous is not None:
+                    assert current <= previous
+                previous = current
+
+
+class TestConstruction:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            GraphDataset([])
+
+    def test_invalid_tau(self, dataset):
+        with pytest.raises(ValueError):
+            ParsSearcher(dataset, -1)
+
+    def test_invalid_chain_length(self, dataset):
+        with pytest.raises(ValueError):
+            RingGraphSearcher(dataset, 2, chain_length=0)
+
+    def test_default_chain_length(self, dataset):
+        assert RingGraphSearcher(dataset, 4).chain_length == 3
+        assert RingGraphSearcher(dataset, 1).chain_length == 1
+
+    def test_parts_accessible(self, dataset):
+        searcher = ParsSearcher(dataset, 2)
+        parts = searcher.parts(0)
+        assert len(parts) == 3
+        assert sum(p.num_vertices for p in parts) == dataset.graph(0).num_vertices
+
+
+class TestWorkloadGenerator:
+    def test_molecule_workload_shapes(self, workload):
+        assert workload.num_graphs == 60
+        assert workload.num_queries == 6
+        assert 6 <= workload.avg_vertices <= 9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            molecule_workload(num_graphs=0, num_queries=1)
+        with pytest.raises(ValueError):
+            molecule_workload(num_graphs=1, num_queries=1, min_vertices=5, max_vertices=3)
+
+    def test_determinism(self):
+        a = molecule_workload(num_graphs=5, num_queries=2, seed=9)
+        b = molecule_workload(num_graphs=5, num_queries=2, seed=9)
+        assert all(x == y for x, y in zip(a.graphs, b.graphs))

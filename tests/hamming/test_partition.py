@@ -1,0 +1,77 @@
+"""Tests for vertical partitioning of binary vectors."""
+
+import numpy as np
+import pytest
+
+from repro.hamming.bitvec import hamming_distance
+from repro.hamming.partition import Partitioning, default_num_parts
+
+
+class TestPartitioning:
+    def test_equal_widths(self):
+        assert Partitioning(10, 5).widths == (2, 2, 2, 2, 2)
+
+    def test_uneven_widths_spread_over_leading_parts(self):
+        assert Partitioning(10, 3).widths == (4, 3, 3)
+
+    def test_boundaries_cover_all_dimensions(self):
+        partitioning = Partitioning(37, 5)
+        bounds = partitioning.boundaries
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 37
+        for (start_a, end_a), (start_b, _end_b) in zip(bounds, bounds[1:]):
+            assert end_a == start_b
+
+    def test_split_shapes(self):
+        vectors = np.zeros((4, 10), dtype=np.uint8)
+        parts = Partitioning(10, 5).split(vectors)
+        assert len(parts) == 5
+        assert all(part.shape == (4, 2) for part in parts)
+
+    def test_split_rejects_wrong_dimensionality(self):
+        with pytest.raises(ValueError):
+            Partitioning(10, 5).split(np.zeros((4, 8), dtype=np.uint8))
+
+    def test_part_codes_table_2(self):
+        # Table 2, x1 = 11 11 10 11 10 -> codes read little-endian per part.
+        x1 = np.array([[1, 1, 1, 1, 1, 0, 1, 1, 1, 0]], dtype=np.uint8)
+        codes = Partitioning(10, 5).part_codes(x1)[0]
+        assert codes.tolist() == [0b11, 0b11, 0b01, 0b11, 0b01]
+
+    def test_part_code_single(self):
+        x1 = np.array([1, 1, 1, 1, 1, 0, 1, 1, 1, 0], dtype=np.uint8)
+        assert Partitioning(10, 5).part_code(x1, 2) == 0b01
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Partitioning(0, 1)
+        with pytest.raises(ValueError):
+            Partitioning(10, 11)
+        with pytest.raises(ValueError):
+            Partitioning(10, 0)
+
+    def test_partition_distances_sum_to_full_distance(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.integers(0, 2, size=(10, 37), dtype=np.uint8)
+        query = rng.integers(0, 2, size=37, dtype=np.uint8)
+        partitioning = Partitioning(37, 5)
+        for vector in vectors:
+            parts_x = partitioning.split(vector.reshape(1, -1))
+            parts_q = partitioning.split(query.reshape(1, -1))
+            box_sum = sum(
+                hamming_distance(px[0], pq[0]) for px, pq in zip(parts_x, parts_q)
+            )
+            assert box_sum == hamming_distance(vector, query)
+
+
+class TestDefaultNumParts:
+    def test_paper_default(self):
+        assert default_num_parts(256) == 16
+        assert default_num_parts(512) == 32
+
+    def test_small_dimensionality_clamps_to_one(self):
+        assert default_num_parts(10) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_num_parts(0)

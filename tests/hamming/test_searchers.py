@@ -1,0 +1,143 @@
+"""Correctness and containment tests for the Hamming searchers.
+
+The two key invariants from the paper:
+
+* every searcher is exact -- its result set equals the brute-force scan;
+* the Ring candidates are a subset of the GPH candidates and shrink as the
+  chain length grows (Lemmas 1 and 4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.binary import clustered_binary_workload
+from repro.hamming.dataset import BinaryVectorDataset
+from repro.hamming.gph import GPHSearcher
+from repro.hamming.linear import LinearHammingSearcher
+from repro.hamming.ring import RingHammingSearcher
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return clustered_binary_workload(
+        num_vectors=400, d=64, num_queries=8, num_clusters=8,
+        cluster_fraction=0.5, cluster_radius=0.08, query_radius=0.1, seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(workload):
+    return BinaryVectorDataset(workload.vectors, num_parts=8)
+
+
+TAUS = (8, 16, 24)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("tau", TAUS)
+    def test_gph_matches_linear_scan(self, workload, dataset, tau):
+        gph = GPHSearcher(dataset)
+        linear = LinearHammingSearcher(dataset)
+        for query in workload.queries:
+            assert sorted(gph.search(query, tau).results) == sorted(
+                linear.search(query, tau).results
+            )
+
+    @pytest.mark.parametrize("tau", TAUS)
+    @pytest.mark.parametrize("chain_length", (1, 2, 4, 8))
+    def test_ring_matches_linear_scan(self, workload, dataset, tau, chain_length):
+        ring = RingHammingSearcher(dataset, chain_length=chain_length)
+        linear = LinearHammingSearcher(dataset)
+        for query in workload.queries:
+            assert sorted(ring.search(query, tau).results) == sorted(
+                linear.search(query, tau).results
+            )
+
+    @pytest.mark.parametrize("tau", TAUS)
+    def test_even_allocation_is_also_exact(self, workload, dataset, tau):
+        ring = RingHammingSearcher(dataset, chain_length=4, use_cost_model=False)
+        linear = LinearHammingSearcher(dataset)
+        for query in workload.queries:
+            assert sorted(ring.search(query, tau).results) == sorted(
+                linear.search(query, tau).results
+            )
+
+
+class TestCandidateContainment:
+    @pytest.mark.parametrize("tau", TAUS)
+    def test_ring_candidates_subset_of_gph(self, workload, dataset, tau):
+        gph = GPHSearcher(dataset)
+        for chain_length in (2, 4, 6):
+            ring = RingHammingSearcher(dataset, chain_length=chain_length)
+            for query in workload.queries:
+                ring_candidates = set(ring.candidates(query, tau))
+                gph_candidates = set(gph.candidates(query, tau))
+                assert ring_candidates <= gph_candidates
+
+    @pytest.mark.parametrize("tau", TAUS)
+    def test_candidates_shrink_with_chain_length(self, workload, dataset, tau):
+        searchers = {
+            length: RingHammingSearcher(dataset, chain_length=length)
+            for length in (1, 2, 4, 8)
+        }
+        for query in workload.queries:
+            previous = None
+            for length in (1, 2, 4, 8):
+                current = set(searchers[length].candidates(query, tau))
+                if previous is not None:
+                    assert current <= previous
+                previous = current
+
+    def test_chain_length_one_equals_gph(self, workload, dataset):
+        gph = GPHSearcher(dataset)
+        ring = RingHammingSearcher(dataset, chain_length=1)
+        for query in workload.queries:
+            assert set(ring.candidates(query, 16)) == set(gph.candidates(query, 16))
+
+    def test_candidates_contain_results(self, workload, dataset):
+        ring = RingHammingSearcher(dataset, chain_length=6)
+        for query in workload.queries:
+            outcome = ring.search(query, 16)
+            assert set(outcome.results) <= set(outcome.candidates)
+
+
+class TestSearchResultAccounting:
+    def test_result_counts(self, workload, dataset):
+        ring = RingHammingSearcher(dataset, chain_length=4)
+        outcome = ring.search(workload.queries[0], 16)
+        assert outcome.num_candidates == len(outcome.candidates)
+        assert outcome.num_results == len(outcome.results)
+        assert outcome.false_positives >= 0
+        assert outcome.total_time >= 0.0
+
+    def test_invalid_chain_length(self, dataset):
+        with pytest.raises(ValueError):
+            RingHammingSearcher(dataset, chain_length=0)
+
+    def test_chain_length_clamped_to_m(self, dataset):
+        searcher = RingHammingSearcher(dataset, chain_length=100)
+        assert searcher.chain_length == dataset.m
+
+    def test_linear_scan_counts_everything_as_candidate(self, workload, dataset):
+        linear = LinearHammingSearcher(dataset)
+        outcome = linear.search(workload.queries[0], 16)
+        assert outcome.num_candidates == len(dataset)
+
+
+class TestExample9:
+    """Example 9 of the paper: tau = 3, m = 3, T = (0, 1, 0)."""
+
+    def test_example_9_filtering(self):
+        x = np.array([0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1], dtype=np.uint8)
+        q = np.array([0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 1], dtype=np.uint8)
+        dataset = BinaryVectorDataset(x.reshape(1, -1), num_parts=3)
+        # With the even allocation T = (1, 0, 0) (sum = tau - m + 1 = 1), GPH
+        # lets x through: part 0 is within its threshold.
+        gph = GPHSearcher(dataset, use_cost_model=False)
+        assert gph.candidates(q, tau=3) == [0]
+        # H(x, q) = 4 > 3, so x is a false positive for GPH...
+        assert gph.search(q, tau=3).results == []
+        # ...and the pigeonring check at l = 2 filters it: b0 + b1 = 3 exceeds
+        # t0 + t1 + 1 = 2, exactly as in the paper's Example 9.
+        ring = RingHammingSearcher(dataset, chain_length=2, use_cost_model=False)
+        assert ring.candidates(q, tau=3) == []

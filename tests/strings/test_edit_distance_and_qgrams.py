@@ -1,0 +1,138 @@
+"""Tests for edit distance, q-grams and the content-based filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.strings.edit_distance import edit_distance, edit_distance_within
+from repro.strings.pivotal import window_edit_distance
+from repro.strings.qgrams import (
+    QGramExtractor,
+    character_mask,
+    content_lower_bound,
+    positional_qgrams,
+)
+
+short_text = st.text(alphabet="abcde", max_size=12)
+
+
+class TestEditDistance:
+    def test_known_values(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("abc", "abc") == 0
+        assert edit_distance("abc", "axc") == 1
+
+    def test_paper_example_11(self):
+        assert edit_distance("llabcdefkk", "llabghijkk") == 4
+
+    @given(short_text, short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestBandedEditDistance:
+    @given(short_text, short_text, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_full_dp(self, a, b, tau):
+        assert edit_distance_within(a, b, tau) == (edit_distance(a, b) <= tau)
+
+    def test_negative_threshold(self):
+        assert not edit_distance_within("a", "a", -1)
+
+    def test_length_difference_shortcut(self):
+        assert not edit_distance_within("abcdef", "a", 2)
+
+
+class TestQGrams:
+    def test_positional_qgrams(self):
+        grams = positional_qgrams("abcd", 2)
+        assert [(g.gram, g.position) for g in grams] == [("ab", 0), ("bc", 1), ("cd", 2)]
+
+    def test_short_string_has_no_grams(self):
+        assert positional_qgrams("a", 2) == []
+
+    def test_invalid_kappa(self):
+        with pytest.raises(ValueError):
+            positional_qgrams("abc", 0)
+        with pytest.raises(ValueError):
+            QGramExtractor(0, ["abc"])
+
+    def test_prefix_size(self):
+        extractor = QGramExtractor(2, ["abcdefghij", "abcdxfghij"])
+        prefix = extractor.prefix("abcdefghij", tau=2)
+        assert len(prefix) == 2 * 2 + 1
+
+    def test_prefix_prefers_rare_grams(self):
+        records = ["ababab", "ababab", "abaxyz"]
+        extractor = QGramExtractor(2, records)
+        prefix = extractor.prefix("abaxyz", tau=1)
+        grams = {g.gram for g in prefix}
+        # The rare grams (xy, yz, ax) should appear before the frequent "ab".
+        assert {"ax", "xy", "yz"} <= grams
+
+    def test_pivotal_grams_are_disjoint(self):
+        extractor = QGramExtractor(2, ["abcdefghijkl"])
+        prefix = extractor.prefix("abcdefghijkl", tau=3)
+        pivotal = extractor.pivotal(prefix, tau=3)
+        assert pivotal is not None
+        assert len(pivotal) == 4
+        positions = [g.position for g in pivotal]
+        assert all(b - a >= 2 for a, b in zip(positions, positions[1:]))
+
+    def test_pivotal_returns_none_for_short_strings(self):
+        extractor = QGramExtractor(2, ["abcd"])
+        prefix = extractor.prefix("abcd", tau=3)
+        assert extractor.pivotal(prefix, tau=3) is None
+
+    def test_last_prefix_rank(self):
+        extractor = QGramExtractor(2, ["abcdef", "abcdef", "xyzuvw"])
+        prefix = extractor.prefix("abcdef", tau=1)
+        assert extractor.last_prefix_rank(prefix) == max(
+            extractor.rank(g.gram) for g in prefix
+        )
+        assert extractor.last_prefix_rank([]) == -1
+
+
+class TestContentFilter:
+    def test_character_mask_is_order_insensitive(self):
+        assert character_mask("abc") == character_mask("cba")
+
+    def test_lower_bound_of_identical_masks_is_zero(self):
+        assert content_lower_bound(character_mask("abc"), character_mask("cab")) == 0
+
+    @given(short_text, short_text)
+    @settings(max_examples=150, deadline=None)
+    def test_content_bound_is_a_lower_bound(self, a, b):
+        bound = content_lower_bound(character_mask(a), character_mask(b))
+        assert bound <= edit_distance(a, b)
+
+    def test_paper_example_11_bit_vectors(self):
+        # cd vs ab differ in 4 character bits -> lower bound 2.
+        assert content_lower_bound(character_mask("cd"), character_mask("ab")) == 2
+
+
+class TestWindowEditDistance:
+    def test_exact_match_in_window(self):
+        assert window_edit_distance("ab", "xxabyy", position=2, tau=1) == 0
+
+    def test_no_match_in_window(self):
+        assert window_edit_distance("ab", "xxxxxx", position=2, tau=1) == 2
+
+    def test_window_respects_position_shift(self):
+        # The matching substring is too far from the expected position.
+        assert window_edit_distance("ab", "abxxxxxx", position=6, tau=1) > 0
+
+    @given(short_text, short_text, st.integers(0, 3), st.integers(0, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_window_value_bounded_by_gram_length(self, gram, text, position, tau):
+        if not gram:
+            return
+        value = window_edit_distance(gram, text, position, tau)
+        assert 0 <= value <= len(gram)

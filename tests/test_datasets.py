@@ -1,0 +1,125 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.binary import BinaryWorkload, clustered_binary_workload, gist_like, sift_like
+from repro.datasets.text import imdb_like, name_workload, pubmed_like, title_workload
+from repro.datasets.tokens import dblp_like, enron_like, zipfian_set_workload
+
+
+class TestBinaryWorkloads:
+    def test_shapes_and_values(self):
+        workload = clustered_binary_workload(
+            num_vectors=100, d=64, num_queries=5, seed=1
+        )
+        assert workload.vectors.shape == (100, 64)
+        assert workload.queries.shape == (5, 64)
+        assert set(np.unique(workload.vectors)) <= {0, 1}
+        assert workload.d == 64
+        assert workload.num_vectors == 100
+        assert workload.num_queries == 5
+
+    def test_determinism(self):
+        a = clustered_binary_workload(50, 32, 3, seed=9)
+        b = clustered_binary_workload(50, 32, 3, seed=9)
+        assert np.array_equal(a.vectors, b.vectors)
+        assert np.array_equal(a.queries, b.queries)
+
+    def test_different_seeds_differ(self):
+        a = clustered_binary_workload(50, 32, 3, seed=1)
+        b = clustered_binary_workload(50, 32, 3, seed=2)
+        assert not np.array_equal(a.vectors, b.vectors)
+
+    def test_queries_have_near_neighbours(self):
+        workload = clustered_binary_workload(
+            num_vectors=500, d=64, num_queries=5, cluster_fraction=0.6, seed=3
+        )
+        for query in workload.queries:
+            distances = (workload.vectors != query).sum(axis=1)
+            assert distances.min() <= 24  # well below the d/2 random baseline
+
+    def test_named_presets(self):
+        assert gist_like(num_vectors=50, num_queries=2).d == 256
+        assert sift_like(num_vectors=50, num_queries=2).d == 512
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            clustered_binary_workload(0, 16, 1)
+        with pytest.raises(ValueError):
+            clustered_binary_workload(10, 0, 1)
+        with pytest.raises(ValueError):
+            clustered_binary_workload(10, 16, 1, cluster_fraction=2.0)
+
+    def test_workload_dataclass(self):
+        workload = BinaryWorkload(
+            vectors=np.zeros((3, 8), dtype=np.uint8),
+            queries=np.zeros((1, 8), dtype=np.uint8),
+        )
+        assert workload.num_vectors == 3
+
+
+class TestTokenWorkloads:
+    def test_shapes(self):
+        workload = zipfian_set_workload(
+            num_records=80, num_queries=5, universe_size=500, avg_size=15,
+            size_spread=5, seed=2,
+        )
+        assert workload.num_records == 80
+        assert workload.num_queries == 5
+        assert 5 <= workload.avg_record_size <= 25
+
+    def test_records_are_distinct_token_lists(self):
+        workload = zipfian_set_workload(
+            num_records=30, num_queries=3, universe_size=200, avg_size=10,
+            size_spread=3, seed=4,
+        )
+        for record in workload.records:
+            assert len(record) == len(set(record))
+            assert all(0 <= token < 200 + 1 for token in record)
+
+    def test_determinism(self):
+        a = zipfian_set_workload(20, 2, universe_size=100, avg_size=8, size_spread=2, seed=5)
+        b = zipfian_set_workload(20, 2, universe_size=100, avg_size=8, size_spread=2, seed=5)
+        assert a.records == b.records
+        assert a.queries == b.queries
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            zipfian_set_workload(0, 1)
+        with pytest.raises(ValueError):
+            zipfian_set_workload(10, 1, avg_size=3, size_spread=5)
+
+    def test_named_presets(self):
+        enron = enron_like(num_records=40, num_queries=3)
+        dblp = dblp_like(num_records=40, num_queries=3)
+        assert enron.avg_record_size > dblp.avg_record_size
+
+
+class TestStringWorkloads:
+    def test_shapes(self):
+        workload = name_workload(num_records=60, num_queries=5, seed=2)
+        assert workload.num_records == 60
+        assert workload.num_queries == 5
+        assert workload.avg_length > 4
+
+    def test_titles_are_longer_than_names(self):
+        names = name_workload(num_records=40, num_queries=3, seed=1)
+        titles = title_workload(num_records=40, num_queries=3, seed=1)
+        assert titles.avg_length > names.avg_length
+
+    def test_determinism(self):
+        a = name_workload(num_records=20, num_queries=2, seed=8)
+        b = name_workload(num_records=20, num_queries=2, seed=8)
+        assert a.records == b.records
+        assert a.queries == b.queries
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            name_workload(0, 1)
+        with pytest.raises(ValueError):
+            title_workload(1, 0)
+
+    def test_named_presets(self):
+        assert imdb_like(num_records=30, num_queries=2).num_records == 30
+        assert pubmed_like(num_records=30, num_queries=2).num_records == 30

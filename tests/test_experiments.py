@@ -1,0 +1,104 @@
+"""Smoke tests for the experiment harness and the per-figure runners."""
+
+from repro.common.stats import QueryStats, SearchResult
+from repro.experiments.figures import (
+    figure2_rows,
+    figure5_rows,
+    figure6_rows,
+    figure7_rows,
+    figure8_rows,
+    figure9_rows,
+    figure10_rows,
+    figure11_rows,
+    figure12_rows,
+)
+from repro.experiments.harness import (
+    ChainLengthRow,
+    chain_length_rows,
+    comparison_rows,
+    format_rows,
+    run_workload,
+)
+
+
+class TestHarness:
+    def test_run_workload_aggregates(self):
+        def fake_search(query):
+            return SearchResult(results=[1], candidates=[1, 2, 3], candidate_time=0.01,
+                                verify_time=0.02)
+
+        stats = run_workload(fake_search, range(4))
+        assert stats.num_queries == 4
+        assert stats.avg_candidates == 3.0
+        assert stats.avg_results == 1.0
+        assert abs(stats.avg_total_time - 0.03) < 1e-9
+
+    def test_query_stats_empty(self):
+        stats = QueryStats()
+        assert stats.avg_candidates == 0.0
+        assert stats.avg_total_time == 0.0
+
+    def test_chain_length_rows(self):
+        def make(length):
+            return lambda query: SearchResult(
+                results=[0], candidates=list(range(10 - length)),
+            )
+
+        rows = chain_length_rows("toy", 5, [1, 2, 3], make, queries=[None, None])
+        assert [row.chain_length for row in rows] == [1, 2, 3]
+        assert rows[0].avg_candidates > rows[-1].avg_candidates
+
+    def test_comparison_rows_and_formatting(self):
+        searchers = {
+            "a": lambda q: SearchResult(results=[], candidates=[1, 2]),
+            "b": lambda q: SearchResult(results=[], candidates=[1]),
+        }
+        rows = comparison_rows("toy", 0.5, searchers, queries=[None])
+        assert {row.algorithm for row in rows} == {"a", "b"}
+        text = format_rows(rows)
+        assert "algorithm" in text and "toy" in text
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_format_rows_dataclass(self):
+        row = ChainLengthRow("toy", 1.0, 2, 3.0, 1.0, 0.5, 0.9)
+        assert "chain_length" in format_rows([row])
+
+
+class TestFigureRunners:
+    """Tiny-scale smoke runs of every figure; shapes and invariants only."""
+
+    def test_figure2(self):
+        rows = figure2_rows(chain_lengths=range(1, 4))
+        assert len(rows) == 4 * 3
+        assert all(row["fp_to_result_ratio"] >= 0 for row in rows)
+
+    def test_figure5_and_9(self):
+        rows5 = figure5_rows(taus=(24,), chain_lengths=(1, 2), scale=0.03, seed=3)
+        assert len(rows5) == 2
+        assert rows5[1].avg_candidates <= rows5[0].avg_candidates
+        rows9 = figure9_rows(taus=(24,), chain_length=3, scale=0.03, seed=3)
+        assert {row.algorithm for row in rows9} == {"GPH", "Ring"}
+
+    def test_figure6_and_10(self):
+        rows6 = figure6_rows(taus=(0.8,), chain_lengths=(1, 2), scale=0.05, seed=3)
+        assert len(rows6) == 2
+        rows10 = figure10_rows(taus=(0.8,), scale=0.05, seed=3)
+        assert {row.algorithm for row in rows10} == {
+            "AdaptSearch", "PartAlloc", "pkwise", "Ring",
+        }
+
+    def test_figure7_and_11(self):
+        rows7 = figure7_rows(taus=(2,), chain_lengths=(1, 2), scale=0.05, seed=3)
+        assert len(rows7) == 2
+        rows11 = figure11_rows(taus=(2,), scale=0.05, seed=3)
+        assert {row.algorithm for row in rows11} == {"Pivotal", "Ring"}
+
+    def test_figure8_and_12(self):
+        rows8 = figure8_rows(taus=(2,), chain_lengths=(1, 2), scale=0.2, seed=3)
+        assert len(rows8) == 2
+        rows12 = figure12_rows(taus=(2,), scale=0.2, seed=3)
+        assert {row.algorithm for row in rows12} == {"Pars", "Ring"}
+        by_algo = {row.algorithm: row for row in rows12}
+        assert by_algo["Ring"].avg_candidates <= by_algo["Pars"].avg_candidates
