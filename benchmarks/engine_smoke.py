@@ -1,0 +1,108 @@
+"""Engine smoke benchmark: batch-query throughput across all four backends.
+
+Builds a small workload per domain, serves it through one
+:class:`repro.engine.SearchEngine` sequentially and on a thread pool, checks
+that both paths return identical result sets, and records throughput to
+``BENCH_engine.json`` next to this script (or to ``--out``).
+
+Run with:  PYTHONPATH=src python benchmarks/engine_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.common.stats import Timer
+from repro.datasets.binary import clustered_binary_workload
+from repro.datasets.molecules import aids_like
+from repro.datasets.text import name_workload
+from repro.datasets.tokens import zipfian_set_workload
+from repro.engine import Query, SearchEngine
+from repro.graphs import GraphDataset
+from repro.hamming import BinaryVectorDataset
+from repro.sets import SetDataset
+from repro.strings import StringDataset
+
+WORKERS = 4
+REPEAT = 5  # replay each tiny workload a few times for stabler timing
+
+
+def build_engine() -> tuple[SearchEngine, dict[str, list[Query]]]:
+    engine = SearchEngine(cache_size=0)  # measure serving, not cache hits
+    queries: dict[str, list[Query]] = {}
+
+    binary = clustered_binary_workload(2000, 128, 10, seed=1)
+    engine.add_dataset("hamming", BinaryVectorDataset(binary.vectors, num_parts=8))
+    queries["hamming"] = [
+        Query(backend="hamming", payload=row, tau=20) for row in binary.queries
+    ]
+
+    sets = zipfian_set_workload(1500, 10, seed=2)
+    engine.add_dataset("sets", SetDataset(sets.records, num_classes=4))
+    queries["sets"] = [
+        Query(backend="sets", payload=record, tau=0.8) for record in sets.queries
+    ]
+
+    strings = name_workload(1000, 10, seed=3)
+    engine.add_dataset("strings", StringDataset(strings.records, kappa=2))
+    queries["strings"] = [
+        Query(backend="strings", payload=text, tau=2) for text in strings.queries
+    ]
+
+    graphs = aids_like(num_graphs=60, num_queries=4, seed=4)
+    engine.add_dataset("graphs", GraphDataset(graphs.graphs))
+    queries["graphs"] = [
+        Query(backend="graphs", payload=graph, tau=2) for graph in graphs.queries
+    ]
+    return engine, queries
+
+
+def bench_backend(engine: SearchEngine, batch: list[Query]) -> dict:
+    batch = batch * REPEAT
+    engine.search(batch[0])  # warm the searcher cache
+    timer = Timer()
+    sequential = engine.search_batch(batch)
+    sequential_s = timer.restart()
+    parallel = engine.search_batch(batch, parallel=True, max_workers=WORKERS)
+    parallel_s = timer.elapsed()
+    agree = all(sorted(a.ids) == sorted(b.ids) for a, b in zip(sequential, parallel))
+    return {
+        "num_queries": len(batch),
+        "sequential_qps": len(batch) / sequential_s if sequential_s else 0.0,
+        "parallel_qps": len(batch) / parallel_s if parallel_s else 0.0,
+        "workers": WORKERS,
+        "results_agree": agree,
+        "avg_results": sum(r.num_results for r in sequential) / len(batch),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_out = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+    parser.add_argument("--out", default=default_out)
+    args = parser.parse_args(argv)
+
+    engine, queries = build_engine()
+    report: dict[str, dict] = {}
+    ok = True
+    for name, batch in queries.items():
+        report[name] = bench_backend(engine, batch)
+        ok = ok and report[name]["results_agree"]
+        print(
+            f"[{name:>8}] {report[name]['num_queries']:>3} queries  "
+            f"sequential {report[name]['sequential_qps']:>8.1f} q/s  "
+            f"parallel({WORKERS}) {report[name]['parallel_qps']:>8.1f} q/s  "
+            f"agree={report[name]['results_agree']}"
+        )
+    report["engine_stats"] = engine.stats.snapshot()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

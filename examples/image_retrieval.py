@@ -1,15 +1,20 @@
 """Image-retrieval style Hamming distance search (the paper's GIST/SIFT use case).
 
-Binary codes stand in for hashed image descriptors; the query asks for every
-code within Hamming distance ``tau``.  The example compares the GPH baseline
-(pigeonhole) with the pigeonring searcher at several chain lengths and prints
-average candidates and time -- a miniature of the paper's Figures 5 and 9.
+Binary codes stand in for hashed image descriptors.  The workload is served
+through the unified query engine: the dataset registers with the ``hamming``
+backend (the partition index is built exactly once and shared by every
+searcher), the GPH baseline and the pigeonring searcher at several chain
+lengths are compared through the same ``Query`` API -- a miniature of the
+paper's Figures 5 and 9 -- and the same engine then answers a top-k query,
+a workload the offline figure scripts never expose.
 
 Run with:  python examples/image_retrieval.py
 """
 
 from repro.datasets.binary import gist_like
-from repro.hamming import BinaryVectorDataset, GPHSearcher, RingHammingSearcher
+from repro.engine import Query, SearchEngine
+from repro.experiments.harness import engine_comparison_rows, format_rows
+from repro.hamming import BinaryVectorDataset
 
 
 def main() -> None:
@@ -17,22 +22,30 @@ def main() -> None:
     dataset = BinaryVectorDataset(workload.vectors, num_parts=8)
     tau = 40
 
+    engine = SearchEngine()
+    engine.add_dataset("hamming", dataset)
     print(f"dataset: {len(dataset)} binary codes, d = {dataset.d}, m = {dataset.m} parts")
     print(f"query workload: {workload.num_queries} queries, tau = {tau}\n")
 
-    gph = GPHSearcher(dataset)
-    searchers = {"GPH (pigeonhole)": lambda q: gph.search(q, tau)}
+    algorithms = {"GPH (pigeonhole)": {"algorithm": "baseline"}}
     for length in (2, 4, 6):
-        ring = RingHammingSearcher(dataset, chain_length=length)
-        searchers[f"Ring l={length}"] = lambda q, ring=ring: ring.search(q, tau)
+        algorithms[f"Ring l={length}"] = {"algorithm": "ring", "chain_length": length}
+    rows = engine_comparison_rows(
+        engine, "hamming", "gist-like", tau, algorithms, list(workload.queries)
+    )
+    print(format_rows(rows))
 
-    print(f"{'algorithm':>18} | {'avg candidates':>14} | {'avg results':>11} | {'avg time (ms)':>13}")
-    for name, search in searchers.items():
-        outcomes = [search(query) for query in workload.queries]
-        candidates = sum(o.num_candidates for o in outcomes) / len(outcomes)
-        results = sum(o.num_results for o in outcomes) / len(outcomes)
-        time_ms = sum(o.total_time for o in outcomes) / len(outcomes) * 1000
-        print(f"{name:>18} | {candidates:>14.1f} | {results:>11.1f} | {time_ms:>13.2f}")
+    top = engine.search(Query(backend="hamming", payload=workload.queries[0], k=5))
+    print(f"\ntop-5 for query 0 (escalated to tau = {top.tau_effective}):")
+    for obj_id, score in zip(top.ids, top.scores):
+        print(f"  id={obj_id}  hamming distance={score:.0f}")
+
+    stats = engine.stats
+    print(
+        f"\nengine served {stats.num_queries} queries, "
+        f"avg latency {stats.avg_engine_time * 1000.0:.2f} ms, "
+        f"cache hits {stats.cache_hits}"
+    )
 
 
 if __name__ == "__main__":

@@ -1,36 +1,45 @@
 """Structure search with graph edit distance (the paper's AIDS use case).
 
 Molecule-like labelled graphs are searched for structures within a small
-graph edit distance of a query compound.  The example compares the Pars
-baseline with the pigeonring searcher -- a miniature of the paper's Figure 12.
+graph edit distance of a query compound.  The workload runs through the
+unified query engine's ``graphs`` backend: the Pars baseline and the
+pigeonring searcher are compared through the same ``Query`` API -- a
+miniature of the paper's Figure 12 -- and the engine then ranks the closest
+compounds to one query with a top-k search.
 
 Run with:  python examples/molecule_search.py
 """
 
 from repro.datasets.molecules import aids_like
-from repro.graphs import GraphDataset, ParsSearcher, RingGraphSearcher
+from repro.engine import Query, SearchEngine
+from repro.experiments.harness import engine_comparison_rows, format_rows
+from repro.graphs import GraphDataset
 
 
 def main() -> None:
     workload = aids_like(num_graphs=100, num_queries=6, seed=2)
-    dataset = GraphDataset(workload.graphs)
     tau = 3
 
+    engine = SearchEngine()
+    engine.add_dataset("graphs", GraphDataset(workload.graphs))
     print(
-        f"dataset: {len(dataset)} molecule-like graphs, avg {workload.avg_vertices:.1f} vertices; "
-        f"GED threshold {tau}\n"
+        f"dataset: {workload.num_graphs} molecule-like graphs, "
+        f"avg {workload.avg_vertices:.1f} vertices; GED threshold {tau}\n"
     )
 
-    pars = ParsSearcher(dataset, tau)
-    ring = RingGraphSearcher(dataset, tau, chain_length=tau - 1)
+    algorithms = {
+        "Pars": {"algorithm": "baseline"},
+        f"Ring l={tau - 1}": {"algorithm": "ring", "chain_length": tau - 1},
+    }
+    rows = engine_comparison_rows(
+        engine, "graphs", "aids-like", tau, algorithms, list(workload.queries)
+    )
+    print(format_rows(rows))
 
-    print(f"{'algorithm':>10} | {'avg cand':>9} | {'avg results':>11} | {'avg time (ms)':>13}")
-    for name, searcher in (("Pars", pars), ("Ring", ring)):
-        outcomes = [searcher.search(query) for query in workload.queries]
-        candidates = sum(o.num_candidates for o in outcomes) / len(outcomes)
-        results = sum(o.num_results for o in outcomes) / len(outcomes)
-        time_ms = sum(o.total_time for o in outcomes) / len(outcomes) * 1000
-        print(f"{name:>10} | {candidates:>9.1f} | {results:>11.1f} | {time_ms:>13.2f}")
+    top = engine.search(Query(backend="graphs", payload=workload.queries[2], k=3))
+    print(f"\n3 closest compounds to query 2 (escalated to tau = {top.tau_effective}):")
+    for obj_id, score in zip(top.ids, top.scores):
+        print(f"  graph {obj_id}: GED {score:.0f}")
 
 
 if __name__ == "__main__":

@@ -1,49 +1,53 @@
 """Near-duplicate record detection with set similarity search (Enron/DBLP use case).
 
 Records are token sets; the query asks for every record whose Jaccard
-similarity is at least ``tau``.  The example compares the prefix-filter
-baseline, PartAlloc, pkwise, and the pigeonring searcher -- a miniature of the
-paper's Figure 10.
+similarity is at least ``tau``.  The workload runs through the unified query
+engine's ``sets`` backend, which serves all of the paper's Figure-10
+contenders (AdaptSearch, PartAlloc, pkwise, pigeonring) behind the same
+``Query`` API; the batch is answered once sequentially and once on the
+engine's thread pool to show both serving paths agree.
 
 Run with:  python examples/near_duplicate_records.py
 """
 
 from repro.datasets.tokens import dblp_like
-from repro.sets import (
-    AdaptSearchSearcher,
-    JaccardPredicate,
-    PartAllocSearcher,
-    PkwiseSearcher,
-    RingSetSearcher,
-    SetDataset,
-)
+from repro.engine import Query, SearchEngine
+from repro.experiments.harness import engine_comparison_rows, format_rows
+from repro.sets import SetDataset
 
 
 def main() -> None:
     workload = dblp_like(num_records=2000, num_queries=20, seed=3)
-    dataset = SetDataset(workload.records, num_classes=4)
     tau = 0.8
-    predicate = JaccardPredicate(tau)
 
+    engine = SearchEngine()
+    engine.add_dataset("sets", SetDataset(workload.records, num_classes=4))
     print(
-        f"dataset: {len(dataset)} records, avg size {workload.avg_record_size:.1f} tokens; "
-        f"Jaccard threshold {tau}\n"
+        f"dataset: {workload.num_records} records, avg size "
+        f"{workload.avg_record_size:.1f} tokens; Jaccard threshold {tau}\n"
     )
 
-    searchers = {
-        "AdaptSearch": AdaptSearchSearcher(dataset, predicate),
-        "PartAlloc": PartAllocSearcher(dataset, predicate),
-        "pkwise": PkwiseSearcher(dataset, predicate),
-        "Ring (l=2)": RingSetSearcher(dataset, predicate, chain_length=2),
+    algorithms = {
+        "AdaptSearch": {"algorithm": "adapt"},
+        "PartAlloc": {"algorithm": "partalloc"},
+        "pkwise": {"algorithm": "baseline"},
+        "Ring (l=2)": {"algorithm": "ring", "chain_length": 2},
     }
+    rows = engine_comparison_rows(
+        engine, "sets", "dblp-like", tau, algorithms, list(workload.queries)
+    )
+    print(format_rows(rows))
 
-    print(f"{'algorithm':>12} | {'avg candidates':>14} | {'avg results':>11} | {'avg time (ms)':>13}")
-    for name, searcher in searchers.items():
-        outcomes = [searcher.search(query) for query in workload.queries]
-        candidates = sum(o.num_candidates for o in outcomes) / len(outcomes)
-        results = sum(o.num_results for o in outcomes) / len(outcomes)
-        time_ms = sum(o.total_time for o in outcomes) / len(outcomes) * 1000
-        print(f"{name:>12} | {candidates:>14.1f} | {results:>11.1f} | {time_ms:>13.2f}")
+    queries = [
+        Query(backend="sets", payload=payload, tau=tau) for payload in workload.queries
+    ]
+    sequential = engine.search_batch(queries)
+    engine.clear_cache()
+    parallel = engine.search_batch(queries, parallel=True, max_workers=4)
+    agree = all(
+        sorted(a.ids) == sorted(b.ids) for a, b in zip(sequential, parallel)
+    )
+    print(f"\nsequential and thread-pooled batches agree: {agree}")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,9 @@ The package is organised around the paper's structure:
   paper's eight real datasets.
 * :mod:`repro.experiments` -- harness code regenerating every figure of the
   paper's evaluation section.
+* :mod:`repro.engine` -- the unified multi-domain query engine: backend
+  registry, persistent index containers, batched/parallel serving with an
+  LRU result cache, and top-k search (see ENGINE.md).
 """
 
 __version__ = "1.0.0"

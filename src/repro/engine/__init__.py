@@ -1,0 +1,46 @@
+"""A unified multi-domain query engine over the paper's four case studies.
+
+The per-domain packages (:mod:`repro.hamming`, :mod:`repro.sets`,
+:mod:`repro.strings`, :mod:`repro.graphs`) each expose their own dataset and
+searcher classes; this subsystem puts one serving layer on top of them:
+
+* :mod:`repro.engine.backend` -- the :class:`Backend` protocol and a registry
+  mapping domain names to adapters.
+* :mod:`repro.engine.backends` -- the four registered adapters.
+* :mod:`repro.engine.api` -- the uniform :class:`Query` / :class:`Response`
+  dataclasses.
+* :mod:`repro.engine.executor` -- :class:`SearchEngine`: searcher reuse, an
+  LRU result cache, batched and thread-pooled execution, latency statistics.
+* :mod:`repro.engine.topk` -- top-k search via adaptive threshold escalation.
+* :mod:`repro.engine.persistence` -- build-once/save/load index containers.
+* :mod:`repro.engine.cli` -- ``python -m repro.engine`` with ``build-index``,
+  ``query`` and ``bench`` subcommands.
+
+See ENGINE.md at the repository root for the architecture walkthrough.
+"""
+
+from repro.engine.api import Query, Response
+from repro.engine.backend import (
+    Backend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.executor import EngineStats, SearchEngine
+from repro.engine.persistence import Container, load_container, save_container
+from repro.engine.topk import run_topk
+
+__all__ = [
+    "Backend",
+    "Container",
+    "EngineStats",
+    "Query",
+    "Response",
+    "SearchEngine",
+    "available_backends",
+    "get_backend",
+    "load_container",
+    "register_backend",
+    "run_topk",
+    "save_container",
+]

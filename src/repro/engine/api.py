@@ -1,0 +1,94 @@
+"""The uniform query API of the multi-domain search engine.
+
+Every request against the engine -- whichever of the four domains answers it
+-- is a :class:`Query`, and every answer is a :class:`Response`.  A query
+either carries a threshold ``tau`` (thresholded selection, the paper's
+problem statement) or a result count ``k`` (top-k search, implemented on top
+of tau-selection by adaptive threshold escalation; see
+:mod:`repro.engine.topk`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Query:
+    """One request against the engine.
+
+    Attributes:
+        backend: registered backend name (``hamming``, ``sets``, ``strings``
+            or ``graphs``).
+        payload: the domain query object -- a binary vector, a token set, a
+            string, or a :class:`repro.graphs.graph.Graph`.
+        tau: selection threshold.  Distances for ``hamming`` / ``strings`` /
+            ``graphs``; a similarity threshold for ``sets`` (a float in
+            ``(0, 1]`` means Jaccard, an integer ``>= 1`` means overlap).
+            Optional for top-k queries, where it seeds the escalation ladder.
+        k: when set, run a top-k search instead of a thresholded selection.
+        chain_length: pigeonring chain length ``l``; ``None`` picks the
+            backend's paper-tuned default.
+        algorithm: which searcher family answers the query; every backend
+            understands ``ring`` (pigeonring), ``baseline`` (the paper's
+            per-domain baseline: GPH / pkwise / Pivotal / Pars) and
+            ``linear`` (brute force).  The sets backend additionally accepts
+            ``adapt`` and ``partalloc``.
+    """
+
+    backend: str
+    payload: Any
+    tau: float | int | None = None
+    k: int | None = None
+    chain_length: int | None = None
+    algorithm: str = "ring"
+
+    def __post_init__(self) -> None:
+        if self.tau is None and self.k is None:
+            raise ValueError("a query needs a threshold tau, a result count k, or both")
+        if self.k is not None and self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.chain_length is not None and self.chain_length < 1:
+            raise ValueError("chain_length must be at least 1")
+
+
+@dataclass
+class Response:
+    """The engine's answer to one :class:`Query`.
+
+    Attributes:
+        query: the query that produced this response.
+        ids: ids of the matching data objects.  For top-k queries they are
+            ordered best-first; for thresholded queries they follow the
+            searcher's emission order.
+        scores: exact distances (or negated similarities for ``sets``) of the
+            returned ids; populated for top-k queries, ``None`` otherwise.
+        tau_effective: the threshold that produced the result -- the query's
+            own ``tau``, or the final rung of the top-k escalation ladder.
+        num_candidates: objects that reached verification (filter output).
+        candidate_time / verify_time: searcher-reported seconds, as in
+            :class:`repro.common.stats.SearchResult`.
+        engine_time: wall-clock seconds spent inside the engine for this
+            query, including searcher construction and cache bookkeeping.
+        cached: True when the response was served from the result cache.
+    """
+
+    query: Query
+    ids: list[int] = field(default_factory=list)
+    scores: list[float] | None = None
+    tau_effective: float | int | None = None
+    num_candidates: int = 0
+    candidate_time: float = 0.0
+    verify_time: float = 0.0
+    engine_time: float = 0.0
+    cached: bool = False
+
+    @property
+    def num_results(self) -> int:
+        return len(self.ids)
+
+    @property
+    def total_time(self) -> float:
+        """Searcher-reported filtering plus verification time."""
+        return self.candidate_time + self.verify_time

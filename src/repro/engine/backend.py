@@ -1,0 +1,161 @@
+"""Backend protocol and registry of the multi-domain search engine.
+
+A *backend* adapts one of the paper's four case studies (Hamming, set,
+string, graph tau-selection) to the engine's uniform query API.  Each backend
+knows how to
+
+* wrap a raw domain dataset into a servable *store* (``prepare``), building
+  any persistent index exactly once,
+* construct searchers for a given algorithm / threshold / chain length,
+* compute the exact distance (rank score) between a query payload and one
+  data object, used to order top-k results,
+* produce the adaptive threshold-escalation ladder top-k search walks, and
+* save / load its store to an on-disk container directory.
+
+Backends register themselves in a process-wide registry under a short name;
+the engine resolves queries through :func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.common.stats import SearchResult
+
+
+class Backend(abc.ABC):
+    """Adapter between one similarity domain and the engine."""
+
+    #: registry name, e.g. ``"hamming"``.
+    name: str = ""
+    #: algorithm names :meth:`make_searcher` accepts.
+    algorithms: tuple[str, ...] = ("ring", "baseline", "linear")
+
+    # -- dataset lifecycle -------------------------------------------------
+
+    def prepare(self, dataset: Any) -> Any:
+        """Wrap a raw domain dataset into the store the engine serves from.
+
+        The default is the identity; backends with a persistent index (e.g.
+        Hamming's partition index) build it here, once.
+        """
+        return dataset
+
+    @abc.abstractmethod
+    def describe(self, store: Any) -> dict:
+        """Human-readable store parameters for manifests and CLIs."""
+
+    @abc.abstractmethod
+    def default_tau(self, store: Any) -> float | int:
+        """A sensible domain threshold for demos and benchmarks."""
+
+    # -- query plumbing ----------------------------------------------------
+
+    @abc.abstractmethod
+    def query_key(self, payload: Any) -> Hashable:
+        """A hashable, equality-faithful key for the result cache."""
+
+    @abc.abstractmethod
+    def make_searcher(
+        self,
+        store: Any,
+        algorithm: str,
+        tau: float | int,
+        chain_length: int | None,
+    ) -> Callable[[Any], SearchResult]:
+        """A ``payload -> SearchResult`` callable for one configuration."""
+
+    @abc.abstractmethod
+    def distance(self, store: Any, payload: Any, obj_id: int, tau: float | int | None) -> float:
+        """Exact rank score of one object (lower is better).
+
+        For distance domains this is the distance itself; for similarity
+        domains it is the negated similarity, so that sorting ascending
+        always yields best-first order.
+        """
+
+    def distances(
+        self,
+        store: Any,
+        payload: Any,
+        ids: Sequence[int],
+        tau: float | int | None,
+    ) -> list[float]:
+        """Rank scores for many objects; backends override to batch the work."""
+        return [self.distance(store, payload, obj_id, tau) for obj_id in ids]
+
+    @abc.abstractmethod
+    def tau_ladder(
+        self, store: Any, payload: Any, start: float | int | None
+    ) -> Iterable[float | int]:
+        """Escalating thresholds for top-k search, selective to permissive.
+
+        The final rung should be exhaustive -- running it with the ``linear``
+        algorithm returns every object comparable to the payload -- except
+        where the domain's distance makes that intractable (exact GED is
+        exponential in the threshold; the graphs backend caps the ladder and
+        serves best-effort top-k within that radius).
+        """
+
+    # -- persistence -------------------------------------------------------
+
+    @abc.abstractmethod
+    def save_store(self, store: Any, directory: str) -> None:
+        """Write the store (dataset + any prebuilt index) into ``directory``."""
+
+    @abc.abstractmethod
+    def load_store(self, directory: str) -> Any:
+        """Restore a store written by :meth:`save_store`."""
+
+    @abc.abstractmethod
+    def save_queries(self, queries: Sequence[Any], directory: str) -> None:
+        """Persist a sample query workload next to the store."""
+
+    @abc.abstractmethod
+    def load_queries(self, directory: str) -> list[Any] | None:
+        """Load the persisted workload, or ``None`` when absent."""
+
+    # -- synthetic workloads (CLI) ----------------------------------------
+
+    @abc.abstractmethod
+    def make_workload(
+        self, size: int, num_queries: int, seed: int
+    ) -> tuple[Any, list[Any]]:
+        """A synthetic ``(raw dataset, query payloads)`` pair for the CLI."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def check_algorithm(self, algorithm: str) -> None:
+        if algorithm not in self.algorithms:
+            raise ValueError(
+                f"backend {self.name!r} does not implement algorithm "
+                f"{algorithm!r}; choose one of {sorted(self.algorithms)}"
+            )
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Register a backend instance under its ``name``."""
+    if not backend.name:
+        raise ValueError("backends must define a non-empty name")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look a backend up by name, with a helpful error for typos."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown backend {name!r}; registered backends: {known}") from None
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,534 @@
+"""The four domain backends of the engine (Sections 6.1-6.4 of the paper).
+
+Each backend adapts one case-study package -- Hamming, sets, strings, graphs
+-- to the :class:`repro.engine.backend.Backend` protocol and registers itself
+under its domain name at import time.  The adapters hold no per-query state;
+everything mutable lives in the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.common.stats import SearchResult
+from repro.datasets.binary import gist_like
+from repro.datasets.molecules import aids_like
+from repro.datasets.text import imdb_like
+from repro.datasets.tokens import dblp_like
+from repro.engine.backend import Backend, register_backend
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.ged import graph_edit_distance
+from repro.graphs.graph import Graph
+from repro.graphs.linear import LinearGraphSearcher
+from repro.graphs.pars import ParsSearcher
+from repro.graphs.ring import RingGraphSearcher
+from repro.hamming.dataset import BinaryVectorDataset
+from repro.hamming.gph import GPHSearcher
+from repro.hamming.index import PartitionIndex
+from repro.hamming.linear import LinearHammingSearcher
+from repro.hamming.ring import RingHammingSearcher
+from repro.sets.adaptsearch import AdaptSearchSearcher
+from repro.sets.dataset import SetDataset
+from repro.sets.linear import LinearSetSearcher
+from repro.sets.partalloc import PartAllocSearcher
+from repro.sets.pkwise import PkwiseSearcher
+from repro.sets.ring import RingSetSearcher
+from repro.sets.similarity import JaccardPredicate, OverlapPredicate, jaccard, overlap
+from repro.strings.dataset import StringDataset
+from repro.strings.edit_distance import edit_distance
+from repro.strings.linear import LinearStringSearcher
+from repro.strings.pivotal import PivotalSearcher
+from repro.strings.ring import RingStringSearcher
+
+
+def _write_json(directory: str, filename: str, payload: dict) -> None:
+    with open(os.path.join(directory, filename), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def _read_json(directory: str, filename: str) -> dict | None:
+    path = os.path.join(directory, filename)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ---------------------------------------------------------------------------
+# Hamming
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HammingStore:
+    """A binary-vector dataset plus its build-once partition index."""
+
+    dataset: BinaryVectorDataset
+    index: PartitionIndex
+
+
+class HammingBackend(Backend):
+    """Hamming distance over binary vectors (GPH / pigeonring)."""
+
+    name = "hamming"
+
+    def prepare(self, dataset: Any) -> HammingStore:
+        if isinstance(dataset, HammingStore):
+            return dataset
+        if not isinstance(dataset, BinaryVectorDataset):
+            dataset = BinaryVectorDataset(np.asarray(dataset))
+        return HammingStore(dataset=dataset, index=PartitionIndex(dataset))
+
+    def describe(self, store: HammingStore) -> dict:
+        return {
+            "num_objects": len(store.dataset),
+            "d": store.dataset.d,
+            "num_parts": store.dataset.m,
+        }
+
+    def default_tau(self, store: HammingStore) -> int:
+        return max(1, store.dataset.d // 8)
+
+    def query_key(self, payload: Any) -> Hashable:
+        vector = np.asarray(payload).astype(np.uint8).reshape(-1)
+        return (vector.shape[0], vector.tobytes())
+
+    def make_searcher(
+        self,
+        store: HammingStore,
+        algorithm: str,
+        tau: float | int,
+        chain_length: int | None,
+    ) -> Callable[[Any], SearchResult]:
+        self.check_algorithm(algorithm)
+        tau = int(tau)
+        if algorithm == "ring":
+            searcher = RingHammingSearcher(
+                store.dataset, chain_length=chain_length or 5, index=store.index
+            )
+        elif algorithm == "baseline":
+            searcher = GPHSearcher(store.dataset, index=store.index)
+        else:
+            searcher = LinearHammingSearcher(store.dataset)
+        return lambda payload: searcher.search(payload, tau)
+
+    def distance(
+        self, store: HammingStore, payload: Any, obj_id: int, tau: float | int | None
+    ) -> float:
+        return self.distances(store, payload, [obj_id], tau)[0]
+
+    def distances(
+        self,
+        store: HammingStore,
+        payload: Any,
+        ids: Sequence[int],
+        tau: float | int | None,
+    ) -> list[float]:
+        if not ids:
+            return []
+        array = np.asarray(ids, dtype=np.int64)
+        return store.dataset.distances_to_subset(payload, array).astype(float).tolist()
+
+    def tau_ladder(
+        self, store: HammingStore, payload: Any, start: float | int | None
+    ) -> Iterable[int]:
+        d = store.dataset.d
+        tau = int(start) if start is not None else self.default_tau(store)
+        tau = max(1, min(tau, d))
+        while tau < d:
+            yield tau
+            tau *= 2
+        yield d
+
+    def save_store(self, store: HammingStore, directory: str) -> None:
+        arrays = {
+            "vectors": store.dataset.vectors.astype(np.uint8),
+            "num_parts": np.asarray([store.dataset.m], dtype=np.int64),
+        }
+        for key, value in store.index.state().items():
+            arrays[f"idx_{key}"] = value
+        np.savez(os.path.join(directory, "data.npz"), **arrays)
+
+    def load_store(self, directory: str) -> HammingStore:
+        with np.load(os.path.join(directory, "data.npz")) as data:
+            dataset = BinaryVectorDataset(
+                data["vectors"], num_parts=int(data["num_parts"][0])
+            )
+            state = {
+                key[len("idx_") :]: data[key]
+                for key in data.files
+                if key.startswith("idx_")
+            }
+        index = PartitionIndex.from_state(dataset, state)
+        return HammingStore(dataset=dataset, index=index)
+
+    def save_queries(self, queries: Sequence[Any], directory: str) -> None:
+        matrix = np.asarray([np.asarray(q).reshape(-1) for q in queries], dtype=np.uint8)
+        np.savez(os.path.join(directory, "queries.npz"), queries=matrix)
+
+    def load_queries(self, directory: str) -> list[Any] | None:
+        path = os.path.join(directory, "queries.npz")
+        if not os.path.exists(path):
+            return None
+        with np.load(path) as data:
+            return [row for row in data["queries"]]
+
+    def make_workload(
+        self, size: int, num_queries: int, seed: int
+    ) -> tuple[BinaryVectorDataset, list[Any]]:
+        workload = gist_like(num_vectors=size, num_queries=num_queries, seed=seed)
+        dataset = BinaryVectorDataset(workload.vectors, num_parts=8)
+        return dataset, [row for row in workload.queries]
+
+
+# ---------------------------------------------------------------------------
+# Sets
+# ---------------------------------------------------------------------------
+
+
+def _set_predicate(tau: float | int):
+    """Overlap for int thresholds, Jaccard for floats in (0, 1]."""
+    if isinstance(tau, (int, np.integer)) and not isinstance(tau, bool):
+        return OverlapPredicate(int(tau))
+    tau = float(tau)
+    if tau > 1.0:
+        if not tau.is_integer():
+            raise ValueError(
+                f"a sets threshold above 1 is an overlap count and must be "
+                f"integral, got {tau!r}"
+            )
+        return OverlapPredicate(int(tau))
+    return JaccardPredicate(tau)
+
+
+class SetBackend(Backend):
+    """Set similarity (overlap / Jaccard) over token sets (pkwise / pigeonring)."""
+
+    name = "sets"
+    algorithms = ("ring", "baseline", "adapt", "partalloc", "linear")
+
+    def prepare(self, dataset: Any) -> SetDataset:
+        if isinstance(dataset, SetDataset):
+            return dataset
+        return SetDataset(dataset)
+
+    def describe(self, store: SetDataset) -> dict:
+        return {"num_objects": len(store), "num_classes": store.num_classes}
+
+    def default_tau(self, store: SetDataset) -> float:
+        return 0.8
+
+    def query_key(self, payload: Any) -> Hashable:
+        return tuple(sorted(set(payload)))
+
+    def make_searcher(
+        self,
+        store: SetDataset,
+        algorithm: str,
+        tau: float | int,
+        chain_length: int | None,
+    ) -> Callable[[Any], SearchResult]:
+        self.check_algorithm(algorithm)
+        predicate = _set_predicate(tau)
+        if algorithm == "ring":
+            searcher = RingSetSearcher(store, predicate, chain_length=chain_length or 2)
+        elif algorithm == "baseline":
+            searcher = PkwiseSearcher(store, predicate)
+        elif algorithm == "adapt":
+            searcher = AdaptSearchSearcher(store, predicate)
+        elif algorithm == "partalloc":
+            searcher = PartAllocSearcher(store, predicate)
+        else:
+            searcher = LinearSetSearcher(store, predicate)
+        return searcher.search
+
+    def distance(
+        self, store: SetDataset, payload: Any, obj_id: int, tau: float | int | None
+    ) -> float:
+        return self.distances(store, payload, [obj_id], tau)[0]
+
+    def distances(
+        self,
+        store: SetDataset,
+        payload: Any,
+        ids: Sequence[int],
+        tau: float | int | None,
+    ) -> list[float]:
+        encoded = store.encode_query(payload)
+        use_overlap = tau is not None and isinstance(
+            _set_predicate(tau), OverlapPredicate
+        )
+        if use_overlap:
+            return [-float(overlap(store.record(obj_id), encoded)) for obj_id in ids]
+        return [-jaccard(store.record(obj_id), encoded) for obj_id in ids]
+
+    def tau_ladder(
+        self, store: SetDataset, payload: Any, start: float | int | None
+    ) -> Iterable[float | int]:
+        if start is not None and isinstance(_set_predicate(start), OverlapPredicate):
+            tau = int(start)
+            while tau > 1:
+                yield tau
+                tau = tau // 2
+            yield 1
+            return
+        # Jaccard: any pair sharing one token has J >= 1 / |union|.
+        max_size = max((store.size(obj_id) for obj_id in range(len(store))), default=1)
+        floor = 1.0 / max(1, len(set(payload)) + max_size)
+        tau = float(start) if start is not None else self.default_tau(store)
+        while tau > floor:
+            yield tau
+            tau /= 2.0
+        yield floor
+
+    def save_store(self, store: SetDataset, directory: str) -> None:
+        _write_json(
+            directory,
+            "data.json",
+            {
+                "records": [list(map(int, record)) for record in store.raw_records],
+                "num_classes": store.num_classes,
+            },
+        )
+
+    def load_store(self, directory: str) -> SetDataset:
+        data = _read_json(directory, "data.json")
+        return SetDataset(data["records"], num_classes=int(data["num_classes"]))
+
+    def save_queries(self, queries: Sequence[Any], directory: str) -> None:
+        _write_json(
+            directory,
+            "queries.json",
+            {"queries": [list(map(int, query)) for query in queries]},
+        )
+
+    def load_queries(self, directory: str) -> list[Any] | None:
+        data = _read_json(directory, "queries.json")
+        return None if data is None else data["queries"]
+
+    def make_workload(
+        self, size: int, num_queries: int, seed: int
+    ) -> tuple[SetDataset, list[Any]]:
+        workload = dblp_like(num_records=size, num_queries=num_queries, seed=seed)
+        return SetDataset(workload.records, num_classes=4), list(workload.queries)
+
+
+# ---------------------------------------------------------------------------
+# Strings
+# ---------------------------------------------------------------------------
+
+
+class StringBackend(Backend):
+    """Edit distance over strings (Pivotal / pigeonring)."""
+
+    name = "strings"
+
+    def prepare(self, dataset: Any) -> StringDataset:
+        if isinstance(dataset, StringDataset):
+            return dataset
+        return StringDataset(dataset)
+
+    def describe(self, store: StringDataset) -> dict:
+        return {"num_objects": len(store), "kappa": store.kappa}
+
+    def default_tau(self, store: StringDataset) -> int:
+        return 2
+
+    def query_key(self, payload: Any) -> Hashable:
+        return str(payload)
+
+    def make_searcher(
+        self,
+        store: StringDataset,
+        algorithm: str,
+        tau: float | int,
+        chain_length: int | None,
+    ) -> Callable[[Any], SearchResult]:
+        self.check_algorithm(algorithm)
+        tau = int(tau)
+        if algorithm == "linear" or tau < 1:
+            searcher = LinearStringSearcher(store)
+            return lambda payload: searcher.search(payload, tau)
+        if algorithm == "ring":
+            searcher = RingStringSearcher(store, tau, chain_length=chain_length)
+        else:
+            searcher = PivotalSearcher(store, tau)
+        return searcher.search
+
+    def distance(
+        self, store: StringDataset, payload: Any, obj_id: int, tau: float | int | None
+    ) -> float:
+        return float(edit_distance(store.record(obj_id), str(payload)))
+
+    def tau_ladder(
+        self, store: StringDataset, payload: Any, start: float | int | None
+    ) -> Iterable[int]:
+        max_tau = max(
+            max((len(record) for record in store.records), default=1), len(str(payload)), 1
+        )
+        tau = int(start) if start is not None else 1
+        tau = max(1, min(tau, max_tau))
+        while tau < max_tau:
+            yield tau
+            tau *= 2
+        yield max_tau
+
+    def save_store(self, store: StringDataset, directory: str) -> None:
+        _write_json(
+            directory, "data.json", {"records": store.records, "kappa": store.kappa}
+        )
+
+    def load_store(self, directory: str) -> StringDataset:
+        data = _read_json(directory, "data.json")
+        return StringDataset(data["records"], kappa=int(data["kappa"]))
+
+    def save_queries(self, queries: Sequence[Any], directory: str) -> None:
+        _write_json(directory, "queries.json", {"queries": list(queries)})
+
+    def load_queries(self, directory: str) -> list[Any] | None:
+        data = _read_json(directory, "queries.json")
+        return None if data is None else data["queries"]
+
+    def make_workload(
+        self, size: int, num_queries: int, seed: int
+    ) -> tuple[StringDataset, list[Any]]:
+        workload = imdb_like(num_records=size, num_queries=num_queries, seed=seed)
+        return StringDataset(workload.records, kappa=2), list(workload.queries)
+
+
+# ---------------------------------------------------------------------------
+# Graphs
+# ---------------------------------------------------------------------------
+
+
+def _graph_to_json(graph: Graph) -> dict:
+    return {
+        "vertices": [[vertex, graph.vertex_label(vertex)] for vertex in graph.vertices],
+        "edges": [[u, v, label] for u, v, label in graph.edges()],
+    }
+
+
+def _graph_from_json(data: dict) -> Graph:
+    graph = Graph()
+    for vertex, label in data["vertices"]:
+        graph.add_vertex(vertex, label)
+    for u, v, label in data["edges"]:
+        graph.add_edge(u, v, label)
+    return graph
+
+
+class GraphBackend(Backend):
+    """Graph edit distance over labelled graphs (Pars / pigeonring)."""
+
+    name = "graphs"
+
+    def prepare(self, dataset: Any) -> GraphDataset:
+        if isinstance(dataset, GraphDataset):
+            return dataset
+        return GraphDataset(dataset)
+
+    def describe(self, store: GraphDataset) -> dict:
+        return {"num_objects": len(store)}
+
+    def default_tau(self, store: GraphDataset) -> int:
+        return 3
+
+    def query_key(self, payload: Graph) -> Hashable:
+        vertices = tuple(
+            sorted(
+                ((vertex, payload.vertex_label(vertex)) for vertex in payload.vertices),
+                key=repr,
+            )
+        )
+        edges = tuple(sorted(payload.edges(), key=repr))
+        return (vertices, edges)
+
+    def make_searcher(
+        self,
+        store: GraphDataset,
+        algorithm: str,
+        tau: float | int,
+        chain_length: int | None,
+    ) -> Callable[[Any], SearchResult]:
+        self.check_algorithm(algorithm)
+        tau = int(tau)
+        if algorithm == "linear" or tau < 1:
+            searcher = LinearGraphSearcher(store)
+            return lambda payload: searcher.search(payload, tau)
+        if algorithm == "ring":
+            searcher = RingGraphSearcher(store, tau, chain_length=chain_length)
+        else:
+            searcher = ParsSearcher(store, tau)
+        return searcher.search
+
+    def distance(
+        self, store: GraphDataset, payload: Graph, obj_id: int, tau: float | int | None
+    ) -> float:
+        # Capping the branch-and-bound keeps ranking cheap; top-k only ranks
+        # ids that already matched at threshold tau, whose GED is <= tau.
+        upper = int(tau) if tau is not None else None
+        return float(graph_edit_distance(store.graph(obj_id), payload, upper_bound=upper))
+
+    #: largest GED threshold top-k escalation will reach.  Exact GED is
+    #: exponential in the threshold, so beyond this radius even a brute-force
+    #: scan is intractable; graph top-k is best-effort within it and may
+    #: return fewer than k results.
+    escalation_cap = 10
+
+    def tau_ladder(
+        self, store: GraphDataset, payload: Graph, start: float | int | None
+    ) -> Iterable[int]:
+        max_size = max(
+            (graph.num_vertices + graph.num_edges for graph in store.graphs), default=1
+        )
+        cap = min(max_size + payload.num_vertices + payload.num_edges, self.escalation_cap)
+        tau = int(start) if start is not None else 1
+        tau = max(1, min(tau, cap))
+        # GED verification cost grows steeply with tau, so escalate in +1
+        # steps: overshooting by doubling is far more expensive than the
+        # extra rungs.
+        while tau < cap:
+            yield tau
+            tau += 1
+        yield cap
+
+    def save_store(self, store: GraphDataset, directory: str) -> None:
+        _write_json(
+            directory,
+            "data.json",
+            {"graphs": [_graph_to_json(graph) for graph in store.graphs]},
+        )
+
+    def load_store(self, directory: str) -> GraphDataset:
+        data = _read_json(directory, "data.json")
+        return GraphDataset([_graph_from_json(entry) for entry in data["graphs"]])
+
+    def save_queries(self, queries: Sequence[Graph], directory: str) -> None:
+        _write_json(
+            directory,
+            "queries.json",
+            {"queries": [_graph_to_json(query) for query in queries]},
+        )
+
+    def load_queries(self, directory: str) -> list[Graph] | None:
+        data = _read_json(directory, "queries.json")
+        if data is None:
+            return None
+        return [_graph_from_json(entry) for entry in data["queries"]]
+
+    def make_workload(
+        self, size: int, num_queries: int, seed: int
+    ) -> tuple[GraphDataset, list[Graph]]:
+        workload = aids_like(num_graphs=size, num_queries=num_queries, seed=seed)
+        return GraphDataset(workload.graphs), list(workload.queries)
+
+
+HAMMING = register_backend(HammingBackend())
+SETS = register_backend(SetBackend())
+STRINGS = register_backend(StringBackend())
+GRAPHS = register_backend(GraphBackend())

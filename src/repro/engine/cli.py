@@ -1,0 +1,186 @@
+"""Command-line front end: ``python -m repro.engine <command>``.
+
+Three subcommands make the engine drivable end-to-end without writing code:
+
+* ``build-index`` -- generate a synthetic workload for one backend, build the
+  dataset (and, for Hamming, the partition index) once, and save everything
+  into an index container directory together with a sample query workload.
+* ``query`` -- load a container and answer one stored query, either as a
+  thresholded selection (``--tau``) or as a top-k search (``--k``).
+* ``bench`` -- load a container, replay the stored workload sequentially and
+  on a thread pool, verify both paths agree, and record throughput to a JSON
+  report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.common.stats import Timer
+from repro.engine.api import Query
+from repro.engine.backend import available_backends
+from repro.engine.executor import SearchEngine
+
+
+def _parse_tau(text: str) -> float | int:
+    """Keep integral thresholds as ints: for ``sets``, ``--tau 1`` must mean
+    overlap >= 1, not Jaccard 1.0 (exact equality)."""
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _build_index(args: argparse.Namespace) -> int:
+    engine = SearchEngine()
+    backend = engine.backend(args.backend)
+    dataset, queries = backend.make_workload(args.size, args.queries, args.seed)
+    timer = Timer()
+    store = engine.add_dataset(args.backend, dataset)
+    build_time = timer.elapsed()
+    manifest = engine.save_index(args.backend, args.out, queries=queries)
+    print(f"built {args.backend} store in {build_time:.2f}s: {manifest['descriptor']}")
+    print(f"saved index container with {len(queries)} queries to {args.out}")
+    return 0
+
+
+def _load(engine: SearchEngine, directory: str):
+    container = engine.load_index(directory)
+    if not container.queries:
+        print(f"container {directory} holds no stored queries", file=sys.stderr)
+        raise SystemExit(2)
+    return container
+
+
+def _query(args: argparse.Namespace) -> int:
+    engine = SearchEngine()
+    container = _load(engine, args.index)
+    name = container.backend.name
+    if not 0 <= args.query < len(container.queries):
+        print(
+            f"--query must be in [0, {len(container.queries) - 1}]", file=sys.stderr
+        )
+        return 2
+    payload = container.queries[args.query]
+    tau = args.tau if args.tau is not None else (
+        None if args.k is not None else container.backend.default_tau(container.store)
+    )
+    query = Query(
+        backend=name,
+        payload=payload,
+        tau=tau,
+        k=args.k,
+        chain_length=args.chain_length,
+        algorithm=args.algorithm,
+    )
+    response = engine.search(query)
+    kind = f"top-{args.k}" if args.k is not None else f"tau={tau}"
+    print(
+        f"[{name}] {kind} algorithm={args.algorithm}: "
+        f"{response.num_results} result(s), {response.num_candidates} candidate(s), "
+        f"{response.engine_time * 1000.0:.2f} ms"
+    )
+    if response.scores is not None:
+        for obj_id, score in zip(response.ids, response.scores):
+            print(f"  id={obj_id}  score={score:g}")
+    else:
+        print(f"  ids: {response.ids[:20]}{' ...' if response.num_results > 20 else ''}")
+    return 0
+
+
+def _bench(args: argparse.Namespace) -> int:
+    engine = SearchEngine(cache_size=0)  # throughput without result-cache effects
+    container = _load(engine, args.index)
+    name = container.backend.name
+    tau = args.tau if args.tau is not None else container.backend.default_tau(
+        container.store
+    )
+    queries = [
+        Query(
+            backend=name,
+            payload=payload,
+            tau=tau,
+            chain_length=args.chain_length,
+            algorithm=args.algorithm,
+        )
+        for payload in container.queries
+    ] * args.repeat
+    # Warm the searcher cache so both paths measure pure serving.
+    engine.search(queries[0])
+    engine.reset_stats()
+
+    timer = Timer()
+    sequential = engine.search_batch(queries)
+    sequential_s = timer.restart()
+    parallel = engine.search_batch(queries, parallel=True, max_workers=args.workers)
+    parallel_s = timer.elapsed()
+    agree = all(
+        sorted(a.ids) == sorted(b.ids) for a, b in zip(sequential, parallel)
+    )
+    report = {
+        "backend": name,
+        "tau": tau,
+        "algorithm": args.algorithm,
+        "num_queries": len(queries),
+        "workers": args.workers,
+        "sequential_seconds": sequential_s,
+        "parallel_seconds": parallel_s,
+        "sequential_qps": len(queries) / sequential_s if sequential_s else 0.0,
+        "parallel_qps": len(queries) / parallel_s if parallel_s else 0.0,
+        "results_agree": agree,
+        "stats": engine.stats.snapshot(),
+    }
+    print(
+        f"[{name}] {len(queries)} queries  sequential {report['sequential_qps']:.1f} q/s"
+        f"  parallel({args.workers}) {report['parallel_qps']:.1f} q/s"
+        f"  agree={agree}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.out}")
+    return 0 if agree else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Unified multi-domain similarity search engine",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build-index", help="build and save an index container")
+    build.add_argument("--backend", choices=available_backends(), required=True)
+    build.add_argument("--out", required=True, help="container directory to create")
+    build.add_argument("--size", type=int, default=2000, help="number of data objects")
+    build.add_argument("--queries", type=int, default=20, help="stored sample queries")
+    build.add_argument("--seed", type=int, default=0)
+    build.set_defaults(func=_build_index)
+
+    query = commands.add_parser("query", help="answer one stored query")
+    query.add_argument("--index", required=True, help="container directory")
+    query.add_argument("--query", type=int, default=0, help="stored query number")
+    query.add_argument("--tau", type=_parse_tau, default=None)
+    query.add_argument("--k", type=int, default=None)
+    query.add_argument("--chain-length", type=int, default=None)
+    query.add_argument("--algorithm", default="ring")
+    query.set_defaults(func=_query)
+
+    bench = commands.add_parser("bench", help="measure batch-serving throughput")
+    bench.add_argument("--index", required=True, help="container directory")
+    bench.add_argument("--tau", type=_parse_tau, default=None)
+    bench.add_argument("--chain-length", type=int, default=None)
+    bench.add_argument("--algorithm", default="ring")
+    bench.add_argument("--repeat", type=int, default=1, help="workload repetitions")
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--out", default=None, help="write the JSON report here")
+    bench.set_defaults(func=_bench)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,275 @@
+"""The query execution layer: one engine, four domains, batched serving.
+
+:class:`SearchEngine` owns the attached domain stores and answers
+:class:`repro.engine.api.Query` objects through the backend registry.  It
+adds the serving-layer machinery the per-domain searchers do not have:
+
+* a **searcher cache** -- searcher construction (per algorithm / tau / chain
+  length) happens once and is reused across queries;
+* an **LRU result cache** keyed on ``(backend, query, tau, chain_length,
+  algorithm, k)``;
+* **batched and thread-pooled parallel execution** with order-preserving
+  results;
+* **latency statistics** per backend, aggregated with
+  :class:`repro.common.stats.QueryStats`; and
+* **top-k search** delegated to :mod:`repro.engine.topk`.
+
+The engine is thread-safe: shared state is touched only under an internal
+lock, which is never held while a searcher runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.common.stats import QueryStats, Timer
+from repro.engine import backends as _backends  # noqa: F401 - populate registry
+from repro.engine.api import Query, Response
+from repro.engine.backend import Backend, get_backend
+from repro.engine.persistence import Container, load_container, save_container
+from repro.engine.topk import run_topk
+
+
+@dataclass
+class EngineStats:
+    """Aggregate serving statistics of one :class:`SearchEngine`.
+
+    Counters track *served* tau-selections: a top-k query contributes its
+    escalation rungs (each an ordinary engine search) rather than being
+    counted again as an aggregate; cache hit/miss counters cover every
+    request, including top-k aggregates.
+    """
+
+    num_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    engine_time: float = 0.0
+    per_backend: dict[str, QueryStats] = field(default_factory=dict)
+
+    @property
+    def avg_engine_time(self) -> float:
+        return self.engine_time / self.num_queries if self.num_queries else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly view (used by the CLI and the smoke benchmark)."""
+        return {
+            "num_queries": self.num_queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "engine_time_s": self.engine_time,
+            "avg_engine_time_ms": self.avg_engine_time * 1000.0,
+            "per_backend": {
+                name: {
+                    "num_queries": stats.num_queries,
+                    "avg_candidates": stats.avg_candidates,
+                    "avg_results": stats.avg_results,
+                    "avg_total_time_ms": stats.avg_total_time * 1000.0,
+                }
+                for name, stats in self.per_backend.items()
+            },
+        }
+
+
+def _tau_key(tau: float | int | None) -> Hashable:
+    """Cache-key form of a threshold that keeps int and float taus distinct.
+
+    The distinction is semantic for the sets backend (int = overlap,
+    float = Jaccard), and ``hash(1) == hash(1.0)`` would merge them.
+    """
+    if tau is None:
+        return None
+    is_int = isinstance(tau, (int, np.integer)) and not isinstance(tau, bool)
+    return (float(tau), is_int)
+
+
+class SearchEngine:
+    """A unified serving layer over the four similarity-search domains.
+
+    Args:
+        cache_size: capacity of the LRU result cache (0 disables it).
+        max_workers: default thread-pool width for parallel batches.
+    """
+
+    def __init__(self, cache_size: int = 1024, max_workers: int | None = None):
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self._stores: dict[str, Any] = {}
+        # Bumped whenever a backend's store is replaced; part of every
+        # searcher/result cache key, so entries built against a replaced
+        # store can never be served again (even by a search that raced the
+        # replacement).
+        self._epochs: dict[str, int] = {}
+        self._searchers: dict[tuple, Any] = {}
+        self._cache: OrderedDict[tuple, Response] = OrderedDict()
+        self._cache_size = cache_size
+        self._max_workers = max_workers
+        self._lock = threading.Lock()
+        self._stats = EngineStats()
+
+    # -- dataset management ------------------------------------------------
+
+    def add_dataset(self, backend_name: str, dataset: Any) -> Any:
+        """Attach a domain dataset; the backend builds its store/index once."""
+        backend = get_backend(backend_name)
+        store = backend.prepare(dataset)
+        with self._lock:
+            self._stores[backend_name] = store
+            self._epochs[backend_name] = self._epochs.get(backend_name, 0) + 1
+            self._evict_backend_state(backend_name)
+        return store
+
+    def backend(self, backend_name: str) -> Backend:
+        return get_backend(backend_name)
+
+    def store(self, backend_name: str) -> Any:
+        try:
+            return self._stores[backend_name]
+        except KeyError:
+            attached = ", ".join(sorted(self._stores)) or "(none)"
+            raise KeyError(
+                f"no dataset attached for backend {backend_name!r}; "
+                f"attached backends: {attached}"
+            ) from None
+
+    def attached_backends(self) -> list[str]:
+        return sorted(self._stores)
+
+    def _evict_backend_state(self, backend_name: str) -> None:
+        """Drop cached searchers/results that refer to a replaced store."""
+        self._searchers = {
+            key: value for key, value in self._searchers.items() if key[0] != backend_name
+        }
+        for key in [key for key in self._cache if key[0] == backend_name]:
+            del self._cache[key]
+
+    # -- persistence -------------------------------------------------------
+
+    def save_index(
+        self, backend_name: str, directory: str, queries: Sequence[Any] | None = None
+    ) -> dict:
+        """Persist the attached store (and optional workload) to ``directory``."""
+        return save_container(
+            self.backend(backend_name), self.store(backend_name), directory, queries
+        )
+
+    def load_index(self, directory: str) -> Container:
+        """Load a container and attach its store; returns the container."""
+        container = load_container(directory)
+        with self._lock:
+            name = container.backend.name
+            self._stores[name] = container.store
+            self._epochs[name] = self._epochs.get(name, 0) + 1
+            self._evict_backend_state(name)
+        return container
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        return self._stats
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = EngineStats()
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def _cache_key(self, query: Query, backend: Backend) -> tuple:
+        return (
+            query.backend,
+            self._epochs.get(query.backend, 0),
+            backend.query_key(query.payload),
+            _tau_key(query.tau),
+            query.chain_length,
+            query.algorithm,
+            query.k,
+        )
+
+    def _searcher(self, query: Query, backend: Backend) -> Any:
+        with self._lock:
+            store = self.store(query.backend)
+            key = (
+                query.backend,
+                self._epochs.get(query.backend, 0),
+                query.algorithm,
+                _tau_key(query.tau),
+                query.chain_length,
+            )
+            searcher = self._searchers.get(key)
+        if searcher is not None:
+            return searcher
+        searcher = backend.make_searcher(
+            store, query.algorithm, query.tau, query.chain_length
+        )
+        with self._lock:
+            self._searchers.setdefault(key, searcher)
+        return searcher
+
+    def search(self, query: Query) -> Response:
+        """Answer one query (thresholded selection, or top-k when ``k`` is set)."""
+        backend = self.backend(query.backend)
+        backend.check_algorithm(query.algorithm)
+        self.store(query.backend)  # fail fast when nothing is attached
+        key = self._cache_key(query, backend)
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+                self._stats.cache_hits += 1
+                return replace(hit, query=query, cached=True)
+        timer = Timer()
+        if query.k is not None:
+            response = run_topk(self, query)
+        else:
+            searcher = self._searcher(query, backend)
+            outcome = searcher(query.payload)
+            response = Response(
+                query=query,
+                ids=list(outcome.results),
+                tau_effective=query.tau,
+                num_candidates=outcome.num_candidates,
+                candidate_time=outcome.candidate_time,
+                verify_time=outcome.verify_time,
+            )
+        response.engine_time = timer.elapsed()
+        with self._lock:
+            self._stats.cache_misses += 1
+            if query.k is None:
+                # Top-k queries are accounted through their escalation rungs
+                # (each an ordinary engine search); counting the aggregate
+                # response too would double every rung's time and candidates.
+                self._stats.num_queries += 1
+                self._stats.engine_time += response.engine_time
+                self._stats.per_backend.setdefault(query.backend, QueryStats()).add(
+                    response
+                )
+            if self._cache_size:
+                self._cache[key] = response
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return response
+
+    def search_batch(
+        self,
+        queries: Sequence[Query],
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> list[Response]:
+        """Answer a batch, optionally on a thread pool; order is preserved."""
+        queries = list(queries)
+        if not queries:
+            return []
+        if not parallel or len(queries) == 1:
+            return [self.search(query) for query in queries]
+        workers = max_workers or self._max_workers or min(8, len(queries))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.search, queries))

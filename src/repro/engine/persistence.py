@@ -1,0 +1,74 @@
+"""On-disk index containers: build once, save, and serve without rebuilding.
+
+A container is a directory holding
+
+* ``manifest.json`` -- format version, backend name and store descriptor,
+* a backend-owned payload (``data.npz`` for Hamming -- vectors plus the
+  serialised partition index -- or ``data.json`` for the other domains), and
+* an optional persisted query workload (``queries.npz`` / ``queries.json``).
+
+Loading resolves the backend through the registry, so a container is
+self-describing: :func:`load_container` needs only the path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.engine.backend import Backend, get_backend
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class Container:
+    """A loaded index container."""
+
+    backend: Backend
+    store: Any
+    queries: list[Any] | None
+    manifest: dict
+
+
+def save_container(
+    backend: Backend,
+    store: Any,
+    directory: str,
+    queries: Sequence[Any] | None = None,
+) -> dict:
+    """Write a store (and optionally a query workload) into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "backend": backend.name,
+        "descriptor": backend.describe(store),
+    }
+    backend.save_store(store, directory)
+    if queries is not None:
+        backend.save_queries(queries, directory)
+        manifest["num_queries"] = len(queries)
+    with open(os.path.join(directory, MANIFEST_NAME), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return manifest
+
+
+def load_container(directory: str) -> Container:
+    """Load a container written by :func:`save_container`."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"{directory!r} is not an index container (no manifest)")
+    with open(path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported container format {version!r} (supported: {FORMAT_VERSION})"
+        )
+    backend = get_backend(manifest["backend"])
+    store = backend.load_store(directory)
+    queries = backend.load_queries(directory)
+    return Container(backend=backend, store=store, queries=queries, manifest=manifest)

@@ -1,0 +1,69 @@
+"""Top-k search by adaptive threshold escalation.
+
+The paper's framework answers *thresholded* selection; top-k is layered on
+top of it: walk the backend's escalation ladder of thresholds (selective to
+permissive), run an ordinary tau-selection at each rung, and stop as soon as
+at least ``k`` objects qualify.  The survivors are then ranked by their exact
+distance (or negated similarity) and trimmed to ``k``, ties broken by object
+id.  The final rung of a ladder is executed with the brute-force searcher
+and is exhaustive wherever the domain distance allows, so a dataset with at
+least ``k`` comparable objects yields ``k`` results; the graphs backend caps
+its ladder (exact GED is exponential in the threshold) and may return fewer.
+
+Each rung is an ordinary engine query, so rung results land in the LRU cache
+and successive top-k queries with overlapping ladders reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.engine.api import Query, Response
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.executor import SearchEngine
+
+
+def run_topk(engine: "SearchEngine", query: Query) -> Response:
+    """Answer a ``k``-query by escalating tau-selections through ``engine``."""
+    if query.k is None:
+        raise ValueError("run_topk needs a query with k set")
+    backend = engine.backend(query.backend)
+    store = engine.store(query.backend)
+    ladder = list(backend.tau_ladder(store, query.payload, query.tau))
+    if not ladder:
+        raise ValueError(f"backend {backend.name!r} produced an empty tau ladder")
+
+    response: Response | None = None
+    num_candidates = 0
+    candidate_time = 0.0
+    verify_time = 0.0
+    for position, tau in enumerate(ladder):
+        exhaustive = position == len(ladder) - 1
+        rung = replace(
+            query,
+            tau=tau,
+            k=None,
+            algorithm="linear" if exhaustive else query.algorithm,
+        )
+        response = engine.search(rung)
+        num_candidates += response.num_candidates
+        candidate_time += response.candidate_time
+        verify_time += response.verify_time
+        if response.num_results >= query.k:
+            break
+
+    scores = backend.distances(
+        store, query.payload, response.ids, response.tau_effective
+    )
+    scored = sorted(zip(scores, response.ids))[: query.k]
+    return Response(
+        query=query,
+        ids=[obj_id for _score, obj_id in scored],
+        scores=[score for score, _obj_id in scored],
+        tau_effective=response.tau_effective,
+        num_candidates=num_candidates,
+        candidate_time=candidate_time,
+        verify_time=verify_time,
+    )

@@ -1,4 +1,16 @@
-"""Generic experiment drivers shared by all figures."""
+"""Generic experiment drivers shared by all figures.
+
+Two families of drivers coexist here:
+
+* the original callable-based drivers (:func:`run_workload`,
+  :func:`chain_length_rows`, :func:`comparison_rows`), which take raw
+  ``query -> SearchResult`` functions and are used by the per-figure
+  benchmark modules; and
+* engine-based drivers (:func:`run_engine_workload`,
+  :func:`engine_chain_length_rows`, :func:`engine_comparison_rows`), which
+  route the same experiments through :class:`repro.engine.SearchEngine` so
+  sweeps benefit from the engine's searcher reuse, batching and statistics.
+"""
 
 from __future__ import annotations
 
@@ -15,6 +27,35 @@ def run_workload(
     stats = QueryStats()
     for query in queries:
         stats.add(search(query))
+    return stats
+
+
+def run_engine_workload(
+    engine,
+    backend: str,
+    payloads: Sequence[object],
+    tau: float | int,
+    chain_length: int | None = None,
+    algorithm: str = "ring",
+    parallel: bool = False,
+) -> QueryStats:
+    """Run one engine configuration over a workload and aggregate statistics."""
+    from repro.engine.api import Query  # local import: engine is optional here
+
+    queries = [
+        Query(
+            backend=backend,
+            payload=payload,
+            tau=tau,
+            chain_length=chain_length,
+            algorithm=algorithm,
+        )
+        for payload in payloads
+    ]
+    responses = engine.search_batch(queries, parallel=parallel)
+    stats = QueryStats()
+    for response in responses:
+        stats.add(response)
     return stats
 
 
@@ -80,6 +121,79 @@ def comparison_rows(
     rows = []
     for name, search in searchers.items():
         stats = run_workload(search, queries)
+        rows.append(
+            ComparisonRow(
+                dataset=dataset_name,
+                tau=tau,
+                algorithm=name,
+                avg_candidates=stats.avg_candidates,
+                avg_results=stats.avg_results,
+                avg_candidate_time_ms=stats.avg_candidate_time * 1000.0,
+                avg_total_time_ms=stats.avg_total_time * 1000.0,
+            )
+        )
+    return rows
+
+
+def engine_chain_length_rows(
+    engine,
+    backend: str,
+    dataset_name: str,
+    tau: float | int,
+    chain_lengths: Sequence[int],
+    payloads: Sequence[object],
+    algorithm: str = "ring",
+    parallel: bool = False,
+) -> list[ChainLengthRow]:
+    """Engine-served variant of :func:`chain_length_rows` (Figures 5-8)."""
+    rows = []
+    for length in chain_lengths:
+        stats = run_engine_workload(
+            engine,
+            backend,
+            payloads,
+            tau,
+            chain_length=length,
+            algorithm=algorithm,
+            parallel=parallel,
+        )
+        rows.append(
+            ChainLengthRow(
+                dataset=dataset_name,
+                tau=tau,
+                chain_length=length,
+                avg_candidates=stats.avg_candidates,
+                avg_results=stats.avg_results,
+                avg_candidate_time_ms=stats.avg_candidate_time * 1000.0,
+                avg_total_time_ms=stats.avg_total_time * 1000.0,
+            )
+        )
+    return rows
+
+
+def engine_comparison_rows(
+    engine,
+    backend: str,
+    dataset_name: str,
+    tau: float | int,
+    algorithms: Sequence[str] | dict[str, dict],
+    payloads: Sequence[object],
+    parallel: bool = False,
+) -> list[ComparisonRow]:
+    """Engine-served variant of :func:`comparison_rows` (Figures 9-12).
+
+    ``algorithms`` is either a list of engine algorithm names or a mapping
+    from a display name to keyword overrides for
+    :func:`run_engine_workload` (e.g. ``{"Ring l=4": {"algorithm": "ring",
+    "chain_length": 4}}``).
+    """
+    if not isinstance(algorithms, dict):
+        algorithms = {name: {"algorithm": name} for name in algorithms}
+    rows = []
+    for name, overrides in algorithms.items():
+        stats = run_engine_workload(
+            engine, backend, payloads, tau, parallel=parallel, **overrides
+        )
         rows.append(
             ComparisonRow(
                 dataset=dataset_name,

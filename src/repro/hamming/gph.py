@@ -29,9 +29,16 @@ class GPHSearcher:
             ablation benchmarks.
     """
 
-    def __init__(self, dataset: BinaryVectorDataset, use_cost_model: bool = True):
+    def __init__(
+        self,
+        dataset: BinaryVectorDataset,
+        use_cost_model: bool = True,
+        index: PartitionIndex | None = None,
+    ):
         self._dataset = dataset
-        self._index = PartitionIndex(dataset)
+        self._index = PartitionIndex(dataset) if index is None else index
+        if self._index.dataset is not dataset:
+            raise ValueError("the prebuilt index belongs to a different dataset")
         self._use_cost_model = use_cost_model
 
     @property
@@ -59,9 +66,10 @@ class GPHSearcher:
         seen: set[int] = set()
         ordered: list[int] = []
         for part in range(self._dataset.m):
-            for obj_id, _distance in self._index.probe(
+            ids, _distances = self._index.probe_arrays(
                 part, int(query_codes[part]), thresholds[part]
-            ):
+            )
+            for obj_id in ids.tolist():
                 if obj_id not in seen:
                     seen.add(obj_id)
                     ordered.append(obj_id)

@@ -14,14 +14,25 @@ with small thresholds.  Scanning the distinct codes vectorised in numpy
 produces the identical set of viable boxes with far better constants in
 Python; the substitution is documented in DESIGN.md and does not change any
 candidate count.
+
+Postings are stored in a CSR-like layout per partition -- one concatenated
+``members`` array plus an ``offsets`` array into it -- so that probes can be
+answered with ``np.concatenate`` / ``np.repeat`` instead of Python loops and
+so that the whole index serialises to a handful of flat arrays (see
+:meth:`PartitionIndex.state` and :meth:`PartitionIndex.from_state`, used by
+the engine's index persistence).
 """
 
 from __future__ import annotations
+
+from typing import Iterator, Mapping
 
 import numpy as np
 
 from repro.hamming.bitvec import code_hamming_distances
 from repro.hamming.dataset import BinaryVectorDataset
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 class PartitionIndex:
@@ -30,17 +41,46 @@ class PartitionIndex:
     def __init__(self, dataset: BinaryVectorDataset):
         self._dataset = dataset
         self._distinct_codes: list[np.ndarray] = []
-        self._postings: list[list[np.ndarray]] = []
+        self._offsets: list[np.ndarray] = []
+        self._members: list[np.ndarray] = []
         codes = dataset.part_codes
+        n = codes.shape[0]
         for part in range(dataset.m):
             column = codes[:, part]
-            distinct, inverse = np.unique(column, return_inverse=True)
-            postings: list[np.ndarray] = [
-                np.nonzero(inverse == idx)[0].astype(np.int64)
-                for idx in range(len(distinct))
-            ]
+            # A stable sort keeps object ids ascending within each code group,
+            # matching the historical nonzero()-based postings order.
+            order = np.argsort(column, kind="stable").astype(np.int64)
+            distinct, starts = np.unique(column[order], return_index=True)
             self._distinct_codes.append(distinct.astype(np.int64))
-            self._postings.append(postings)
+            self._offsets.append(np.append(starts, n).astype(np.int64))
+            self._members.append(order)
+
+    @classmethod
+    def from_state(
+        cls, dataset: BinaryVectorDataset, state: Mapping[str, np.ndarray]
+    ) -> "PartitionIndex":
+        """Restore an index from :meth:`state` arrays without rebuilding it."""
+        index = cls.__new__(cls)
+        index._dataset = dataset
+        index._distinct_codes = []
+        index._offsets = []
+        index._members = []
+        for part in range(dataset.m):
+            index._distinct_codes.append(
+                np.asarray(state[f"codes_{part}"], dtype=np.int64)
+            )
+            index._offsets.append(np.asarray(state[f"offsets_{part}"], dtype=np.int64))
+            index._members.append(np.asarray(state[f"members_{part}"], dtype=np.int64))
+        return index
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Flat arrays fully describing the index (for ``np.savez`` containers)."""
+        arrays: dict[str, np.ndarray] = {}
+        for part in range(self.m):
+            arrays[f"codes_{part}"] = self._distinct_codes[part]
+            arrays[f"offsets_{part}"] = self._offsets[part]
+            arrays[f"members_{part}"] = self._members[part]
+        return arrays
 
     @property
     def dataset(self) -> BinaryVectorDataset:
@@ -56,7 +96,8 @@ class PartitionIndex:
 
     def postings(self, part: int, code_position: int) -> np.ndarray:
         """Object ids whose part code is the ``code_position``-th distinct code."""
-        return self._postings[part][code_position]
+        offsets = self._offsets[part]
+        return self._members[part][offsets[code_position] : offsets[code_position + 1]]
 
     def code_distances(self, part: int, query_code: int) -> np.ndarray:
         """Distances from the query's part code to every distinct code of the partition."""
@@ -70,21 +111,40 @@ class PartitionIndex:
         """
         width = self._dataset.partitioning.widths[part]
         distances = self.code_distances(part, query_code)
+        counts = np.diff(self._offsets[part])
         histogram = np.zeros(width + 1, dtype=np.int64)
-        for position, distance in enumerate(distances):
-            histogram[distance] += len(self._postings[part][position])
+        np.add.at(histogram, distances, counts)
         return histogram
 
-    def probe(self, part: int, query_code: int, threshold: int):
-        """Yield ``(object_id, part_distance)`` for objects within ``threshold`` on this part.
+    def probe_arrays(
+        self, part: int, query_code: int, threshold: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Ids and part distances of objects within ``threshold`` on this part.
 
-        A negative threshold yields nothing (the GPH cost model may disable a
-        partition entirely by assigning it ``-1``).
+        Vectorised form of :meth:`probe`: the postings of every viable code
+        are concatenated and their per-code distances repeated, so the result
+        is a pair of equally long int64 arrays.  A negative threshold (the GPH
+        cost model may disable a partition by assigning ``-1``) selects
+        nothing.
         """
         if threshold < 0:
-            return
+            return _EMPTY, _EMPTY
         distances = self.code_distances(part, query_code)
-        for position in np.nonzero(distances <= threshold)[0]:
-            distance = int(distances[position])
-            for obj_id in self._postings[part][position]:
-                yield int(obj_id), distance
+        selected = np.nonzero(distances <= threshold)[0]
+        if selected.size == 0:
+            return _EMPTY, _EMPTY
+        offsets = self._offsets[part]
+        members = self._members[part]
+        ids = np.concatenate(
+            [members[offsets[pos] : offsets[pos + 1]] for pos in selected]
+        )
+        repeated = np.repeat(distances[selected], offsets[selected + 1] - offsets[selected])
+        return ids, repeated.astype(np.int64)
+
+    def probe(
+        self, part: int, query_code: int, threshold: int
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(object_id, part_distance)`` pairs (iterator shim over
+        :meth:`probe_arrays` kept for existing callers)."""
+        ids, distances = self.probe_arrays(part, query_code, threshold)
+        yield from zip(ids.tolist(), distances.tolist())

@@ -34,11 +34,14 @@ class RingHammingSearcher:
         dataset: BinaryVectorDataset,
         chain_length: int = 5,
         use_cost_model: bool = True,
+        index: PartitionIndex | None = None,
     ):
         if chain_length < 1:
             raise ValueError("chain_length must be at least 1")
         self._dataset = dataset
-        self._index = PartitionIndex(dataset)
+        self._index = PartitionIndex(dataset) if index is None else index
+        if self._index.dataset is not dataset:
+            raise ValueError("the prebuilt index belongs to a different dataset")
         self._chain_length = min(chain_length, dataset.m)
         self._use_cost_model = use_cost_model
 
@@ -88,8 +91,11 @@ class RingHammingSearcher:
             threshold = thresholds[part]
             if threshold < 0:
                 continue
-            for obj_id, part_distance in self._index.probe(
+            probe_ids, probe_distances = self._index.probe_arrays(
                 part, query_code_ints[part], threshold
+            )
+            for obj_id, part_distance in zip(
+                probe_ids.tolist(), probe_distances.tolist()
             ):
                 if obj_id in emitted:
                     continue

@@ -27,6 +27,11 @@ class SetDataset:
         self._encoded = [self._order.encode(record) for record in self._raw]
 
     @property
+    def raw_records(self) -> list[list[int]]:
+        """The records as originally supplied (before rank encoding)."""
+        return self._raw
+
+    @property
     def order(self) -> TokenOrder:
         return self._order
 

@@ -1,0 +1,137 @@
+"""Query execution: batching, parallelism, the LRU cache, and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Query, SearchEngine
+
+
+def _workload_queries(query_payloads, taus, name, algorithm="ring"):
+    return [
+        Query(backend=name, payload=payload, tau=taus[name], algorithm=algorithm)
+        for payload in query_payloads[name]
+    ]
+
+
+@pytest.mark.parametrize("name", ["hamming", "sets", "strings", "graphs"])
+def test_batch_matches_sequential_execution(engine, query_payloads, taus, name):
+    queries = _workload_queries(query_payloads, taus, name)
+    sequential = [engine.search(query) for query in queries]
+    engine.clear_cache()
+    batched = engine.search_batch(queries)
+    engine.clear_cache()
+    parallel = engine.search_batch(queries, parallel=True, max_workers=4)
+    for a, b, c in zip(sequential, batched, parallel):
+        assert sorted(a.ids) == sorted(b.ids) == sorted(c.ids)
+
+
+def test_parallel_batch_preserves_order(engine, query_payloads, taus):
+    queries = _workload_queries(query_payloads, taus, "hamming")
+    responses = engine.search_batch(queries, parallel=True, max_workers=3)
+    for query, response in zip(queries, responses):
+        assert response.query.payload is query.payload
+
+
+def test_mixed_domain_batch(engine, query_payloads, taus):
+    queries = [
+        _workload_queries(query_payloads, taus, name)[0]
+        for name in ("hamming", "sets", "strings", "graphs")
+    ]
+    responses = engine.search_batch(queries, parallel=True, max_workers=4)
+    assert [response.query.backend for response in responses] == [
+        "hamming",
+        "sets",
+        "strings",
+        "graphs",
+    ]
+
+
+def test_lru_cache_hit_returns_same_results(engine, query_payloads, taus):
+    query = _workload_queries(query_payloads, taus, "strings")[0]
+    first = engine.search(query)
+    second = engine.search(query)
+    assert not first.cached
+    assert second.cached
+    assert second.ids == first.ids
+    assert engine.stats.cache_hits == 1
+    assert engine.stats.cache_misses == 1
+    # Statistics count served (non-cached) queries only.
+    assert engine.stats.num_queries == 1
+
+
+def test_cache_distinguishes_parameters(engine, query_payloads):
+    payload = query_payloads["hamming"][0]
+    base = Query(backend="hamming", payload=payload, tau=8)
+    engine.search(base)
+    for other in (
+        Query(backend="hamming", payload=payload, tau=9),
+        Query(backend="hamming", payload=payload, tau=8, chain_length=2),
+        Query(backend="hamming", payload=payload, tau=8, algorithm="baseline"),
+    ):
+        assert not engine.search(other).cached
+    assert engine.search(base).cached
+
+
+def test_cache_distinguishes_int_and_float_tau(engine, query_payloads):
+    """For sets, tau=1 (overlap) and tau=1.0 (Jaccard) are different queries."""
+    payload = query_payloads["sets"][0]
+    overlap = engine.search(Query(backend="sets", payload=payload, tau=1))
+    jacc = engine.search(Query(backend="sets", payload=payload, tau=1.0))
+    assert not jacc.cached
+
+
+def test_lru_eviction(datasets, query_payloads, taus):
+    engine = SearchEngine(cache_size=1)
+    engine.add_dataset("strings", datasets["strings"])
+    queries = _workload_queries(query_payloads, taus, "strings")[:2]
+    engine.search(queries[0])
+    assert engine.search(queries[0]).cached
+    engine.search(queries[1])  # evicts queries[0]
+    assert not engine.search(queries[0]).cached
+
+
+def test_cache_disabled(datasets, query_payloads, taus):
+    engine = SearchEngine(cache_size=0)
+    engine.add_dataset("strings", datasets["strings"])
+    query = _workload_queries(query_payloads, taus, "strings")[0]
+    engine.search(query)
+    assert not engine.search(query).cached
+
+
+def test_replacing_a_dataset_invalidates_its_cache(datasets, query_payloads, taus):
+    from repro.strings import StringDataset
+
+    engine = SearchEngine()
+    engine.add_dataset("strings", datasets["strings"])
+    query = _workload_queries(query_payloads, taus, "strings")[0]
+    engine.search(query)
+    engine.add_dataset("strings", StringDataset(["completely", "different"]))
+    assert not engine.search(query).cached
+
+
+def test_stats_aggregate_per_backend(engine, query_payloads, taus):
+    for name in ("hamming", "sets"):
+        engine.search_batch(_workload_queries(query_payloads, taus, name))
+    stats = engine.stats
+    assert set(stats.per_backend) == {"hamming", "sets"}
+    hamming = stats.per_backend["hamming"]
+    assert hamming.num_queries == len(query_payloads["hamming"])
+    assert stats.engine_time > 0.0
+    snapshot = stats.snapshot()
+    assert snapshot["num_queries"] == stats.num_queries
+    assert snapshot["per_backend"]["sets"]["num_queries"] == len(query_payloads["sets"])
+
+
+def test_engine_results_match_direct_searchers(engine, datasets, query_payloads):
+    """The engine is a serving layer: per-domain semantics are unchanged."""
+    from repro.hamming import RingHammingSearcher
+
+    searcher = RingHammingSearcher(datasets["hamming"], chain_length=3)
+    for payload in query_payloads["hamming"]:
+        direct = searcher.search(payload, 16)
+        served = engine.search(
+            Query(backend="hamming", payload=payload, tau=16, chain_length=3)
+        )
+        assert served.ids == list(direct.results)
+        assert served.num_candidates == direct.num_candidates

@@ -1,0 +1,81 @@
+"""Registry registration/lookup across the four backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    Backend,
+    Query,
+    SearchEngine,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+
+def test_all_four_domains_registered():
+    assert available_backends() == ["graphs", "hamming", "sets", "strings"]
+
+
+@pytest.mark.parametrize("name", ["hamming", "sets", "strings", "graphs"])
+def test_lookup_returns_named_backend(name):
+    backend = get_backend(name)
+    assert isinstance(backend, Backend)
+    assert backend.name == name
+    assert {"ring", "baseline", "linear"} <= set(backend.algorithms)
+
+
+def test_unknown_backend_raises_with_known_names():
+    with pytest.raises(KeyError, match="hamming"):
+        get_backend("vectors")
+
+
+def test_duplicate_registration_rejected_unless_replaced():
+    backend = get_backend("hamming")
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend(backend)
+    assert register_backend(backend, replace=True) is backend
+
+
+def test_engine_tracks_attached_backends(datasets):
+    engine = SearchEngine()
+    assert engine.attached_backends() == []
+    engine.add_dataset("strings", datasets["strings"])
+    assert engine.attached_backends() == ["strings"]
+    with pytest.raises(KeyError, match="no dataset attached"):
+        engine.store("hamming")
+
+
+def test_query_without_attached_dataset_fails(query_payloads):
+    engine = SearchEngine()
+    with pytest.raises(KeyError, match="no dataset attached"):
+        engine.search(Query(backend="hamming", payload=query_payloads["hamming"][0], tau=4))
+
+
+def test_unknown_algorithm_rejected(engine, query_payloads):
+    query = Query(
+        backend="hamming", payload=query_payloads["hamming"][0], tau=4, algorithm="faiss"
+    )
+    with pytest.raises(ValueError, match="does not implement"):
+        engine.search(query)
+
+
+def test_query_validation():
+    with pytest.raises(ValueError, match="tau"):
+        Query(backend="hamming", payload=None)
+    with pytest.raises(ValueError, match="k must be"):
+        Query(backend="hamming", payload=None, k=0)
+
+
+def test_raw_datasets_are_prepared(workloads):
+    """Backends wrap raw inputs (arrays, lists of records) into stores."""
+    engine = SearchEngine()
+    engine.add_dataset("hamming", workloads["hamming"].vectors)
+    engine.add_dataset("sets", workloads["sets"].records)
+    engine.add_dataset("strings", workloads["strings"].records)
+    engine.add_dataset("graphs", workloads["graphs"].graphs)
+    assert engine.attached_backends() == ["graphs", "hamming", "sets", "strings"]
+    for name in engine.attached_backends():
+        descriptor = engine.backend(name).describe(engine.store(name))
+        assert descriptor["num_objects"] > 0

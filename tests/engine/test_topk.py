@@ -1,0 +1,96 @@
+"""Top-k by adaptive threshold escalation, verified against brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Query
+from repro.graphs.ged import graph_edit_distance
+from repro.sets.similarity import jaccard
+from repro.strings.edit_distance import edit_distance
+
+
+def _assert_topk(response, brute_scores, k):
+    """The returned scores must be exactly the k best brute-force scores."""
+    assert len(response.ids) == k
+    assert response.scores == sorted(response.scores)
+    expected = sorted(brute_scores)[:k]
+    assert response.scores == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("k", [1, 3, 10])
+def test_hamming_topk_matches_brute_force(engine, datasets, query_payloads, k):
+    payload = query_payloads["hamming"][0]
+    response = engine.search(Query(backend="hamming", payload=payload, k=k))
+    brute = datasets["hamming"].distances_to(payload).astype(float).tolist()
+    _assert_topk(response, brute, k)
+    # Every returned id carries its exact distance.
+    for obj_id, score in zip(response.ids, response.scores):
+        assert brute[obj_id] == score
+
+
+@pytest.mark.parametrize("k", [1, 5])
+def test_strings_topk_matches_brute_force(engine, datasets, query_payloads, k):
+    payload = query_payloads["strings"][0]
+    response = engine.search(Query(backend="strings", payload=payload, k=k))
+    store = datasets["strings"]
+    brute = [float(edit_distance(store.record(i), payload)) for i in range(len(store))]
+    _assert_topk(response, brute, k)
+
+
+@pytest.mark.parametrize("k", [1, 4])
+def test_sets_topk_matches_brute_force(engine, datasets, query_payloads, k):
+    payload = query_payloads["sets"][0]
+    response = engine.search(Query(backend="sets", payload=payload, k=k))
+    store = datasets["sets"]
+    encoded = store.encode_query(payload)
+    brute = [-jaccard(store.record(i), encoded) for i in range(len(store))]
+    _assert_topk(response, brute, k)
+
+
+def test_graphs_topk_is_correct_within_escalation_radius(
+    engine, datasets, query_payloads
+):
+    payload = query_payloads["graphs"][0]
+    response = engine.search(Query(backend="graphs", payload=payload, k=2))
+    store = datasets["graphs"]
+    cap = int(response.tau_effective)
+    brute = [
+        float(graph_edit_distance(store.graph(i), payload, upper_bound=cap))
+        for i in range(len(store))
+    ]
+    within = sorted(score for score in brute if score <= cap)
+    assert response.scores == pytest.approx(within[: len(response.scores)])
+    for obj_id, score in zip(response.ids, response.scores):
+        assert brute[obj_id] == score
+
+
+def test_topk_starting_tau_is_honoured(engine, query_payloads):
+    """A query tau seeds the ladder; results are identical either way."""
+    payload = query_payloads["hamming"][1]
+    seeded = engine.search(Query(backend="hamming", payload=payload, tau=2, k=3))
+    default = engine.search(Query(backend="hamming", payload=payload, k=3))
+    assert seeded.scores == default.scores
+
+
+def test_topk_larger_than_dataset(datasets):
+    from repro.engine import SearchEngine
+
+    engine = SearchEngine()
+    engine.add_dataset("strings", datasets["strings"])
+    n = len(datasets["strings"])
+    response = engine.search(
+        Query(backend="strings", payload=datasets["strings"].record(0), k=n + 10)
+    )
+    # The exhaustive final rung returns every record, ranked.
+    assert len(response.ids) == n
+    assert response.scores[0] == 0.0
+
+
+def test_topk_responses_are_cached(engine, query_payloads):
+    query = Query(backend="hamming", payload=query_payloads["hamming"][2], k=4)
+    first = engine.search(query)
+    second = engine.search(query)
+    assert second.cached
+    assert second.ids == first.ids

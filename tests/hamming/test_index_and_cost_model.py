@@ -97,6 +97,36 @@ class TestPartitionIndex:
         query_codes = dataset.query_codes(query)
         assert list(index.probe(0, int(query_codes[0]), -1)) == []
 
+    def test_probe_arrays_matches_iterator_shim(self):
+        dataset, rng = small_dataset()
+        index = PartitionIndex(dataset)
+        query = rng.integers(0, 2, size=32, dtype=np.uint8)
+        query_codes = dataset.query_codes(query)
+        for part in range(dataset.m):
+            for threshold in (-1, 0, 2, 8):
+                ids, distances = index.probe_arrays(
+                    part, int(query_codes[part]), threshold
+                )
+                assert ids.dtype == np.int64 and distances.dtype == np.int64
+                assert len(ids) == len(distances)
+                pairs = list(index.probe(part, int(query_codes[part]), threshold))
+                assert pairs == list(zip(ids.tolist(), distances.tolist()))
+
+    def test_state_round_trip(self):
+        dataset, rng = small_dataset()
+        index = PartitionIndex(dataset)
+        restored = PartitionIndex.from_state(dataset, index.state())
+        query = rng.integers(0, 2, size=32, dtype=np.uint8)
+        query_codes = dataset.query_codes(query)
+        for part in range(dataset.m):
+            np.testing.assert_array_equal(
+                index.distinct_codes(part), restored.distinct_codes(part)
+            )
+            a = index.probe_arrays(part, int(query_codes[part]), 3)
+            b = restored.probe_arrays(part, int(query_codes[part]), 3)
+            np.testing.assert_array_equal(a[0], b[0])
+            np.testing.assert_array_equal(a[1], b[1])
+
     def test_distance_histogram_sums_to_dataset_size(self):
         dataset, rng = small_dataset()
         index = PartitionIndex(dataset)
