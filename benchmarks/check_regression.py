@@ -1,0 +1,114 @@
+"""CI regression gate: diff a fresh BENCH_all.json against the baseline.
+
+Compares every (domain, shard count) present in the committed baseline
+against the candidate report produced by ``benchmarks/run_all.py``:
+
+* the candidate must use the same benchmark schema version,
+* sharded results must still agree with the unsharded reference, and
+* throughput must not drop more than ``--tolerance`` (default 30%)
+  relative to the baseline.
+
+Throughput is hardware-dependent; the baseline's ``hardware`` block says
+what it was measured on, and the tolerance absorbs runner-to-runner noise.
+Speedup-vs-1-shard additionally depends on the CPU count (process-parallel
+serving cannot beat one core), so it is reported here but not gated.
+
+Run with:
+  python benchmarks/check_regression.py benchmarks/BENCH_all.json /tmp/BENCH_all.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
+    """All gate violations, as human-readable messages (empty means pass)."""
+    failures: list[str] = []
+    base_schema = baseline.get("schema_version")
+    cand_schema = candidate.get("schema_version")
+    if base_schema != cand_schema:
+        return [
+            f"schema mismatch: baseline v{base_schema} vs candidate v{cand_schema}; "
+            f"regenerate the baseline with benchmarks/run_all.py"
+        ]
+    for domain, base_section in baseline.get("domains", {}).items():
+        cand_section = candidate.get("domains", {}).get(domain)
+        if cand_section is None:
+            failures.append(f"{domain}: missing from the candidate report")
+            continue
+        for count, base_entry in base_section.get("shards", {}).items():
+            cand_entry = cand_section.get("shards", {}).get(count)
+            if cand_entry is None:
+                failures.append(f"{domain} x{count}: missing from the candidate report")
+                continue
+            if not cand_entry.get("results_agree", False):
+                failures.append(
+                    f"{domain} x{count}: sharded results no longer match the "
+                    f"unsharded reference"
+                )
+            base_qps = base_entry.get("throughput_qps", 0.0)
+            cand_qps = cand_entry.get("throughput_qps", 0.0)
+            floor = base_qps * (1.0 - tolerance)
+            if cand_qps < floor:
+                drop = 1.0 - cand_qps / base_qps if base_qps else 1.0
+                failures.append(
+                    f"{domain} x{count}: throughput dropped {drop:.0%} "
+                    f"({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed benchmarks/BENCH_all.json")
+    parser.add_argument("candidate", help="freshly generated report to validate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional throughput drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be within [0, 1)")
+
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+    failures = compare(baseline, candidate, args.tolerance)
+
+    for domain, section in sorted(candidate.get("domains", {}).items()):
+        for count, entry in sorted(section.get("shards", {}).items(), key=lambda kv: int(kv[0])):
+            base = baseline.get("domains", {}).get(domain, {}).get("shards", {}).get(count, {})
+            base_qps = base.get("throughput_qps")
+            delta = (
+                f"{entry['throughput_qps'] / base_qps - 1.0:+.0%} vs baseline"
+                if base_qps
+                else "no baseline"
+            )
+            print(
+                f"[{domain:>8} x{count}] {entry['throughput_qps']:>8.1f} q/s "
+                f"({delta})  speedup {entry.get('speedup_vs_1_shard', 0.0):.2f}x  "
+                f"agree={entry.get('results_agree')}"
+            )
+    cpus = candidate.get("hardware", {}).get("cpu_count")
+    print(f"candidate hardware: {cpus} cpu(s); tolerance {args.tolerance:.0%}")
+
+    if failures:
+        print(f"\nREGRESSION GATE FAILED ({len(failures)} violation(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ import argparse
 import json
 import os
 import sys
+import traceback
 
 from repro.common.stats import Timer
 from repro.datasets.binary import clustered_binary_workload
@@ -36,27 +37,19 @@ def build_engine() -> tuple[SearchEngine, dict[str, list[Query]]]:
 
     binary = clustered_binary_workload(2000, 128, 10, seed=1)
     engine.add_dataset("hamming", BinaryVectorDataset(binary.vectors, num_parts=8))
-    queries["hamming"] = [
-        Query(backend="hamming", payload=row, tau=20) for row in binary.queries
-    ]
+    queries["hamming"] = [Query(backend="hamming", payload=row, tau=20) for row in binary.queries]
 
     sets = zipfian_set_workload(1500, 10, seed=2)
     engine.add_dataset("sets", SetDataset(sets.records, num_classes=4))
-    queries["sets"] = [
-        Query(backend="sets", payload=record, tau=0.8) for record in sets.queries
-    ]
+    queries["sets"] = [Query(backend="sets", payload=record, tau=0.8) for record in sets.queries]
 
     strings = name_workload(1000, 10, seed=3)
     engine.add_dataset("strings", StringDataset(strings.records, kappa=2))
-    queries["strings"] = [
-        Query(backend="strings", payload=text, tau=2) for text in strings.queries
-    ]
+    queries["strings"] = [Query(backend="strings", payload=text, tau=2) for text in strings.queries]
 
     graphs = aids_like(num_graphs=60, num_queries=4, seed=4)
     engine.add_dataset("graphs", GraphDataset(graphs.graphs))
-    queries["graphs"] = [
-        Query(backend="graphs", payload=graph, tau=2) for graph in graphs.queries
-    ]
+    queries["graphs"] = [Query(backend="graphs", payload=graph, tau=2) for graph in graphs.queries]
     return engine, queries
 
 
@@ -89,7 +82,17 @@ def main(argv: list[str] | None = None) -> int:
     report: dict[str, dict] = {}
     ok = True
     for name, batch in queries.items():
-        report[name] = bench_backend(engine, batch)
+        # A failing backend must fail the whole smoke run (CI gates on the
+        # exit code), but still let the other backends report -- a partial
+        # report with an explicit error beats an empty artifact.
+        try:
+            report[name] = bench_backend(engine, batch)
+        except Exception as error:
+            traceback.print_exc()
+            report[name] = {"error": f"{type(error).__name__}: {error}"}
+            ok = False
+            print(f"[{name:>8}] ERROR: {report[name]['error']}")
+            continue
         ok = ok and report[name]["results_agree"]
         print(
             f"[{name:>8}] {report[name]['num_queries']:>3} queries  "
@@ -101,6 +104,8 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"wrote {args.out}")
+    if not ok:
+        print("FAIL: at least one backend errored or disagreed", file=sys.stderr)
     return 0 if ok else 1
 
 

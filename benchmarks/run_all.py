@@ -1,0 +1,153 @@
+"""Cross-domain benchmark suite: all four backends at 1/2/4 shards.
+
+For every domain (Hamming, sets, strings, graphs) this runner
+
+1. builds a synthetic workload with the backend's ``make_workload``,
+2. answers it once through an in-process ``SearchEngine`` (the correctness
+   reference),
+3. builds a sharded index at each shard count and serves the workload
+   through a ``ShardedEngine`` (one worker process per shard), measuring
+   throughput and p50/p95 latency with ``repro.engine.bench``, and
+4. checks the sharded answers equal the reference answers exactly.
+
+The single schema-versioned report (``benchmarks/BENCH_all.json`` by
+default) carries throughput, latency percentiles, merge overhead and
+speedup-vs-1-shard per (domain, shard count), plus the hardware it was
+measured on -- process-parallel speedups only materialise with more than
+one CPU.  CI's ``bench-regression`` job replays the ``ci`` profile and
+gates on ``benchmarks/check_regression.py``.
+
+Run with:  PYTHONPATH=src python benchmarks/run_all.py --profile ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+
+from repro.common.stats import Timer
+from repro.engine import Query, SearchEngine
+from repro.engine.backend import get_backend
+from repro.engine.bench import BENCH_SCHEMA_VERSION, run_bench
+from repro.engine.sharding import ShardedEngine, build_shards
+
+#: Workload sizes per profile.  ``ci`` is small enough for a pull-request
+#: gate; ``full`` is the nightly / local deep-dive configuration.
+PROFILES: dict[str, dict[str, dict]] = {
+    "ci": {
+        "hamming": dict(size=8000, num_queries=12, repeat=5, seed=101),
+        "sets": dict(size=12000, num_queries=12, repeat=5, seed=102),
+        "strings": dict(size=6000, num_queries=10, repeat=4, seed=103),
+        "graphs": dict(size=120, num_queries=6, repeat=2, seed=104),
+    },
+    "full": {
+        "hamming": dict(size=30000, num_queries=20, repeat=5, seed=101),
+        "sets": dict(size=40000, num_queries=20, repeat=5, seed=102),
+        "strings": dict(size=20000, num_queries=16, repeat=4, seed=103),
+        "graphs": dict(size=300, num_queries=10, repeat=2, seed=104),
+    },
+}
+
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+
+
+def bench_domain(name: str, config: dict, shard_counts: tuple[int, ...], workdir: str) -> dict:
+    """Measure one domain at every shard count; returns its report section."""
+    backend = get_backend(name)
+    dataset, payloads = backend.make_workload(config["size"], config["num_queries"], config["seed"])
+    reference = SearchEngine(cache_size=0)
+    store = reference.add_dataset(name, dataset)
+    tau = backend.default_tau(store)
+    queries = [Query(backend=name, payload=payload, tau=tau) for payload in payloads]
+    expected = [sorted(int(obj_id) for obj_id in reference.search(query).ids) for query in queries]
+
+    section: dict = {
+        "tau": tau,
+        "num_objects": backend.store_size(store),
+        "num_queries": len(queries),
+        "avg_reference_results": sum(len(ids) for ids in expected) / len(expected),
+        "shards": {},
+    }
+    for count in shard_counts:
+        directory = os.path.join(workdir, f"{name}-{count}")
+        timer = Timer()
+        build_shards(name, dataset, directory, count)
+        build_seconds = timer.elapsed()
+        with ShardedEngine(directory) as engine:
+            report, responses = run_bench(engine, queries, repeat=config["repeat"])
+            agree = all(response.ids == ids for response, ids in zip(responses, expected))
+            stats = engine.stats.snapshot()
+        entry = report.to_dict()
+        entry["build_seconds"] = build_seconds
+        entry["avg_merge_time_ms"] = stats["avg_merge_time_ms"]
+        entry["results_agree"] = agree
+        section["shards"][str(count)] = entry
+
+    baseline_qps = section["shards"][str(shard_counts[0])]["throughput_qps"]
+    for entry in section["shards"].values():
+        entry["speedup_vs_1_shard"] = (
+            entry["throughput_qps"] / baseline_qps if baseline_qps else 0.0
+        )
+    return section
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_out = os.path.join(os.path.dirname(__file__), "BENCH_all.json")
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="ci")
+    parser.add_argument("--out", default=default_out)
+    parser.add_argument(
+        "--shards",
+        default=",".join(str(count) for count in DEFAULT_SHARD_COUNTS),
+        help="comma-separated shard counts (first one is the speedup baseline)",
+    )
+    parser.add_argument(
+        "--domains",
+        default=None,
+        help="comma-separated subset of domains (default: all four)",
+    )
+    args = parser.parse_args(argv)
+
+    shard_counts = tuple(int(part) for part in args.shards.split(","))
+    profile = PROFILES[args.profile]
+    domains = list(profile) if args.domains is None else args.domains.split(",")
+
+    report: dict = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "profile": args.profile,
+        "shard_counts": list(shard_counts),
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "domains": {},
+    }
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="bench-shards-") as workdir:
+        for name in domains:
+            section = bench_domain(name, profile[name], shard_counts, workdir)
+            report["domains"][name] = section
+            for count, entry in section["shards"].items():
+                ok = ok and entry["results_agree"]
+                print(
+                    f"[{name:>8} x{count}] {entry['throughput_qps']:>8.1f} q/s  "
+                    f"p50 {entry['p50_ms']:>7.2f} ms  p95 {entry['p95_ms']:>7.2f} ms  "
+                    f"speedup {entry['speedup_vs_1_shard']:.2f}x  "
+                    f"agree={entry['results_agree']}"
+                )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if not ok:
+        print("FAIL: sharded results diverged from the unsharded reference")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

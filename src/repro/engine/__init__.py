@@ -13,8 +13,12 @@ searcher classes; this subsystem puts one serving layer on top of them:
   LRU result cache, batched and thread-pooled execution, latency statistics.
 * :mod:`repro.engine.topk` -- top-k search via adaptive threshold escalation.
 * :mod:`repro.engine.persistence` -- build-once/save/load index containers.
+* :mod:`repro.engine.sharding` -- :class:`ShardedEngine`: id-range shards
+  served by one worker process each, with exact threshold/top-k merging.
+* :mod:`repro.engine.bench` -- the latency/throughput harness behind the
+  benchmark suite and the CI regression gate.
 * :mod:`repro.engine.cli` -- ``python -m repro.engine`` with ``build-index``,
-  ``query`` and ``bench`` subcommands.
+  ``query``, ``bench``, ``build-shards`` and ``serve-bench`` subcommands.
 
 See ENGINE.md at the repository root for the architecture walkthrough.
 """
@@ -26,21 +30,28 @@ from repro.engine.backend import (
     get_backend,
     register_backend,
 )
+from repro.engine.bench import BenchReport, run_bench
 from repro.engine.executor import EngineStats, SearchEngine
 from repro.engine.persistence import Container, load_container, save_container
+from repro.engine.sharding import ShardedEngine, ShardedStats, build_shards
 from repro.engine.topk import run_topk
 
 __all__ = [
     "Backend",
+    "BenchReport",
     "Container",
     "EngineStats",
     "Query",
     "Response",
     "SearchEngine",
+    "ShardedEngine",
+    "ShardedStats",
     "available_backends",
+    "build_shards",
     "get_backend",
     "load_container",
     "register_backend",
+    "run_bench",
     "run_topk",
     "save_container",
 ]

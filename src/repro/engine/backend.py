@@ -98,6 +98,23 @@ class Backend(abc.ABC):
         serves best-effort top-k within that radius).
         """
 
+    # -- sharding ----------------------------------------------------------
+
+    def store_size(self, store: Any) -> int:
+        """Number of data objects in the store (the id space is ``range(n)``)."""
+        return int(self.describe(store)["num_objects"])
+
+    def shard_store(self, store: Any, lo: int, hi: int) -> Any:
+        """A raw dataset holding objects ``[lo, hi)`` with local ids ``0..hi-lo``.
+
+        The slice preserves the store's construction parameters (partition
+        count, token classes, q-gram length, ...) so that ``prepare`` on the
+        slice builds a shard equivalent to a fraction of the original.  Used
+        by :mod:`repro.engine.sharding` to split one dataset into id-range
+        shards; global ids are recovered as ``local_id + lo``.
+        """
+        raise NotImplementedError(f"backend {self.name!r} does not support id-range sharding")
+
     # -- persistence -------------------------------------------------------
 
     @abc.abstractmethod
@@ -119,9 +136,7 @@ class Backend(abc.ABC):
     # -- synthetic workloads (CLI) ----------------------------------------
 
     @abc.abstractmethod
-    def make_workload(
-        self, size: int, num_queries: int, seed: int
-    ) -> tuple[Any, list[Any]]:
+    def make_workload(self, size: int, num_queries: int, seed: int) -> tuple[Any, list[Any]]:
         """A synthetic ``(raw dataset, query payloads)`` pair for the CLI."""
 
     # -- shared helpers ----------------------------------------------------

@@ -134,6 +134,10 @@ class HammingBackend(Backend):
         array = np.asarray(ids, dtype=np.int64)
         return store.dataset.distances_to_subset(payload, array).astype(float).tolist()
 
+    def shard_store(self, store: HammingStore, lo: int, hi: int) -> BinaryVectorDataset:
+        vectors = store.dataset.vectors[lo:hi]
+        return BinaryVectorDataset(vectors, num_parts=store.dataset.m)
+
     def tau_ladder(
         self, store: HammingStore, payload: Any, start: float | int | None
     ) -> Iterable[int]:
@@ -156,9 +160,7 @@ class HammingBackend(Backend):
 
     def load_store(self, directory: str) -> HammingStore:
         with np.load(os.path.join(directory, "data.npz")) as data:
-            dataset = BinaryVectorDataset(
-                data["vectors"], num_parts=int(data["num_parts"][0])
-            )
+            dataset = BinaryVectorDataset(data["vectors"], num_parts=int(data["num_parts"][0]))
             state = {
                 key[len("idx_") :]: data[key]
                 for key in data.files
@@ -260,12 +262,13 @@ class SetBackend(Backend):
         tau: float | int | None,
     ) -> list[float]:
         encoded = store.encode_query(payload)
-        use_overlap = tau is not None and isinstance(
-            _set_predicate(tau), OverlapPredicate
-        )
+        use_overlap = tau is not None and isinstance(_set_predicate(tau), OverlapPredicate)
         if use_overlap:
             return [-float(overlap(store.record(obj_id), encoded)) for obj_id in ids]
         return [-jaccard(store.record(obj_id), encoded) for obj_id in ids]
+
+    def shard_store(self, store: SetDataset, lo: int, hi: int) -> SetDataset:
+        return SetDataset(store.raw_records[lo:hi], num_classes=store.num_classes)
 
     def tau_ladder(
         self, store: SetDataset, payload: Any, start: float | int | None
@@ -311,9 +314,7 @@ class SetBackend(Backend):
         data = _read_json(directory, "queries.json")
         return None if data is None else data["queries"]
 
-    def make_workload(
-        self, size: int, num_queries: int, seed: int
-    ) -> tuple[SetDataset, list[Any]]:
+    def make_workload(self, size: int, num_queries: int, seed: int) -> tuple[SetDataset, list[Any]]:
         workload = dblp_like(num_records=size, num_queries=num_queries, seed=seed)
         return SetDataset(workload.records, num_classes=4), list(workload.queries)
 
@@ -365,6 +366,9 @@ class StringBackend(Backend):
     ) -> float:
         return float(edit_distance(store.record(obj_id), str(payload)))
 
+    def shard_store(self, store: StringDataset, lo: int, hi: int) -> StringDataset:
+        return StringDataset(store.records[lo:hi], kappa=store.kappa)
+
     def tau_ladder(
         self, store: StringDataset, payload: Any, start: float | int | None
     ) -> Iterable[int]:
@@ -379,9 +383,7 @@ class StringBackend(Backend):
         yield max_tau
 
     def save_store(self, store: StringDataset, directory: str) -> None:
-        _write_json(
-            directory, "data.json", {"records": store.records, "kappa": store.kappa}
-        )
+        _write_json(directory, "data.json", {"records": store.records, "kappa": store.kappa})
 
     def load_store(self, directory: str) -> StringDataset:
         data = _read_json(directory, "data.json")
@@ -480,12 +482,13 @@ class GraphBackend(Backend):
     #: return fewer than k results.
     escalation_cap = 10
 
+    def shard_store(self, store: GraphDataset, lo: int, hi: int) -> GraphDataset:
+        return GraphDataset(store.graphs[lo:hi])
+
     def tau_ladder(
         self, store: GraphDataset, payload: Graph, start: float | int | None
     ) -> Iterable[int]:
-        max_size = max(
-            (graph.num_vertices + graph.num_edges for graph in store.graphs), default=1
-        )
+        max_size = max((graph.num_vertices + graph.num_edges for graph in store.graphs), default=1)
         cap = min(max_size + payload.num_vertices + payload.num_edges, self.escalation_cap)
         tau = int(start) if start is not None else 1
         tau = max(1, min(tau, cap))

@@ -1,0 +1,120 @@
+"""Benchmark harness shared by the CLI, the benchmark suite and CI.
+
+One :func:`run_bench` call measures a query workload against anything that
+serves ``search`` / ``search_batch`` (a :class:`repro.engine.executor.
+SearchEngine` or a :class:`repro.engine.sharding.ShardedEngine`):
+
+* a **latency pass** answers the workload one query at a time and records
+  each query's wall latency, summarised as p50/p95/mean/max, and
+* a **throughput pass** replays the workload ``repeat`` times through
+  ``search_batch`` (pipelined across shards for the sharded engine) and
+  reports queries per second.
+
+Reports are plain dicts under :data:`BENCH_SCHEMA_VERSION` so the files CI
+compares (``benchmarks/BENCH_all.json``) are self-describing and the
+regression gate can refuse to diff incompatible schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.common.stats import Timer
+from repro.engine.api import Query, Response
+
+#: Schema of every report this module emits (bump on incompatible changes).
+BENCH_SCHEMA_VERSION = 1
+
+
+class Servable(Protocol):
+    """The serving surface run_bench measures."""
+
+    def search(self, query: Query) -> Response: ...
+
+    def search_batch(self, queries: Sequence[Query]) -> list[Response]: ...
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1]) of ``values``."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+@dataclass
+class BenchReport:
+    """Latency and throughput of one workload against one serving engine."""
+
+    num_queries: int
+    repeat: int
+    throughput_qps: float
+    wall_seconds: float
+    p50_ms: float
+    p95_ms: float
+    mean_ms: float
+    max_ms: float
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "num_queries": self.num_queries,
+            "repeat": self.repeat,
+            "throughput_qps": self.throughput_qps,
+            "wall_seconds": self.wall_seconds,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+def run_bench(
+    engine: Servable, queries: Sequence[Query], repeat: int = 1
+) -> tuple[BenchReport, list[Response]]:
+    """Measure a workload; returns the report and the latency-pass responses.
+
+    The first query runs once untimed so searcher construction (per worker,
+    for a sharded engine) does not pollute the latency percentiles.  The
+    latency-pass responses let callers verify the served results without
+    re-running the workload.
+    """
+    queries = list(queries)
+    if not queries:
+        raise ValueError("run_bench needs at least one query")
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+
+    engine.search(queries[0])  # warmup: build searchers before any timing
+    latencies_ms: list[float] = []
+    responses: list[Response] = []
+    for query in queries:
+        timer = Timer()
+        responses.append(engine.search(query))
+        latencies_ms.append(timer.elapsed() * 1000.0)
+
+    batch = queries * repeat
+    timer = Timer()
+    engine.search_batch(batch)
+    wall = timer.elapsed()
+
+    return (
+        BenchReport(
+            num_queries=len(batch),
+            repeat=repeat,
+            throughput_qps=len(batch) / wall if wall else 0.0,
+            wall_seconds=wall,
+            p50_ms=percentile(latencies_ms, 0.50),
+            p95_ms=percentile(latencies_ms, 0.95),
+            mean_ms=sum(latencies_ms) / len(latencies_ms),
+            max_ms=max(latencies_ms),
+        ),
+        responses,
+    )

@@ -1,6 +1,6 @@
 """Command-line front end: ``python -m repro.engine <command>``.
 
-Three subcommands make the engine drivable end-to-end without writing code:
+Five subcommands make the engine drivable end-to-end without writing code:
 
 * ``build-index`` -- generate a synthetic workload for one backend, build the
   dataset (and, for Hamming, the partition index) once, and save everything
@@ -10,6 +10,11 @@ Three subcommands make the engine drivable end-to-end without writing code:
 * ``bench`` -- load a container, replay the stored workload sequentially and
   on a thread pool, verify both paths agree, and record throughput to a JSON
   report.
+* ``build-shards`` -- like ``build-index``, but split the dataset into K
+  id-range shards, each its own index container under one directory.
+* ``serve-bench`` -- serve a sharded index on K worker processes, replay the
+  stored workload pipelined across the shards, and report throughput,
+  latency percentiles, and per-shard/merge statistics.
 """
 
 from __future__ import annotations
@@ -22,7 +27,9 @@ from typing import Sequence
 from repro.common.stats import Timer
 from repro.engine.api import Query
 from repro.engine.backend import available_backends
+from repro.engine.bench import run_bench
 from repro.engine.executor import SearchEngine
+from repro.engine.sharding import ShardedEngine, build_shards
 
 
 def _parse_tau(text: str) -> float | int:
@@ -39,7 +46,7 @@ def _build_index(args: argparse.Namespace) -> int:
     backend = engine.backend(args.backend)
     dataset, queries = backend.make_workload(args.size, args.queries, args.seed)
     timer = Timer()
-    store = engine.add_dataset(args.backend, dataset)
+    engine.add_dataset(args.backend, dataset)
     build_time = timer.elapsed()
     manifest = engine.save_index(args.backend, args.out, queries=queries)
     print(f"built {args.backend} store in {build_time:.2f}s: {manifest['descriptor']}")
@@ -60,9 +67,7 @@ def _query(args: argparse.Namespace) -> int:
     container = _load(engine, args.index)
     name = container.backend.name
     if not 0 <= args.query < len(container.queries):
-        print(
-            f"--query must be in [0, {len(container.queries) - 1}]", file=sys.stderr
-        )
+        print(f"--query must be in [0, {len(container.queries) - 1}]", file=sys.stderr)
         return 2
     payload = container.queries[args.query]
     tau = args.tau if args.tau is not None else (
@@ -95,9 +100,7 @@ def _bench(args: argparse.Namespace) -> int:
     engine = SearchEngine(cache_size=0)  # throughput without result-cache effects
     container = _load(engine, args.index)
     name = container.backend.name
-    tau = args.tau if args.tau is not None else container.backend.default_tau(
-        container.store
-    )
+    tau = args.tau if args.tau is not None else container.backend.default_tau(container.store)
     queries = [
         Query(
             backend=name,
@@ -117,9 +120,7 @@ def _bench(args: argparse.Namespace) -> int:
     sequential_s = timer.restart()
     parallel = engine.search_batch(queries, parallel=True, max_workers=args.workers)
     parallel_s = timer.elapsed()
-    agree = all(
-        sorted(a.ids) == sorted(b.ids) for a, b in zip(sequential, parallel)
-    )
+    agree = all(sorted(a.ids) == sorted(b.ids) for a, b in zip(sequential, parallel))
     report = {
         "backend": name,
         "tau": tau,
@@ -143,6 +144,64 @@ def _bench(args: argparse.Namespace) -> int:
             json.dump(report, handle, indent=2)
         print(f"wrote {args.out}")
     return 0 if agree else 1
+
+
+def _build_shards(args: argparse.Namespace) -> int:
+    engine = SearchEngine()
+    backend = engine.backend(args.backend)
+    dataset, queries = backend.make_workload(args.size, args.queries, args.seed)
+    timer = Timer()
+    manifest = build_shards(args.backend, dataset, args.out, args.shards, queries=queries)
+    build_time = timer.elapsed()
+    ranges = ", ".join(f"[{shard['lo']}, {shard['hi']})" for shard in manifest["shards"])
+    print(
+        f"built {manifest['num_shards']} {args.backend} shard(s) over "
+        f"{manifest['num_objects']} objects in {build_time:.2f}s: {ranges}"
+    )
+    print(f"saved sharded index with {len(queries)} queries to {args.out}")
+    return 0
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
+    with ShardedEngine(args.index, mp_context=args.mp_context) as engine:
+        payloads = engine.load_queries()
+        if not payloads:
+            print(f"sharded index {args.index} holds no stored queries", file=sys.stderr)
+            return 2
+        name = engine.backend_name
+        tau = args.tau if args.tau is not None else engine.default_tau()
+        queries = [
+            Query(
+                backend=name,
+                payload=payload,
+                tau=tau,
+                chain_length=args.chain_length,
+                algorithm=args.algorithm,
+            )
+            for payload in payloads
+        ]
+        report, _responses = run_bench(engine, queries, repeat=args.repeat)
+        stats = engine.stats.snapshot()
+        payload = {
+            "backend": name,
+            "tau": tau,
+            "algorithm": args.algorithm,
+            "num_shards": engine.num_shards,
+            "bench": report.to_dict(),
+            "sharded_stats": stats,
+            "worker_stats": engine.worker_stats(),
+        }
+        print(
+            f"[{name}] {engine.num_shards} shard(s)  "
+            f"{report.num_queries} queries  {report.throughput_qps:.1f} q/s  "
+            f"p50 {report.p50_ms:.2f} ms  p95 {report.p95_ms:.2f} ms  "
+            f"merge {stats['avg_merge_time_ms']:.3f} ms/query"
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"wrote {args.out}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,6 +237,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=4)
     bench.add_argument("--out", default=None, help="write the JSON report here")
     bench.set_defaults(func=_bench)
+
+    shards = commands.add_parser(
+        "build-shards", help="build and save a sharded (multi-container) index"
+    )
+    shards.add_argument("--backend", choices=available_backends(), required=True)
+    shards.add_argument("--out", required=True, help="sharded index directory")
+    shards.add_argument("--shards", type=int, default=4, help="number of id-range shards")
+    shards.add_argument("--size", type=int, default=2000, help="number of data objects")
+    shards.add_argument("--queries", type=int, default=20, help="stored sample queries")
+    shards.add_argument("--seed", type=int, default=0)
+    shards.set_defaults(func=_build_shards)
+
+    serve = commands.add_parser(
+        "serve-bench", help="serve a sharded index on worker processes and measure it"
+    )
+    serve.add_argument("--index", required=True, help="sharded index directory")
+    serve.add_argument("--tau", type=_parse_tau, default=None)
+    serve.add_argument("--chain-length", type=int, default=None)
+    serve.add_argument("--algorithm", default="ring")
+    serve.add_argument("--repeat", type=int, default=3, help="workload repetitions")
+    serve.add_argument("--mp-context", default=None, choices=["fork", "spawn", "forkserver"])
+    serve.add_argument("--out", default=None, help="write the JSON report here")
+    serve.set_defaults(func=_serve_bench)
     return parser
 
 

@@ -206,9 +206,7 @@ class SearchEngine:
             searcher = self._searchers.get(key)
         if searcher is not None:
             return searcher
-        searcher = backend.make_searcher(
-            store, query.algorithm, query.tau, query.chain_length
-        )
+        searcher = backend.make_searcher(store, query.algorithm, query.tau, query.chain_length)
         with self._lock:
             self._searchers.setdefault(key, searcher)
         return searcher
@@ -248,9 +246,7 @@ class SearchEngine:
                 # response too would double every rung's time and candidates.
                 self._stats.num_queries += 1
                 self._stats.engine_time += response.engine_time
-                self._stats.per_backend.setdefault(query.backend, QueryStats()).add(
-                    response
-                )
+                self._stats.per_backend.setdefault(query.backend, QueryStats()).add(response)
             if self._cache_size:
                 self._cache[key] = response
                 self._cache.move_to_end(key)

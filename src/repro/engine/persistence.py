@@ -65,9 +65,7 @@ def load_container(directory: str) -> Container:
         manifest = json.load(handle)
     version = manifest.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported container format {version!r} (supported: {FORMAT_VERSION})"
-        )
+        raise ValueError(f"unsupported container format {version!r} (supported: {FORMAT_VERSION})")
     backend = get_backend(manifest["backend"])
     store = backend.load_store(directory)
     queries = backend.load_queries(directory)

@@ -1,0 +1,488 @@
+"""Sharded multi-process serving: one dataset, K id-range shards, K workers.
+
+A single :class:`repro.engine.executor.SearchEngine` serves from one process;
+its thread pool helps little for the CPU-bound searchers.  This module scales
+the engine across processes the way partition-parallel data systems do:
+
+* :func:`build_shards` splits a dataset into ``K`` contiguous id ranges
+  (``Backend.shard_store``), builds one index container per shard -- each a
+  regular :mod:`repro.engine.persistence` container -- and writes a
+  ``shards.json`` manifest tying them together.
+* :class:`ShardedEngine` opens one single-worker ``ProcessPoolExecutor`` per
+  shard.  Each worker loads its shard container **once at startup** into a
+  private :class:`SearchEngine` and reuses it for every query; queries fan
+  out to all shards and the parent merges the partial answers.
+
+Merging is exact:
+
+* thresholded selection -- shards partition the id space, so the answer is
+  the disjoint union of the shard answers, returned sorted by global id;
+* top-k -- every shard answers its local top-k with exact scores, and a
+  k-way heap merge on ``(score, global id)`` keeps the best ``k``.  Because
+  any global top-k member is necessarily in its own shard's top-k, the merged
+  answer is identical (ids, scores and tie-breaks) to a single-shard top-k.
+
+The parent tracks per-shard latency and merge overhead in
+:class:`ShardedStats`; the workers' own :class:`repro.engine.executor.
+EngineStats` snapshots are reachable through :meth:`ShardedEngine.
+worker_stats`, so the whole stats layer stays observable across the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Iterator, Sequence
+
+from repro.common.stats import Timer
+from repro.engine.api import Query, Response
+from repro.engine.backend import get_backend
+from repro.engine.persistence import save_container
+
+SHARDS_MANIFEST_NAME = "shards.json"
+SHARDS_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Shard layout
+# ---------------------------------------------------------------------------
+
+
+def split_ranges(num_objects: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced id ranges covering ``range(num_objects)``.
+
+    The first ``num_objects % num_shards`` shards hold one extra object.  At
+    most ``num_objects`` shards are produced (every shard must hold at least
+    one object, because the domain datasets reject being empty).
+    """
+    if num_objects < 1:
+        raise ValueError("cannot shard an empty dataset")
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    num_shards = min(num_shards, num_objects)
+    base, extra = divmod(num_objects, num_shards)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for shard_id in range(num_shards):
+        hi = lo + base + (1 if shard_id < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def shard_dirname(shard_id: int) -> str:
+    return f"shard-{shard_id:04d}"
+
+
+def build_shards(
+    backend_name: str,
+    dataset: Any,
+    directory: str,
+    num_shards: int,
+    queries: Sequence[Any] | None = None,
+) -> dict:
+    """Split a dataset into id-range shards and persist one container each.
+
+    ``directory`` ends up holding ``shards.json``, one container subdirectory
+    per shard, and (optionally) the query workload saved at the top level.
+    Returns the shard manifest.
+    """
+    backend = get_backend(backend_name)
+    store = backend.prepare(dataset)
+    num_objects = backend.store_size(store)
+    ranges = split_ranges(num_objects, num_shards)
+    os.makedirs(directory, exist_ok=True)
+    shards = []
+    for shard_id, (lo, hi) in enumerate(ranges):
+        path = shard_dirname(shard_id)
+        shard_store = backend.prepare(backend.shard_store(store, lo, hi))
+        container_manifest = save_container(backend, shard_store, os.path.join(directory, path))
+        shards.append(
+            {
+                "shard_id": shard_id,
+                "lo": lo,
+                "hi": hi,
+                "path": path,
+                "descriptor": container_manifest["descriptor"],
+            }
+        )
+    manifest = {
+        "format_version": SHARDS_FORMAT_VERSION,
+        "backend": backend.name,
+        "num_objects": num_objects,
+        "num_shards": len(shards),
+        # Recorded at build time (JSON keeps the int/float distinction, which
+        # is semantic for the sets backend) so serving needs no full store.
+        "default_tau": backend.default_tau(store),
+        "shards": shards,
+    }
+    if queries is not None:
+        backend.save_queries(queries, directory)
+        manifest["num_queries"] = len(queries)
+    with open(os.path.join(directory, SHARDS_MANIFEST_NAME), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return manifest
+
+
+def load_shards_manifest(directory: str) -> dict:
+    path = os.path.join(directory, SHARDS_MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"{directory!r} is not a sharded index (no {SHARDS_MANIFEST_NAME})")
+    with open(path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("format_version")
+    if version != SHARDS_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported shards format {version!r} (supported: "
+            f"{SHARDS_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Result merging (pure functions, unit-testable without processes)
+# ---------------------------------------------------------------------------
+
+
+def merge_threshold(parts: Sequence[dict]) -> list[int]:
+    """Union of disjoint per-shard threshold answers, sorted by global id."""
+    ids: list[int] = []
+    for part in parts:
+        ids.extend(part["ids"])
+    ids.sort()
+    return ids
+
+
+def merge_topk(parts: Sequence[dict], k: int) -> tuple[list[int], list[float]]:
+    """K-way heap merge of per-shard top-k answers.
+
+    Every part carries ``ids`` and exact ``scores`` already sorted ascending
+    by ``(score, global id)`` -- the order :mod:`repro.engine.topk` emits --
+    so a heap merge of the ``(score, id)`` streams yields the global order,
+    with ties broken by global id exactly as in the single-shard path.
+    """
+    streams: list[Iterator[tuple[float, int]]] = [
+        iter(zip(part["scores"], part["ids"])) for part in parts
+    ]
+    best = list(islice(heapq.merge(*streams), k))
+    return [obj_id for _score, obj_id in best], [score for score, _obj_id in best]
+
+
+# ---------------------------------------------------------------------------
+# Worker side (module level so the functions pickle across processes)
+# ---------------------------------------------------------------------------
+
+_WORKER: dict[str, Any] = {}
+
+
+def _init_worker(shard_dir: str, offset: int, cache_size: int) -> None:
+    """Load one shard container into a worker-private engine, once."""
+    from repro.engine.executor import SearchEngine
+
+    engine = SearchEngine(cache_size=cache_size)
+    container = engine.load_index(shard_dir)
+    _WORKER["engine"] = engine
+    _WORKER["offset"] = offset
+    _WORKER["backend"] = container.backend.name
+
+
+def _worker_ready() -> int:
+    """Startup barrier: returns the shard offset once the shard is loaded."""
+    return _WORKER["offset"]
+
+
+def _worker_search(query: Query) -> dict:
+    """Answer one query against the worker's shard; ids come back global."""
+    engine = _WORKER["engine"]
+    offset = _WORKER["offset"]
+    response = engine.search(query)
+    return {
+        "ids": [int(obj_id) + offset for obj_id in response.ids],
+        "scores": (
+            None
+            if response.scores is None
+            else [float(score) for score in response.scores]
+        ),
+        "tau_effective": response.tau_effective,
+        "num_candidates": response.num_candidates,
+        "candidate_time": response.candidate_time,
+        "verify_time": response.verify_time,
+        "engine_time": response.engine_time,
+    }
+
+
+def _worker_search_many(queries: Sequence[Query]) -> list[dict]:
+    """Answer a chunk of queries in one task, amortising the IPC cost."""
+    return [_worker_search(query) for query in queries]
+
+
+def _worker_stats() -> dict:
+    """Snapshot of the worker engine's own EngineStats."""
+    return _WORKER["engine"].stats.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardStats:
+    """Parent-observed serving totals for one shard."""
+
+    num_queries: int = 0
+    worker_time: float = 0.0
+    max_worker_time: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.num_queries += 1
+        self.worker_time += seconds
+        self.max_worker_time = max(self.max_worker_time, seconds)
+
+
+@dataclass
+class ShardedStats:
+    """Aggregate fan-out/merge statistics of one :class:`ShardedEngine`.
+
+    ``merge_time`` is the pure result-combination overhead.  ``fanout_time``
+    is wall time attributed to queries: for :meth:`ShardedEngine.search` it
+    is the per-query submit-to-merged span (so ``fanout_time - max
+    per-shard worker time`` approximates the IPC cost); for
+    :meth:`ShardedEngine.search_batch` each chunk's incremental wall time is
+    amortised over the chunk's queries, so the total equals the batch wall
+    time and ``avg_fanout_time_ms`` is the inverse of batch throughput.
+    """
+
+    num_queries: int = 0
+    fanout_time: float = 0.0
+    merge_time: float = 0.0
+    per_shard: list[ShardStats] = field(default_factory=list)
+
+    def snapshot(self) -> dict:
+        queries = self.num_queries
+        return {
+            "num_queries": queries,
+            "fanout_time_s": self.fanout_time,
+            "merge_time_s": self.merge_time,
+            "avg_fanout_time_ms": 1000.0 * self.fanout_time / queries if queries else 0.0,
+            "avg_merge_time_ms": 1000.0 * self.merge_time / queries if queries else 0.0,
+            "per_shard": [
+                {
+                    "shard_id": shard_id,
+                    "num_queries": stats.num_queries,
+                    "worker_time_s": stats.worker_time,
+                    "avg_worker_time_ms": (
+                        1000.0 * stats.worker_time / stats.num_queries
+                        if stats.num_queries
+                        else 0.0
+                    ),
+                    "max_worker_time_ms": 1000.0 * stats.max_worker_time,
+                }
+                for shard_id, stats in enumerate(self.per_shard)
+            ],
+        }
+
+
+class ShardedEngine:
+    """Data-partitioned parallel serving over a sharded index directory.
+
+    Args:
+        directory: a directory produced by :func:`build_shards`.
+        cache_size: LRU result-cache capacity of every worker engine
+            (0, the default, disables caching -- benchmarks measure serving).
+        mp_context: optional :mod:`multiprocessing` context name
+            (``"fork"`` / ``"spawn"`` / ``"forkserver"``); ``None`` uses the
+            platform default.
+
+    Workers load their shard once, inside the constructor (a readiness
+    barrier), so the first query pays no cold-start cost.  Use as a context
+    manager or call :meth:`close` to release the worker processes.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        cache_size: int = 0,
+        mp_context: str | None = None,
+    ):
+        import multiprocessing
+
+        self._manifest = load_shards_manifest(directory)
+        self._directory = directory
+        self._backend = get_backend(self._manifest["backend"])
+        context = multiprocessing.get_context(mp_context) if mp_context is not None else None
+        self._pools: list[ProcessPoolExecutor] = []
+        self._stats = ShardedStats()
+        try:
+            for shard in self._manifest["shards"]:
+                pool = ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(
+                        os.path.join(directory, shard["path"]),
+                        shard["lo"],
+                        cache_size,
+                    ),
+                )
+                self._pools.append(pool)
+                self._stats.per_shard.append(ShardStats())
+            # Readiness barrier: every worker has loaded its shard.
+            for pool in self._pools:
+                pool.submit(_worker_ready).result()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker processes down; the engine is unusable afterwards."""
+        pools, self._pools = self._pools, []
+        for pool in pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def manifest(self) -> dict:
+        return self._manifest
+
+    @property
+    def num_shards(self) -> int:
+        return self._manifest["num_shards"]
+
+    @property
+    def backend_name(self) -> str:
+        return self._manifest["backend"]
+
+    def default_tau(self) -> float | int:
+        """The build-time default threshold recorded in the manifest."""
+        return self._manifest["default_tau"]
+
+    @property
+    def stats(self) -> ShardedStats:
+        return self._stats
+
+    def reset_stats(self) -> None:
+        self._stats = ShardedStats()
+        self._stats.per_shard.extend(ShardStats() for _pool in self._pools)
+
+    def load_queries(self) -> list[Any] | None:
+        """The workload persisted next to the shards, if any."""
+        return self._backend.load_queries(self._directory)
+
+    def worker_stats(self) -> list[dict]:
+        """Every worker engine's own EngineStats snapshot, in shard order."""
+        return [pool.submit(_worker_stats).result() for pool in self._pools]
+
+    # -- serving -----------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if not self._pools:
+            raise RuntimeError("the sharded engine has been closed")
+
+    def _submit(self, query: Query) -> list[Future]:
+        if query.backend != self.backend_name:
+            raise ValueError(
+                f"this sharded index serves backend {self.backend_name!r}, "
+                f"got a query for {query.backend!r}"
+            )
+        return [pool.submit(_worker_search, query) for pool in self._pools]
+
+    def _merge(self, query: Query, parts: list[dict], elapsed: float) -> Response:
+        """Combine per-shard answers; ``elapsed`` is the wall time to charge
+        this query for the fan-out (excluding the merge itself)."""
+        merge_timer = Timer()
+        if query.k is None:
+            ids = merge_threshold(parts)
+            scores = None
+            tau_effective = query.tau
+        else:
+            ids, scores = merge_topk(parts, query.k)
+            tau_effective = max(part["tau_effective"] for part in parts)
+        merge_time = merge_timer.elapsed()
+        response = Response(
+            query=query,
+            ids=ids,
+            scores=scores,
+            tau_effective=tau_effective,
+            num_candidates=sum(part["num_candidates"] for part in parts),
+            candidate_time=sum(part["candidate_time"] for part in parts),
+            verify_time=sum(part["verify_time"] for part in parts),
+            engine_time=elapsed + merge_time,
+        )
+        self._stats.num_queries += 1
+        self._stats.fanout_time += response.engine_time
+        self._stats.merge_time += merge_time
+        for stats, part in zip(self._stats.per_shard, parts):
+            stats.add(part["engine_time"])
+        return response
+
+    def search(self, query: Query) -> Response:
+        """Fan one query out to every shard and merge the partial answers."""
+        self._require_open()
+        timer = Timer()
+        futures = self._submit(query)
+        parts = [future.result() for future in futures]
+        return self._merge(query, parts, timer.elapsed())
+
+    def search_batch(
+        self, queries: Sequence[Query], chunk_size: int | None = None
+    ) -> list[Response]:
+        """Answer a batch pipelined across the shards; order is preserved.
+
+        Queries are grouped into chunks and every chunk becomes one task per
+        shard, so (a) the per-task process-pool overhead is amortised over
+        the whole chunk, and (b) shard ``s`` can work on chunk ``c + 1``
+        while the parent still waits on chunk ``c``'s slowest shard.  The
+        default chunk size aims for a handful of chunks in flight; pass
+        ``chunk_size=1`` to force per-query fan-out (lowest latency for the
+        head of the batch, highest overhead).
+        """
+        self._require_open()
+        queries = list(queries)
+        if not queries:
+            return []
+        for query in queries:
+            if query.backend != self.backend_name:
+                raise ValueError(
+                    f"this sharded index serves backend {self.backend_name!r}, "
+                    f"got a query for {query.backend!r}"
+                )
+        if chunk_size is None:
+            # Enough chunks to pipeline (about four per shard cycle), capped
+            # so huge batches still amortise the IPC cost.
+            chunk_size = max(1, min(32, len(queries) // 4))
+        chunks = [
+            queries[start : start + chunk_size]
+            for start in range(0, len(queries), chunk_size)
+        ]
+        timer = Timer()
+        in_flight = [
+            [pool.submit(_worker_search_many, chunk) for pool in self._pools]
+            for chunk in chunks
+        ]
+        responses: list[Response] = []
+        for chunk, futures in zip(chunks, in_flight):
+            shard_parts = [future.result() for future in futures]
+            # Wall time since the previous chunk completed, amortised over
+            # this chunk's queries: summed over the batch it equals the batch
+            # wall time (chunks overlap in flight, so charging each query its
+            # full time-in-system would double-count the pipelining).
+            share = timer.restart() / len(chunk)
+            for position, query in enumerate(chunk):
+                parts = [parts_of_shard[position] for parts_of_shard in shard_parts]
+                responses.append(self._merge(query, parts, share))
+        return responses

@@ -54,9 +54,7 @@ def run_topk(engine: "SearchEngine", query: Query) -> Response:
         if response.num_results >= query.k:
             break
 
-    scores = backend.distances(
-        store, query.payload, response.ids, response.tau_effective
-    )
+    scores = backend.distances(store, query.payload, response.ids, response.tau_effective)
     scored = sorted(zip(scores, response.ids))[: query.k]
     return Response(
         query=query,

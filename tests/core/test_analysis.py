@@ -87,7 +87,7 @@ class TestFilterAnalysis:
 
     def test_candidate_probability_decreases_with_chain_length(self):
         analysis = hamming_uniform_analysis(d=256, m=16, tau=96)
-        probs = [analysis.candidate_probability(l) for l in range(1, 8)]
+        probs = [analysis.candidate_probability(length) for length in range(1, 8)]
         assert all(b <= a + 1e-9 for a, b in zip(probs, probs[1:]))
 
     def test_candidate_probability_at_least_result_probability(self):

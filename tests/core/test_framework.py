@@ -1,7 +1,5 @@
 """Tests for the universal filtering framework <F, B, D> (Section 5)."""
 
-import pytest
-
 from repro.core.framework import (
     FilteringInstance,
     check_completeness,

@@ -1,7 +1,5 @@
 """Tests for the geometric interpretation of Appendix A."""
 
-import math
-
 from hypothesis import given, strategies as st
 
 from repro.core.geometry import (

@@ -76,7 +76,7 @@ def test_cache_distinguishes_parameters(engine, query_payloads):
 def test_cache_distinguishes_int_and_float_tau(engine, query_payloads):
     """For sets, tau=1 (overlap) and tau=1.0 (Jaccard) are different queries."""
     payload = query_payloads["sets"][0]
-    overlap = engine.search(Query(backend="sets", payload=payload, tau=1))
+    engine.search(Query(backend="sets", payload=payload, tau=1))
     jacc = engine.search(Query(backend="sets", payload=payload, tau=1.0))
     assert not jacc.cached
 
@@ -130,8 +130,6 @@ def test_engine_results_match_direct_searchers(engine, datasets, query_payloads)
     searcher = RingHammingSearcher(datasets["hamming"], chain_length=3)
     for payload in query_payloads["hamming"]:
         direct = searcher.search(payload, 16)
-        served = engine.search(
-            Query(backend="hamming", payload=payload, tau=16, chain_length=3)
-        )
+        served = engine.search(Query(backend="hamming", payload=payload, tau=16, chain_length=3))
         assert served.ids == list(direct.results)
         assert served.num_candidates == direct.num_candidates

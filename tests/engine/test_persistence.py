@@ -45,9 +45,7 @@ def test_hamming_partition_index_is_not_rebuilt(tmp_path, engine, datasets):
     original = engine.store("hamming").index
     restored = container.store.index
     for part in range(original.m):
-        np.testing.assert_array_equal(
-            original.distinct_codes(part), restored.distinct_codes(part)
-        )
+        np.testing.assert_array_equal(original.distinct_codes(part), restored.distinct_codes(part))
         for position in range(len(original.distinct_codes(part))):
             np.testing.assert_array_equal(
                 original.postings(part, position), restored.postings(part, position)
@@ -70,7 +68,9 @@ def test_unsupported_format_version_rejected(tmp_path, engine):
     directory = str(tmp_path / "strings")
     engine.save_index("strings", directory)
     manifest_path = tmp_path / "strings" / "manifest.json"
-    manifest_path.write_text(manifest_path.read_text().replace('"format_version": 1', '"format_version": 99'))
+    manifest_path.write_text(
+        manifest_path.read_text().replace('"format_version": 1', '"format_version": 99')
+    )
     with pytest.raises(ValueError, match="unsupported container format"):
         load_container(directory)
 

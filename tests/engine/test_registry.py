@@ -54,9 +54,7 @@ def test_query_without_attached_dataset_fails(query_payloads):
 
 
 def test_unknown_algorithm_rejected(engine, query_payloads):
-    query = Query(
-        backend="hamming", payload=query_payloads["hamming"][0], tau=4, algorithm="faiss"
-    )
+    query = Query(backend="hamming", payload=query_payloads["hamming"][0], tau=4, algorithm="faiss")
     with pytest.raises(ValueError, match="does not implement"):
         engine.search(query)
 

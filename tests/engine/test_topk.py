@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.engine import Query
@@ -49,9 +48,7 @@ def test_sets_topk_matches_brute_force(engine, datasets, query_payloads, k):
     _assert_topk(response, brute, k)
 
 
-def test_graphs_topk_is_correct_within_escalation_radius(
-    engine, datasets, query_payloads
-):
+def test_graphs_topk_is_correct_within_escalation_radius(engine, datasets, query_payloads):
     payload = query_payloads["graphs"][0]
     response = engine.search(Query(backend="graphs", payload=payload, k=2))
     store = datasets["graphs"]

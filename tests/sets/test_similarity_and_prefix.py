@@ -1,7 +1,5 @@
 """Tests for set similarity measures, token ordering and prefix computations."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 
