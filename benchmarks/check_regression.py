@@ -4,14 +4,20 @@ Compares every (domain, shard count) present in the committed baseline
 against the candidate report produced by ``benchmarks/run_all.py``:
 
 * the candidate must use the same benchmark schema version,
-* sharded results must still agree with the unsharded reference, and
+* sharded results must still agree with the unsharded reference,
 * throughput must not drop more than ``--tolerance`` (default 30%)
-  relative to the baseline.
+  relative to the baseline, and
+* the HTTP ``served`` profile (when both reports carry one) must not lose
+  more than ``--tolerance`` of its achieved QPS at any concurrency level.
 
-Throughput is hardware-dependent; the baseline's ``hardware`` block says
-what it was measured on, and the tolerance absorbs runner-to-runner noise.
-Speedup-vs-1-shard additionally depends on the CPU count (process-parallel
-serving cannot beat one core), so it is reported here but not gated.
+Throughput is hardware-dependent; each report's ``hardware`` block records
+the ``cpu_count`` it was measured on, and the tolerance absorbs
+runner-to-runner noise.  Speedup-vs-1-shard additionally depends on the
+CPU count (process-parallel serving cannot beat one core), so speedup
+comparisons are *skipped entirely* when the baseline and candidate were
+measured on different core counts -- a baseline from a 1-CPU container
+says nothing about scaling on a multi-core runner -- and reported (never
+gated) when the counts match.
 
 Run with:
   python benchmarks/check_regression.py benchmarks/BENCH_all.json /tmp/BENCH_all.json
@@ -63,6 +69,40 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
                     f"{domain} x{count}: throughput dropped {drop:.0%} "
                     f"({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
                 )
+    failures.extend(compare_served(baseline, candidate, tolerance))
+    return failures
+
+
+def compare_served(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
+    """Gate the HTTP served profile: achieved QPS per (domain, concurrency)."""
+    base_served = baseline.get("served", {}).get("domains", {})
+    if not base_served:
+        return []  # old baseline without a served profile: nothing to gate
+    failures: list[str] = []
+    cand_served = candidate.get("served", {}).get("domains", {})
+    for domain, base_section in base_served.items():
+        cand_section = cand_served.get(domain)
+        if cand_section is None:
+            failures.append(f"served {domain}: missing from the candidate report")
+            continue
+        for level, base_entry in base_section.get("concurrency", {}).items():
+            cand_entry = cand_section.get("concurrency", {}).get(level)
+            if cand_entry is None:
+                failures.append(f"served {domain} c={level}: missing from the candidate")
+                continue
+            if cand_entry.get("num_errors", 0):
+                failures.append(
+                    f"served {domain} c={level}: {cand_entry['num_errors']} request error(s)"
+                )
+            base_qps = base_entry.get("achieved_qps", 0.0)
+            cand_qps = cand_entry.get("achieved_qps", 0.0)
+            floor = base_qps * (1.0 - tolerance)
+            if cand_qps < floor:
+                drop = 1.0 - cand_qps / base_qps if base_qps else 1.0
+                failures.append(
+                    f"served {domain} c={level}: QPS dropped {drop:.0%} "
+                    f"({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
+                )
     return failures
 
 
@@ -84,6 +124,9 @@ def main(argv: list[str] | None = None) -> int:
     candidate = load_report(args.candidate)
     failures = compare(baseline, candidate, args.tolerance)
 
+    base_cpus = baseline.get("hardware", {}).get("cpu_count")
+    cand_cpus = candidate.get("hardware", {}).get("cpu_count")
+    same_cores = base_cpus is not None and base_cpus == cand_cpus
     for domain, section in sorted(candidate.get("domains", {}).items()):
         for count, entry in sorted(section.get("shards", {}).items(), key=lambda kv: int(kv[0])):
             base = baseline.get("domains", {}).get(domain, {}).get("shards", {}).get(count, {})
@@ -93,13 +136,50 @@ def main(argv: list[str] | None = None) -> int:
                 if base_qps
                 else "no baseline"
             )
+            if same_cores and base.get("speedup_vs_1_shard"):
+                speedup = (
+                    f"speedup {entry.get('speedup_vs_1_shard', 0.0):.2f}x "
+                    f"(baseline {base['speedup_vs_1_shard']:.2f}x)"
+                )
+            else:
+                speedup = f"speedup {entry.get('speedup_vs_1_shard', 0.0):.2f}x"
             print(
                 f"[{domain:>8} x{count}] {entry['throughput_qps']:>8.1f} q/s "
-                f"({delta})  speedup {entry.get('speedup_vs_1_shard', 0.0):.2f}x  "
+                f"({delta})  {speedup}  "
                 f"agree={entry.get('results_agree')}"
             )
-    cpus = candidate.get("hardware", {}).get("cpu_count")
-    print(f"candidate hardware: {cpus} cpu(s); tolerance {args.tolerance:.0%}")
+    for domain, section in sorted(candidate.get("served", {}).get("domains", {}).items()):
+        for level, entry in sorted(
+            section.get("concurrency", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            base = (
+                baseline.get("served", {})
+                .get("domains", {})
+                .get(domain, {})
+                .get("concurrency", {})
+                .get(level, {})
+            )
+            base_qps = base.get("achieved_qps")
+            delta = (
+                f"{entry['achieved_qps'] / base_qps - 1.0:+.0%} vs baseline"
+                if base_qps
+                else "no baseline"
+            )
+            print(
+                f"[{domain:>8} served c={level:<2}] {entry['achieved_qps']:>8.1f} q/s "
+                f"({delta})  p99 {entry.get('p99_ms', 0.0):.2f} ms  "
+                f"batch {entry.get('avg_batch_size', 0.0):.2f}"
+            )
+    print(
+        f"hardware: baseline {base_cpus} cpu(s), candidate {cand_cpus} cpu(s); "
+        f"tolerance {args.tolerance:.0%}"
+    )
+    if not same_cores:
+        print(
+            "shard-speedup comparison skipped: baseline and candidate were "
+            "measured on different core counts, so speedup-vs-1-shard is not "
+            "comparable across these hosts"
+        )
 
     if failures:
         print(f"\nREGRESSION GATE FAILED ({len(failures)} violation(s)):")

@@ -7,8 +7,13 @@ For every domain (Hamming, sets, strings, graphs) this runner
    reference),
 3. builds a sharded index at each shard count and serves the workload
    through a ``ShardedEngine`` (one worker process per shard), measuring
-   throughput and p50/p95 latency with ``repro.engine.bench``, and
-4. checks the sharded answers equal the reference answers exactly.
+   throughput and p50/p95 latency with ``repro.engine.bench``,
+4. checks the sharded answers equal the reference answers exactly, and
+5. (unless ``--no-served``) starts the HTTP serving layer as a real
+   subprocess (``python -m repro.engine serve``) over each domain's index
+   and drives it with the closed-loop load generator at concurrency 1 and
+   8, recording achieved QPS, p50/p95/p99 latency and the observed
+   micro-batch coalescing under a ``served`` section.
 
 The single schema-versioned report (``benchmarks/BENCH_all.json`` by
 default) carries throughput, latency percentiles, merge overhead and
@@ -26,13 +31,18 @@ import argparse
 import json
 import os
 import platform
+import signal
+import subprocess
 import sys
 import tempfile
+import time
 
+import repro
 from repro.common.stats import Timer
 from repro.engine import Query, SearchEngine
 from repro.engine.backend import get_backend
-from repro.engine.bench import BENCH_SCHEMA_VERSION, run_bench
+from repro.engine.bench import BENCH_SCHEMA_VERSION, run_bench, run_load_bench, wire_requests
+from repro.engine.persistence import save_container
 from repro.engine.sharding import ShardedEngine, build_shards
 
 #: Workload sizes per profile.  ``ci`` is small enough for a pull-request
@@ -53,6 +63,10 @@ PROFILES: dict[str, dict[str, dict]] = {
 }
 
 DEFAULT_SHARD_COUNTS = (1, 2, 4)
+
+#: Closed-loop request volume per served concurrency level, by profile.
+SERVED_REQUESTS = {"ci": 120, "full": 600}
+SERVED_CONCURRENCY = (1, 8)
 
 
 def bench_domain(name: str, config: dict, shard_counts: tuple[int, ...], workdir: str) -> dict:
@@ -95,6 +109,82 @@ def bench_domain(name: str, config: dict, shard_counts: tuple[int, ...], workdir
     return section
 
 
+def _spawn_server(index_dir: str, ready_file: str) -> subprocess.Popen:
+    """Start ``python -m repro.engine serve`` with this checkout importable."""
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.engine",
+            "serve",
+            "--index",
+            index_dir,
+            "--port",
+            "0",
+            "--ready-file",
+            ready_file,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _await_ready(ready_file: str, process: subprocess.Popen, timeout: float = 30.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(f"serve exited early with code {process.returncode}")
+        if os.path.exists(ready_file):
+            with open(ready_file, encoding="utf-8") as handle:
+                host, port = handle.read().split()
+            return f"http://{host}:{port}"
+        time.sleep(0.05)
+    raise RuntimeError("serve did not become ready in time")
+
+
+def bench_served(name: str, config: dict, num_requests: int, workdir: str) -> dict:
+    """Serve one domain over HTTP in a subprocess and drive it with load."""
+    backend = get_backend(name)
+    dataset, payloads = backend.make_workload(config["size"], config["num_queries"], config["seed"])
+    store = backend.prepare(dataset)
+    tau = backend.default_tau(store)
+    index_dir = os.path.join(workdir, f"{name}-served")
+    save_container(backend, store, index_dir)
+    requests = wire_requests(
+        name, payloads, tau=tau, repeat=-(-num_requests // len(payloads))
+    )[:num_requests]
+
+    ready_file = os.path.join(workdir, f"{name}-ready")
+    process = _spawn_server(index_dir, ready_file)
+    section: dict = {"tau": tau, "num_requests": num_requests, "concurrency": {}}
+    try:
+        url = _await_ready(ready_file, process)
+        for concurrency in SERVED_CONCURRENCY:
+            report = run_load_bench(url, requests, concurrency=concurrency, mode="closed")
+            if report.num_ok != num_requests:
+                raise RuntimeError(
+                    f"served {name} c={concurrency}: only {report.num_ok}/"
+                    f"{num_requests} requests succeeded"
+                )
+            section["concurrency"][str(concurrency)] = report.to_dict()
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+    base = section["concurrency"][str(SERVED_CONCURRENCY[0])]["achieved_qps"]
+    peak = section["concurrency"][str(SERVED_CONCURRENCY[-1])]["achieved_qps"]
+    section["speedup_peak_vs_c1"] = peak / base if base else 0.0
+    return section
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     default_out = os.path.join(os.path.dirname(__file__), "BENCH_all.json")
@@ -109,6 +199,11 @@ def main(argv: list[str] | None = None) -> int:
         "--domains",
         default=None,
         help="comma-separated subset of domains (default: all four)",
+    )
+    parser.add_argument(
+        "--no-served",
+        action="store_true",
+        help="skip the HTTP served-profile benchmarks",
     )
     args = parser.parse_args(argv)
 
@@ -140,6 +235,24 @@ def main(argv: list[str] | None = None) -> int:
                     f"speedup {entry['speedup_vs_1_shard']:.2f}x  "
                     f"agree={entry['results_agree']}"
                 )
+        if not args.no_served:
+            report["served"] = {
+                "levels": list(SERVED_CONCURRENCY),
+                "domains": {},
+            }
+            for name in domains:
+                section = bench_served(
+                    name, profile[name], SERVED_REQUESTS[args.profile], workdir
+                )
+                report["served"]["domains"][name] = section
+                for level, entry in section["concurrency"].items():
+                    print(
+                        f"[{name:>8} served c={level:<2}] "
+                        f"{entry['achieved_qps']:>8.1f} q/s  "
+                        f"p50 {entry['p50_ms']:>7.2f} ms  "
+                        f"p99 {entry['p99_ms']:>7.2f} ms  "
+                        f"batch {entry['avg_batch_size']:.2f}"
+                    )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# CI server smoke: build an index, start the HTTP serving layer for real,
+# drive it with the load generator, and require non-zero QPS plus a clean
+# graceful shutdown on SIGTERM.  Run from the repo root with the package
+# importable (PYTHONPATH=src or an installed checkout):
+#
+#   PYTHONPATH=src timeout 300 bash benchmarks/server_smoke.sh
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -KILL "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+python -m repro.engine build-index --backend sets --out "$workdir/idx" \
+    --size 4000 --queries 12 --seed 42
+
+python -m repro.engine serve --index "$workdir/idx" --port 0 \
+    --ready-file "$workdir/ready" &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -f "$workdir/ready" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "server died during startup"; exit 1; }
+  sleep 0.1
+done
+[ -f "$workdir/ready" ] || { echo "server never became ready"; exit 1; }
+
+read -r host port < "$workdir/ready"
+url="http://$host:$port"
+echo "server ready at $url"
+
+# load-bench exits non-zero on request errors or zero successful requests.
+python -m repro.engine load-bench --url "$url" --index "$workdir/idx" \
+    --profile ci --out "$workdir/LOAD.json"
+
+python - "$workdir/LOAD.json" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+qps = {level: entry["achieved_qps"] for level, entry in report["concurrency"].items()}
+assert all(value > 0 for value in qps.values()), f"zero QPS: {qps}"
+print("smoke QPS:", {level: round(value, 1) for level, value in qps.items()})
+EOF
+
+kill -TERM "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+server_pid=""
+if [ "$status" -ne 0 ]; then
+  echo "server did not shut down cleanly (exit $status)"
+  exit 1
+fi
+echo "server shut down cleanly"

@@ -1,15 +1,20 @@
 """Entity resolution with string edit distance search (the paper's IMDB use case).
 
 Alternative spellings of the same name differ by a few edit operations; a
-string similarity search with a small edit distance threshold retrieves them.
-The example compares the Pivotal baseline with the pigeonring searcher -- a
-miniature of the paper's Figure 11 -- and prints the matches for one query.
+string similarity search with a small edit distance threshold retrieves
+them.  The workload runs through the unified query engine: the dataset
+registers with the ``strings`` backend, the Pivotal baseline and the
+pigeonring searcher answer the same ``Query`` workload -- a miniature of
+the paper's Figure 11 -- and the engine then resolves one name end-to-end,
+including a top-k search the offline figure scripts never expose.
 
 Run with:  python examples/entity_resolution.py
 """
 
 from repro.datasets.text import imdb_like
-from repro.strings import PivotalSearcher, RingStringSearcher, StringDataset
+from repro.engine import Query, SearchEngine
+from repro.experiments.harness import engine_comparison_rows, format_rows
+from repro.strings import StringDataset
 
 
 def main() -> None:
@@ -17,24 +22,35 @@ def main() -> None:
     dataset = StringDataset(workload.records, kappa=2)
     tau = 2
 
+    engine = SearchEngine()
+    engine.add_dataset("strings", dataset)
     print(f"dataset: {len(dataset)} names, edit distance threshold {tau}\n")
 
-    pivotal = PivotalSearcher(dataset, tau)
-    ring = RingStringSearcher(dataset, tau)
-
-    print(f"{'algorithm':>8} | {'avg cand':>9} | {'avg results':>11} | {'avg time (ms)':>13}")
-    for name, searcher in (("Pivotal", pivotal), ("Ring", ring)):
-        outcomes = [searcher.search(query) for query in workload.queries]
-        candidates = sum(o.num_candidates for o in outcomes) / len(outcomes)
-        results = sum(o.num_results for o in outcomes) / len(outcomes)
-        time_ms = sum(o.total_time for o in outcomes) / len(outcomes) * 1000
-        print(f"{name:>8} | {candidates:>9.1f} | {results:>11.1f} | {time_ms:>13.2f}")
+    algorithms = {
+        "Pivotal": {"algorithm": "baseline"},
+        "Ring": {"algorithm": "ring"},
+    }
+    rows = engine_comparison_rows(
+        engine, "strings", "imdb-like", tau, algorithms, list(workload.queries)
+    )
+    print(format_rows(rows))
 
     query = workload.queries[0]
-    matches = ring.search(query).results
-    print(f"\nquery {query!r} matches {len(matches)} name(s):")
-    for obj_id in matches[:10]:
+    matches = engine.search(Query(backend="strings", payload=query, tau=tau))
+    print(f"\nquery {query!r} matches {matches.num_results} name(s):")
+    for obj_id in matches.ids[:10]:
         print(f"  - {dataset.record(obj_id)!r}")
+
+    nearest = engine.search(Query(backend="strings", payload=query, k=3))
+    print("\nclosest 3 names by edit distance:")
+    for obj_id, score in zip(nearest.ids, nearest.scores):
+        print(f"  - {dataset.record(obj_id)!r}  (distance {score:.0f})")
+
+    stats = engine.stats
+    print(
+        f"\nengine served {stats.num_queries} queries, "
+        f"avg latency {stats.avg_engine_time * 1000.0:.2f} ms"
+    )
 
 
 if __name__ == "__main__":

@@ -1,56 +1,70 @@
-"""Quickstart: the pigeonring principle on the paper's running example.
+"""Quickstart: from the pigeonring principle to a served query in one page.
 
-Reproduces Examples 1-6 of the paper: two box layouts that both pass the
-pigeonhole filter, and how the basic and strong forms of the pigeonring
-principle filter them out, plus the Table-2 Hamming search example.
+The paper's running example (Figure 1) shows why the pigeonring principle
+filters more than the pigeonhole principle; this quickstart shows the other
+end of the repo: the same machinery served over HTTP.  It builds a small
+Hamming workload, attaches it to a `SearchEngine`, spawns the asyncio JSON
+server on a free local port, and queries it through the blocking
+`EngineClient` -- thresholded selection, top-k, and the server's own
+batching/health introspection.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import (
-    passes_pigeonhole,
-    passes_pigeonring_basic,
-    passes_pigeonring_strong,
-    pigeonhole_witnesses,
-    pigeonring_strong_witnesses,
-)
-from repro.core.geometry import constructive_prefix_viable_start
+from repro.core import passes_pigeonhole, passes_pigeonring_basic
+from repro.datasets.binary import gist_like
+from repro.engine import EngineClient, SearchEngine, ServerConfig, ServerThread
+from repro.hamming import BinaryVectorDataset
 
 
 def main() -> None:
-    n, m = 5, 5
-    layouts = {
-        "Figure 1(a)": (2, 1, 2, 2, 1),
-        "Figure 1(b)": (2, 0, 3, 1, 2),
-        "within budget": (1, 1, 1, 1, 1),
-    }
-
-    print(f"Threshold n = {n}, boxes m = {m}, per-box quota n/m = {n / m}\n")
-    header = f"{'layout':>14} | {'sum':>3} | {'pigeonhole':>10} | {'basic l=2':>9} | {'strong l=2':>10}"
-    print(header)
-    print("-" * len(header))
-    for name, boxes in layouts.items():
-        print(
-            f"{name:>14} | {sum(boxes):>3} | "
-            f"{str(passes_pigeonhole(boxes, n)):>10} | "
-            f"{str(passes_pigeonring_basic(boxes, n, 2)):>9} | "
-            f"{str(passes_pigeonring_strong(boxes, n, 2)):>10}"
-        )
-
-    print()
-    boxes = layouts["Figure 1(a)"]
-    print(f"Pigeonhole witnesses of {boxes}: boxes {pigeonhole_witnesses(boxes, n)}")
+    # The principle in one line: the Figure 1(a) layout passes the
+    # pigeonhole test but fails the chain test, so pigeonring prunes it.
+    boxes, threshold = (2, 1, 2, 2, 1), 5
     print(
-        "Strong-form witnesses at l = 2:",
-        pigeonring_strong_witnesses(boxes, n, 2) or "none -> filtered",
+        f"layout {boxes} vs threshold {threshold}: "
+        f"pigeonhole={passes_pigeonhole(boxes, threshold)}, "
+        f"pigeonring(l=2)={passes_pigeonring_basic(boxes, threshold, 2)}\n"
     )
 
-    within = layouts["within budget"]
-    start = constructive_prefix_viable_start(within, n)
-    print(
-        f"\nFor {within} (sum <= n) the geometric construction of Appendix A "
-        f"finds a start box {start} from which every chain length is prefix-viable."
-    )
+    # Build a workload and attach it to an engine.
+    workload = gist_like(num_vectors=2000, num_queries=8, seed=7)
+    dataset = BinaryVectorDataset(workload.vectors, num_parts=8)
+    engine = SearchEngine()
+    engine.add_dataset("hamming", dataset)
+
+    # Spawn the HTTP/JSON server locally (port 0 picks a free port) and
+    # talk to it exactly like a remote client would.
+    with ServerThread(engine, ServerConfig(max_wait_ms=2.0)) as server:
+        print(f"engine serving at {server.url}")
+        with EngineClient(server.url) as client:
+            manifest = client.manifest()
+            descriptor = manifest["backends"]["hamming"]["descriptor"]
+            print(
+                f"manifest: {descriptor['num_objects']} binary codes, "
+                f"d={descriptor['d']}, {descriptor['num_parts']} parts\n"
+            )
+
+            query = workload.queries[0]
+            hits = client.search("hamming", query, tau=40)
+            print(
+                f"tau=40 selection: {hits.num_results} match(es), "
+                f"{hits.num_candidates} candidate(s), "
+                f"{hits.engine_time_ms:.2f} ms in the engine"
+            )
+
+            top = client.search_topk("hamming", query, k=5)
+            print(f"top-5 (ladder stopped at tau={top.tau_effective}):")
+            for obj_id, score in zip(top.ids, top.scores):
+                print(f"  id={obj_id}  hamming distance={score:.0f}")
+
+            health = client.healthz()
+            stats = client.stats()["server"]
+            print(
+                f"\nhealth={health['status']}  served {stats['num_queries']} "
+                f"queries in {stats['num_batches']} micro-batch(es)"
+            )
+    print("server drained and stopped")
 
 
 if __name__ == "__main__":

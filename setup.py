@@ -1,16 +1,9 @@
-"""Setup shim so editable installs work in offline environments without wheel."""
+"""Setup shim so editable installs work in offline environments without wheel.
 
-from setuptools import find_packages, setup
+All project metadata lives in pyproject.toml ([project] and
+[tool.setuptools]); this file only gives legacy tooling an entry point.
+"""
 
-setup(
-    name="repro-pigeonring",
-    version="1.0.0",
-    description=(
-        "Reproduction of 'Pigeonring: A Principle for Faster Thresholded "
-        "Similarity Search' (Qin & Xiao, VLDB 2018)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
-)
+from setuptools import setup
+
+setup()

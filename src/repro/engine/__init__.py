@@ -16,9 +16,18 @@ searcher classes; this subsystem puts one serving layer on top of them:
 * :mod:`repro.engine.sharding` -- :class:`ShardedEngine`: id-range shards
   served by one worker process each, with exact threshold/top-k merging.
 * :mod:`repro.engine.bench` -- the latency/throughput harness behind the
-  benchmark suite and the CI regression gate.
+  benchmark suite and the CI regression gate, plus the open/closed-loop
+  network load generator.
+* :mod:`repro.engine.wire` -- the schema-versioned JSON wire format of the
+  network serving layer.
+* :mod:`repro.engine.server` -- :class:`EngineServer`: a stdlib-only asyncio
+  HTTP/1.1 front-end with micro-batch coalescing, admission control and
+  graceful drain over either engine.
+* :mod:`repro.engine.client` -- the blocking :class:`EngineClient` and the
+  :func:`asearch` coroutine.
 * :mod:`repro.engine.cli` -- ``python -m repro.engine`` with ``build-index``,
-  ``query``, ``bench``, ``build-shards`` and ``serve-bench`` subcommands.
+  ``query``, ``bench``, ``build-shards``, ``serve-bench``, ``serve`` and
+  ``load-bench`` subcommands.
 
 See ENGINE.md at the repository root for the architecture walkthrough.
 """
@@ -30,28 +39,66 @@ from repro.engine.backend import (
     get_backend,
     register_backend,
 )
-from repro.engine.bench import BenchReport, run_bench
+from repro.engine.bench import (
+    BenchReport,
+    LoadReport,
+    run_bench,
+    run_load_bench,
+    wire_requests,
+)
+from repro.engine.client import (
+    EngineClient,
+    EngineClientError,
+    RequestError,
+    ServerBusyError,
+    ServerUnavailableError,
+    WireResponse,
+    asearch,
+)
 from repro.engine.executor import EngineStats, SearchEngine
 from repro.engine.persistence import Container, load_container, save_container
-from repro.engine.sharding import ShardedEngine, ShardedStats, build_shards
+from repro.engine.server import EngineServer, ServerConfig, ServerThread
+from repro.engine.sharding import (
+    ShardedEngine,
+    ShardedStats,
+    ShardWorkerError,
+    build_shards,
+)
 from repro.engine.topk import run_topk
+from repro.engine.wire import WIRE_SCHEMA_VERSION, WireFormatError
 
 __all__ = [
     "Backend",
     "BenchReport",
     "Container",
+    "EngineClient",
+    "EngineClientError",
+    "EngineServer",
     "EngineStats",
+    "LoadReport",
     "Query",
+    "RequestError",
     "Response",
     "SearchEngine",
+    "ServerBusyError",
+    "ServerConfig",
+    "ServerThread",
+    "ServerUnavailableError",
+    "ShardWorkerError",
     "ShardedEngine",
     "ShardedStats",
+    "WIRE_SCHEMA_VERSION",
+    "WireFormatError",
+    "WireResponse",
+    "asearch",
     "available_backends",
     "build_shards",
     "get_backend",
     "load_container",
     "register_backend",
     "run_bench",
+    "run_load_bench",
     "run_topk",
     "save_container",
+    "wire_requests",
 ]

@@ -10,8 +10,20 @@ of tau-selection by adaptive threshold escalation; see
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
+
+import numpy as np
+
+
+def _is_int(value: Any) -> bool:
+    """True for genuine integers (bool is excluded: True is not a count)."""
+    return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(value, bool)
 
 
 @dataclass(frozen=True)
@@ -47,10 +59,25 @@ class Query:
     def __post_init__(self) -> None:
         if self.tau is None and self.k is None:
             raise ValueError("a query needs a threshold tau, a result count k, or both")
-        if self.k is not None and self.k < 1:
-            raise ValueError("k must be at least 1")
-        if self.chain_length is not None and self.chain_length < 1:
-            raise ValueError("chain_length must be at least 1")
+        if self.k is not None:
+            if not _is_int(self.k):
+                raise ValueError(f"k must be an integer, got {self.k!r}")
+            if self.k < 1:
+                raise ValueError("k must be at least 1")
+        if self.tau is not None:
+            if not _is_number(self.tau):
+                raise ValueError(f"tau must be a number, got {self.tau!r}")
+            if math.isnan(self.tau):
+                raise ValueError("tau must not be NaN")
+            if math.isinf(self.tau):
+                raise ValueError("tau must be finite")
+            if self.tau < 0:
+                raise ValueError(f"tau must be non-negative, got {self.tau!r}")
+        if self.chain_length is not None:
+            if not _is_int(self.chain_length):
+                raise ValueError(f"chain_length must be an integer, got {self.chain_length!r}")
+            if self.chain_length < 1:
+                raise ValueError("chain_length must be at least 1")
 
 
 @dataclass

@@ -98,6 +98,21 @@ class Backend(abc.ABC):
         serves best-effort top-k within that radius).
         """
 
+    # -- wire format -------------------------------------------------------
+
+    def payload_to_wire(self, payload: Any) -> Any:
+        """A JSON-serialisable form of a query payload for the HTTP API.
+
+        The default is the identity, which suits domains whose payloads are
+        already JSON-native (token-id lists, strings).  Backends with richer
+        payloads (numpy vectors, graphs) override both directions.
+        """
+        return payload
+
+    def payload_from_wire(self, data: Any) -> Any:
+        """Rebuild a query payload from its :meth:`payload_to_wire` form."""
+        return data
+
     # -- sharding ----------------------------------------------------------
 
     def store_size(self, store: Any) -> int:

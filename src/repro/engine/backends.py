@@ -138,6 +138,15 @@ class HammingBackend(Backend):
         vectors = store.dataset.vectors[lo:hi]
         return BinaryVectorDataset(vectors, num_parts=store.dataset.m)
 
+    def payload_to_wire(self, payload: Any) -> list[int]:
+        return [int(bit) for bit in np.asarray(payload).reshape(-1)]
+
+    def payload_from_wire(self, data: Any) -> np.ndarray:
+        vector = np.asarray(data, dtype=np.uint8).reshape(-1)
+        if vector.size == 0:
+            raise ValueError("a hamming payload must be a non-empty 0/1 vector")
+        return vector
+
     def tau_ladder(
         self, store: HammingStore, payload: Any, start: float | int | None
     ) -> Iterable[int]:
@@ -270,6 +279,14 @@ class SetBackend(Backend):
     def shard_store(self, store: SetDataset, lo: int, hi: int) -> SetDataset:
         return SetDataset(store.raw_records[lo:hi], num_classes=store.num_classes)
 
+    def payload_to_wire(self, payload: Any) -> list[int]:
+        return [int(token) for token in payload]
+
+    def payload_from_wire(self, data: Any) -> list[int]:
+        if not isinstance(data, (list, tuple)):
+            raise ValueError("a sets payload must be a list of token ids")
+        return [int(token) for token in data]
+
     def tau_ladder(
         self, store: SetDataset, payload: Any, start: float | int | None
     ) -> Iterable[float | int]:
@@ -368,6 +385,11 @@ class StringBackend(Backend):
 
     def shard_store(self, store: StringDataset, lo: int, hi: int) -> StringDataset:
         return StringDataset(store.records[lo:hi], kappa=store.kappa)
+
+    def payload_from_wire(self, data: Any) -> str:
+        if not isinstance(data, str):
+            raise ValueError("a strings payload must be a string")
+        return data
 
     def tau_ladder(
         self, store: StringDataset, payload: Any, start: float | int | None
@@ -484,6 +506,14 @@ class GraphBackend(Backend):
 
     def shard_store(self, store: GraphDataset, lo: int, hi: int) -> GraphDataset:
         return GraphDataset(store.graphs[lo:hi])
+
+    def payload_to_wire(self, payload: Graph) -> dict:
+        return _graph_to_json(payload)
+
+    def payload_from_wire(self, data: Any) -> Graph:
+        if not isinstance(data, dict) or "vertices" not in data or "edges" not in data:
+            raise ValueError("a graphs payload must be a {vertices, edges} object")
+        return _graph_from_json(data)
 
     def tau_ladder(
         self, store: GraphDataset, payload: Graph, start: float | int | None

@@ -10,6 +10,12 @@ SearchEngine` or a :class:`repro.engine.sharding.ShardedEngine`):
   ``search_batch`` (pipelined across shards for the sharded engine) and
   reports queries per second.
 
+:func:`run_load_bench` is the network-side counterpart: a closed- or
+open-loop load generator driving a live HTTP server
+(:mod:`repro.engine.server`) through :class:`repro.engine.client.
+EngineClient` connections, recording p50/p95/p99 latency, achieved QPS,
+admission-control rejections and the observed micro-batch coalescing.
+
 Reports are plain dicts under :data:`BENCH_SCHEMA_VERSION` so the files CI
 compares (``benchmarks/BENCH_all.json``) are self-describing and the
 regression gate can refuse to diff incompatible schemas.
@@ -17,8 +23,11 @@ regression gate can refuse to diff incompatible schemas.
 
 from __future__ import annotations
 
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Any, Protocol, Sequence
 
 from repro.common.stats import Timer
 from repro.engine.api import Query, Response
@@ -117,4 +126,250 @@ def run_bench(
             max_ms=max(latencies_ms),
         ),
         responses,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Network load generation (against a live HTTP server)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """One load-generator run against a live engine server.
+
+    ``achieved_qps`` counts successfully answered requests over the span
+    from the first dispatch to the last completion.  In closed-loop mode
+    each of ``concurrency`` workers keeps exactly one request outstanding;
+    in open-loop mode requests are dispatched at ``target_qps`` regardless
+    of completions and latency includes any queueing delay, so an
+    overloaded server shows up as a latency explosion rather than a
+    flattering slowdown of the generator (the coordinated-omission trap).
+    """
+
+    mode: str
+    concurrency: int
+    num_requests: int
+    num_ok: int
+    num_rejected: int
+    num_errors: int
+    wall_seconds: float
+    achieved_qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    avg_batch_size: float
+    target_qps: float | None = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "mode": self.mode,
+            "concurrency": self.concurrency,
+            "num_requests": self.num_requests,
+            "num_ok": self.num_ok,
+            "num_rejected": self.num_rejected,
+            "num_errors": self.num_errors,
+            "wall_seconds": self.wall_seconds,
+            "achieved_qps": self.achieved_qps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+            "avg_batch_size": self.avg_batch_size,
+        }
+        if self.target_qps is not None:
+            payload["target_qps"] = self.target_qps
+        return payload
+
+
+def wire_requests(
+    backend: str,
+    payloads: Sequence[Any],
+    tau: float | int | None = None,
+    k: int | None = None,
+    chain_length: int | None = None,
+    algorithm: str = "ring",
+    repeat: int = 1,
+) -> list[dict]:
+    """Pre-encode a workload into wire bodies, outside any timed loop."""
+    from repro.engine.wire import encode_query
+
+    encoded = [
+        encode_query(
+            Query(
+                backend=backend,
+                payload=payload,
+                tau=tau,
+                k=k,
+                chain_length=chain_length,
+                algorithm=algorithm,
+            )
+        )
+        for payload in payloads
+    ]
+    return encoded * repeat
+
+
+def _summarise_load(
+    mode: str,
+    concurrency: int,
+    num_requests: int,
+    latencies_ms: list[float],
+    batch_sizes: list[int],
+    rejected: int,
+    errors: int,
+    wall: float,
+    target_qps: float | None = None,
+) -> LoadReport:
+    ok = len(latencies_ms)
+    return LoadReport(
+        mode=mode,
+        concurrency=concurrency,
+        num_requests=num_requests,
+        num_ok=ok,
+        num_rejected=rejected,
+        num_errors=errors,
+        wall_seconds=wall,
+        achieved_qps=ok / wall if wall else 0.0,
+        p50_ms=percentile(latencies_ms, 0.50) if ok else 0.0,
+        p95_ms=percentile(latencies_ms, 0.95) if ok else 0.0,
+        p99_ms=percentile(latencies_ms, 0.99) if ok else 0.0,
+        mean_ms=sum(latencies_ms) / ok if ok else 0.0,
+        max_ms=max(latencies_ms) if ok else 0.0,
+        avg_batch_size=sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0,
+        target_qps=target_qps,
+    )
+
+
+def run_load_bench(
+    base_url: str,
+    requests: Sequence[dict],
+    concurrency: int = 8,
+    mode: str = "closed",
+    target_qps: float | None = None,
+    topk: bool = False,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive a live engine server with a pre-encoded wire workload.
+
+    Args:
+        base_url: the server, e.g. ``"http://127.0.0.1:8080"``.
+        requests: wire bodies from :func:`wire_requests`; the run issues
+            exactly ``len(requests)`` requests.
+        concurrency: worker connections (closed loop: one outstanding
+            request each; open loop: the dispatch pool size).
+        mode: ``"closed"`` or ``"open"``.
+        target_qps: open-loop dispatch rate; required for ``mode="open"``.
+        topk: send to ``/search/topk`` instead of ``/search``.
+
+    Admission-control rejections (429) count as ``num_rejected``, other
+    failures as ``num_errors``; neither contributes a latency sample.
+    """
+    from repro.engine.client import EngineClient, ServerBusyError
+
+    requests = list(requests)
+    if not requests:
+        raise ValueError("run_load_bench needs at least one request")
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and (target_qps is None or target_qps <= 0):
+        raise ValueError("open-loop mode needs a positive target_qps")
+
+    lock = threading.Lock()
+    latencies_ms: list[float] = []
+    batch_sizes: list[int] = []
+    counters = {"rejected": 0, "errors": 0, "next": 0}
+
+    def record(latency_ms: float, batch_size: int) -> None:
+        with lock:
+            latencies_ms.append(latency_ms)
+            batch_sizes.append(batch_size)
+
+    def issue(client: EngineClient, body: dict, started: float) -> None:
+        try:
+            response = client.search_wire(body, topk=topk)
+        except ServerBusyError:
+            with lock:
+                counters["rejected"] += 1
+        except Exception:
+            with lock:
+                counters["errors"] += 1
+        else:
+            record((time.perf_counter() - started) * 1000.0, response.batch_size)
+
+    if mode == "closed":
+
+        def worker() -> None:
+            with EngineClient(base_url, timeout=timeout) as client:
+                while True:
+                    with lock:
+                        index = counters["next"]
+                        if index >= len(requests):
+                            return
+                        counters["next"] = index + 1
+                    issue(client, requests[index], time.perf_counter())
+
+        timer = Timer()
+        threads = [
+            threading.Thread(target=worker, name=f"load-{i}")
+            for i in range(concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = timer.elapsed()
+        return _summarise_load(
+            mode,
+            concurrency,
+            len(requests),
+            latencies_ms,
+            batch_sizes,
+            counters["rejected"],
+            counters["errors"],
+            wall,
+        )
+
+    # Open loop: dispatch on a fixed schedule; latency is measured from the
+    # *scheduled* send time, so dispatch-pool queueing counts against the
+    # server rather than being silently absorbed by the generator.
+    interval = 1.0 / target_qps
+    clients = threading.local()
+
+    def open_issue(body: dict, scheduled: float) -> None:
+        client = getattr(clients, "client", None)
+        if client is None:
+            client = EngineClient(base_url, timeout=timeout)
+            clients.client = client
+        issue(client, body, scheduled)
+
+    timer = Timer()
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency, thread_name_prefix="load") as pool:
+        futures = []
+        for position, body in enumerate(requests):
+            scheduled = start + position * interval
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(open_issue, body, scheduled))
+        for future in futures:
+            future.result()
+    wall = timer.elapsed()
+    return _summarise_load(
+        mode,
+        concurrency,
+        len(requests),
+        latencies_ms,
+        batch_sizes,
+        counters["rejected"],
+        counters["errors"],
+        wall,
+        target_qps=target_qps,
     )

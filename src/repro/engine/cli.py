@@ -1,6 +1,6 @@
 """Command-line front end: ``python -m repro.engine <command>``.
 
-Five subcommands make the engine drivable end-to-end without writing code:
+Seven subcommands make the engine drivable end-to-end without writing code:
 
 * ``build-index`` -- generate a synthetic workload for one backend, build the
   dataset (and, for Hamming, the partition index) once, and save everything
@@ -15,21 +15,35 @@ Five subcommands make the engine drivable end-to-end without writing code:
 * ``serve-bench`` -- serve a sharded index on K worker processes, replay the
   stored workload pipelined across the shards, and report throughput,
   latency percentiles, and per-shard/merge statistics.
+* ``serve`` -- expose an index (plain container or sharded directory,
+  autodetected) over HTTP/JSON with micro-batch coalescing and
+  backpressure; shuts down gracefully on SIGINT/SIGTERM.
+* ``load-bench`` -- drive a running server with the index's stored workload
+  at one or more concurrency levels and record achieved QPS plus
+  p50/p95/p99 latency to a JSON report.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import os
+import signal
 import sys
 from typing import Sequence
 
 from repro.common.stats import Timer
 from repro.engine.api import Query
-from repro.engine.backend import available_backends
-from repro.engine.bench import run_bench
+from repro.engine.backend import available_backends, get_backend
+from repro.engine.bench import run_bench, run_load_bench, wire_requests
 from repro.engine.executor import SearchEngine
-from repro.engine.sharding import ShardedEngine, build_shards
+from repro.engine.sharding import (
+    SHARDS_MANIFEST_NAME,
+    ShardedEngine,
+    build_shards,
+    load_shards_manifest,
+)
 
 
 def _parse_tau(text: str) -> float | int:
@@ -204,6 +218,148 @@ def _serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_served_engine(args: argparse.Namespace):
+    """A ShardedEngine for a sharded directory, a SearchEngine otherwise."""
+    if os.path.exists(os.path.join(args.index, SHARDS_MANIFEST_NAME)):
+        return ShardedEngine(args.index, mp_context=args.mp_context)
+    engine = SearchEngine(cache_size=args.cache_size)
+    engine.load_index(args.index)
+    return engine
+
+
+async def _serve_until_signalled(server, ready_file: str | None) -> None:
+    await server.start()
+    host, port = server.address
+    print(f"serving {type(server.engine).__name__} on http://{host}:{port}", flush=True)
+    if ready_file:
+        # Written atomically so a poller never reads a half-written address.
+        tmp = ready_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(f"{host} {port}\n")
+        os.replace(tmp, ready_file)
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            signal.signal(signum, lambda *_args: stop_event.set())
+    await stop_event.wait()
+    print("draining in-flight queries ...", flush=True)
+    await server.stop()
+    print("server stopped cleanly", flush=True)
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.engine.server import EngineServer, ServerConfig
+
+    engine = _open_served_engine(args)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+    )
+    server = EngineServer(engine, config, own_engine=True)
+    asyncio.run(_serve_until_signalled(server, args.ready_file))
+    return 0
+
+
+def _load_workload(args: argparse.Namespace) -> tuple[str, list, float | int]:
+    """Backend name, stored payloads and threshold for one index directory."""
+    shards_path = os.path.join(args.index, SHARDS_MANIFEST_NAME)
+    if os.path.exists(shards_path):
+        manifest = load_shards_manifest(args.index)
+    else:
+        with open(os.path.join(args.index, "manifest.json"), encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    name = manifest["backend"]
+    payloads = get_backend(name).load_queries(args.index)
+    if not payloads:
+        print(f"index {args.index} holds no stored queries", file=sys.stderr)
+        raise SystemExit(2)
+    tau = args.tau if args.tau is not None else manifest.get("default_tau")
+    if tau is None and args.k is None:
+        print(
+            "the index manifest records no default tau; pass --tau or --k",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return name, payloads, tau
+
+
+#: Request volume and concurrency ladder per load-bench profile.
+LOAD_PROFILES = {
+    "ci": dict(requests=160, concurrency=(1, 8)),
+    "full": dict(requests=1000, concurrency=(1, 4, 8, 16)),
+}
+
+
+def _load_bench(args: argparse.Namespace) -> int:
+    name, payloads, tau = _load_workload(args)
+    if args.profile is not None:
+        profile = LOAD_PROFILES[args.profile]
+        num_requests = profile["requests"]
+        levels = list(profile["concurrency"])
+    else:
+        num_requests = args.requests
+        levels = [int(part) for part in args.concurrency.split(",")]
+    repeat = max(1, -(-num_requests // len(payloads)))  # ceil to cover payloads
+    requests = wire_requests(
+        name,
+        payloads,
+        tau=None if args.k is not None else tau,
+        k=args.k,
+        chain_length=args.chain_length,
+        algorithm=args.algorithm,
+        repeat=repeat,
+    )[:num_requests]
+
+    results = {}
+    ok = True
+    for concurrency in levels:
+        report = run_load_bench(
+            args.url,
+            requests,
+            concurrency=concurrency,
+            mode=args.mode,
+            target_qps=args.rate,
+            topk=args.k is not None,
+            timeout=args.timeout,
+        )
+        results[str(concurrency)] = report.to_dict()
+        ok = ok and report.num_ok > 0 and report.num_errors == 0
+        print(
+            f"[{name}] c={concurrency:<3} {report.achieved_qps:>8.1f} q/s  "
+            f"p50 {report.p50_ms:>7.2f} ms  p95 {report.p95_ms:>7.2f} ms  "
+            f"p99 {report.p99_ms:>7.2f} ms  batch {report.avg_batch_size:.2f}  "
+            f"ok {report.num_ok}/{report.num_requests}"
+            + (f"  rejected {report.num_rejected}" if report.num_rejected else "")
+        )
+    if len(levels) > 1:
+        base = results[str(levels[0])]["achieved_qps"]
+        peak = max(entry["achieved_qps"] for entry in results.values())
+        if base:
+            print(f"concurrency speedup: {peak / base:.2f}x over c={levels[0]}")
+    if args.out:
+        payload = {
+            "backend": name,
+            "url": args.url,
+            "mode": args.mode,
+            "tau": tau,
+            "k": args.k,
+            "num_requests": num_requests,
+            "concurrency": results,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.out}")
+    if not ok:
+        print("load-bench FAILED: errors or zero successful requests", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.engine",
@@ -260,6 +416,65 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mp-context", default=None, choices=["fork", "spawn", "forkserver"])
     serve.add_argument("--out", default=None, help="write the JSON report here")
     serve.set_defaults(func=_serve_bench)
+
+    http_serve = commands.add_parser(
+        "serve", help="serve an index (plain or sharded) over HTTP/JSON"
+    )
+    http_serve.add_argument(
+        "--index", required=True, help="index container or sharded index directory"
+    )
+    http_serve.add_argument("--host", default="127.0.0.1")
+    http_serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    http_serve.add_argument(
+        "--max-batch", type=int, default=16, help="micro-batch coalescing limit"
+    )
+    http_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batch window in ms"
+    )
+    http_serve.add_argument(
+        "--max-pending", type=int, default=256, help="admission-control bound (429 above)"
+    )
+    http_serve.add_argument(
+        "--cache-size", type=int, default=0, help="result-cache size (plain containers)"
+    )
+    http_serve.add_argument(
+        "--mp-context", default=None, choices=["fork", "spawn", "forkserver"]
+    )
+    http_serve.add_argument(
+        "--ready-file",
+        default=None,
+        help="write 'host port' here once listening (for scripted startup)",
+    )
+    http_serve.set_defaults(func=_serve)
+
+    load = commands.add_parser(
+        "load-bench", help="drive a running server and record QPS + latency percentiles"
+    )
+    load.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8080")
+    load.add_argument(
+        "--index", required=True, help="index directory the server was started from"
+    )
+    load.add_argument("--tau", type=_parse_tau, default=None)
+    load.add_argument("--k", type=int, default=None, help="run the top-k endpoint instead")
+    load.add_argument("--chain-length", type=int, default=None)
+    load.add_argument("--algorithm", default="ring")
+    load.add_argument(
+        "--profile",
+        choices=sorted(LOAD_PROFILES),
+        default=None,
+        help="preset request volume + concurrency ladder (overrides --requests/--concurrency)",
+    )
+    load.add_argument("--requests", type=int, default=200, help="requests per level")
+    load.add_argument(
+        "--concurrency", default="1,8", help="comma-separated concurrency levels"
+    )
+    load.add_argument("--mode", choices=["closed", "open"], default="closed")
+    load.add_argument(
+        "--rate", type=float, default=None, help="open-loop dispatch rate (required for open)"
+    )
+    load.add_argument("--timeout", type=float, default=30.0)
+    load.add_argument("--out", default=None, help="write the JSON report here")
+    load.set_defaults(func=_load_bench)
     return parser
 
 

@@ -1,0 +1,313 @@
+"""Clients for the HTTP serving layer: blocking and asyncio.
+
+:class:`EngineClient` is the blocking counterpart of
+:class:`repro.engine.server.EngineServer`: one persistent HTTP/1.1
+connection (``http.client``), domain payloads encoded through the same
+:mod:`repro.engine.wire` codecs the server decodes with, and the server's
+HTTP error taxonomy mapped back to typed exceptions:
+
+* 400 -> :class:`RequestError` (the request itself is malformed),
+* 429 -> :class:`ServerBusyError` (admission control; carries
+  ``retry_after``),
+* 503 -> :class:`ServerUnavailableError` (draining, or a dead shard
+  worker; also carries ``retry_after``).
+
+:func:`asearch` is the coroutine equivalent of one ``search`` call for
+asyncio callers -- it opens a connection, issues the request and decodes
+the response without threads.  Both sides are stdlib-only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.engine.api import Query
+from repro.engine.wire import encode_query
+
+
+class EngineClientError(Exception):
+    """Base class of every error raised by the HTTP clients."""
+
+
+class RequestError(EngineClientError):
+    """The server rejected the request as malformed (HTTP 400/404/405/413)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServerBusyError(EngineClientError):
+    """Admission control rejected the query (HTTP 429); retry later."""
+
+    def __init__(self, message: str, retry_after: float | None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServerUnavailableError(EngineClientError):
+    """The server is draining or lost a shard worker (HTTP 503)."""
+
+    def __init__(self, message: str, retry_after: float | None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass
+class WireResponse:
+    """One decoded ``/search`` or ``/search/topk`` answer.
+
+    Mirrors the wire schema: ``ids``/``scores`` are exactly what the engine
+    returned, ``batch_size`` is the micro-batch the query was coalesced
+    into, and ``raw`` keeps the full JSON body for forward compatibility.
+    """
+
+    ids: list[int]
+    scores: list[float] | None
+    tau_effective: float | int | None
+    num_candidates: int
+    engine_time_ms: float
+    cached: bool
+    batch_size: int
+    raw: dict
+
+    @property
+    def num_results(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def from_wire(cls, body: dict) -> "WireResponse":
+        return cls(
+            ids=list(body["ids"]),
+            scores=None if body.get("scores") is None else list(body["scores"]),
+            tau_effective=body.get("tau_effective"),
+            num_candidates=body.get("num_candidates", 0),
+            engine_time_ms=body.get("engine_time_ms", 0.0),
+            cached=body.get("cached", False),
+            batch_size=body.get("batch_size", 1),
+            raw=body,
+        )
+
+
+def _parse_base_url(base_url: str) -> tuple[str, int]:
+    parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+    if parts.scheme not in ("", "http"):
+        raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
+    if not parts.hostname:
+        raise ValueError(f"no host in {base_url!r}")
+    return parts.hostname, parts.port or 80
+
+
+def _raise_for_status(status: int, body: dict, retry_after: float | None) -> None:
+    message = body.get("error", "") if isinstance(body, dict) else str(body)
+    if status == 429:
+        raise ServerBusyError(message, retry_after)
+    if status == 503:
+        raise ServerUnavailableError(message, retry_after)
+    raise RequestError(status, message)
+
+
+class EngineClient:
+    """A blocking HTTP client for one engine server.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8080"`` (or bare ``host:port``).
+        timeout: socket timeout in seconds for connect and each request.
+
+    One client owns one persistent connection and is **not** thread-safe;
+    give each thread its own client (see ``run_load_bench``).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self._host, self._port = _parse_base_url(base_url)
+        self._timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "EngineClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            data = response.read()
+        except (ConnectionError, socket.timeout, http.client.HTTPException):
+            # The connection is unusable (server restarted, keep-alive
+            # dropped); throw it away so the next call reconnects.
+            self.close()
+            raise
+        retry_after = response.getheader("Retry-After")
+        decoded = json.loads(data.decode("utf-8")) if data else {}
+        if response.status != 200:
+            _raise_for_status(
+                response.status,
+                decoded,
+                float(retry_after) if retry_after else None,
+            )
+        return decoded
+
+    # -- API ---------------------------------------------------------------
+
+    def search(
+        self,
+        backend: str,
+        payload: Any,
+        tau: float | int | None = None,
+        chain_length: int | None = None,
+        algorithm: str = "ring",
+    ) -> WireResponse:
+        """Thresholded selection over the wire (``POST /search``)."""
+        query = Query(
+            backend=backend,
+            payload=payload,
+            tau=tau,
+            chain_length=chain_length,
+            algorithm=algorithm,
+        )
+        return WireResponse.from_wire(self._request("POST", "/search", encode_query(query)))
+
+    def search_topk(
+        self,
+        backend: str,
+        payload: Any,
+        k: int,
+        tau: float | int | None = None,
+        chain_length: int | None = None,
+        algorithm: str = "ring",
+    ) -> WireResponse:
+        """Top-k search over the wire (``POST /search/topk``)."""
+        query = Query(
+            backend=backend,
+            payload=payload,
+            tau=tau,
+            k=k,
+            chain_length=chain_length,
+            algorithm=algorithm,
+        )
+        return WireResponse.from_wire(
+            self._request("POST", "/search/topk", encode_query(query))
+        )
+
+    def search_wire(self, body: dict, topk: bool = False) -> WireResponse:
+        """Send an already-encoded wire query (used by the load generator)."""
+        path = "/search/topk" if topk else "/search"
+        return WireResponse.from_wire(self._request("POST", path, body))
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def manifest(self) -> dict:
+        return self._request("GET", "/manifest")
+
+
+# ---------------------------------------------------------------------------
+# asyncio side
+# ---------------------------------------------------------------------------
+
+
+async def _arequest(
+    host: str, port: int, method: str, path: str, payload: dict | None, timeout: float
+) -> tuple[int, dict, dict[str, str]]:
+    """One HTTP/1.1 request over a fresh asyncio connection."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+            f"Content-Length: {len(body)}",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+        async def _read_all() -> tuple[int, dict, dict[str, str]]:
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2:
+                raise EngineClientError(f"malformed status line {status_line!r}")
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _sep, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            data = await reader.readexactly(length) if length else await reader.read()
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+            return status, decoded, headers
+
+        return await asyncio.wait_for(_read_all(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def asearch(
+    base_url: str,
+    backend: str,
+    payload: Any,
+    tau: float | int | None = None,
+    k: int | None = None,
+    chain_length: int | None = None,
+    algorithm: str = "ring",
+    timeout: float = 30.0,
+) -> WireResponse:
+    """One engine query from asyncio code, no threads involved.
+
+    Chooses ``/search`` or ``/search/topk`` depending on whether ``k`` is
+    set and raises the same typed errors as :class:`EngineClient`.
+    """
+    host, port = _parse_base_url(base_url)
+    query = Query(
+        backend=backend,
+        payload=payload,
+        tau=tau,
+        k=k,
+        chain_length=chain_length,
+        algorithm=algorithm,
+    )
+    path = "/search/topk" if k is not None else "/search"
+    status, body, headers = await _arequest(
+        host, port, "POST", path, encode_query(query), timeout
+    )
+    if status != 200:
+        retry_after = headers.get("retry-after")
+        _raise_for_status(status, body, float(retry_after) if retry_after else None)
+    return WireResponse.from_wire(body)

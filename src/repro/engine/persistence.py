@@ -46,6 +46,10 @@ def save_container(
         "format_version": FORMAT_VERSION,
         "backend": backend.name,
         "descriptor": backend.describe(store),
+        # Recorded at build time (JSON keeps the int/float distinction, which
+        # is semantic for the sets backend) so network clients and the load
+        # generator can pick a threshold without loading the store.
+        "default_tau": backend.default_tau(store),
     }
     backend.save_store(store, directory)
     if queries is not None:

@@ -1,0 +1,597 @@
+"""Async network serving: a stdlib-only HTTP/1.1 JSON front-end.
+
+:class:`EngineServer` puts a network surface on anything that serves
+``search`` / ``search_batch`` -- an in-process
+:class:`repro.engine.executor.SearchEngine` or a multi-process
+:class:`repro.engine.sharding.ShardedEngine` -- so the repo's thresholded
+similarity machinery is reachable by concurrent clients without importing
+the package:
+
+* **micro-batch coalescing**: concurrent in-flight queries are collected by
+  a single batcher task and executed as one ``search_batch`` call.  The
+  batch window is bounded by ``max_batch_size`` queries and ``max_wait_ms``
+  milliseconds; batches run on a one-thread executor, so while one batch
+  executes the next one accumulates -- under load the effective batch size
+  grows and the per-request overhead is amortised exactly like the sharded
+  engine's chunk pipelining.
+* **admission control and backpressure**: at most ``max_pending`` queries
+  may be in flight; excess requests are rejected immediately with HTTP 429
+  and a ``Retry-After`` hint instead of growing an unbounded queue.
+* **schema-versioned JSON endpoints** (:mod:`repro.engine.wire`):
+  ``POST /search`` (thresholded selection), ``POST /search/topk`` (top-k),
+  ``GET /healthz``, ``GET /stats`` and ``GET /manifest``.
+* **graceful drain**: :meth:`EngineServer.stop` stops accepting work,
+  answers everything already admitted, then shuts the batcher down; a
+  killed shard worker surfaces as 503 on the affected queries without
+  wedging the batcher.
+
+The server is asyncio + stdlib only.  :class:`ServerThread` runs it on a
+background thread with its own event loop for tests, examples and the
+blocking :class:`repro.engine.client.EngineClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.api import Query
+from repro.engine.sharding import ShardedEngine, ShardWorkerError
+from repro.engine.wire import (
+    WIRE_SCHEMA_VERSION,
+    WireFormatError,
+    decode_query,
+    encode_response,
+)
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Request-line + single-header size cap handed to ``asyncio.start_server``.
+_LINE_LIMIT = 64 * 1024
+_MAX_HEADERS = 100
+
+#: Known endpoint paths; anything else is bucketed under "other" in the
+#: per-endpoint stats so a path scanner cannot grow the dict unboundedly.
+_ENDPOINTS = ("/search", "/search/topk", "/healthz", "/stats", "/manifest")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`EngineServer`.
+
+    Attributes:
+        host / port: listen address; port 0 binds an ephemeral port
+            (read the real one from :attr:`EngineServer.address`).
+        max_batch_size: most queries coalesced into one ``search_batch``.
+        max_wait_ms: longest a query waits for companions before its batch
+            is flushed anyway; 0 flushes immediately (batching then comes
+            only from queries arriving while a batch executes).
+        max_pending: admission-control bound on in-flight queries (queued
+            plus executing); excess requests get 429 + ``Retry-After``.
+        retry_after_s: the ``Retry-After`` hint on 429/503 responses.
+        max_body_bytes: largest accepted request body (413 above it).
+        drain_timeout_s: longest :meth:`EngineServer.stop` waits for
+            admitted queries before shutting the batcher down regardless.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch_size: int = 16
+    max_wait_ms: float = 2.0
+    max_pending: int = 256
+    retry_after_s: float = 1.0
+    max_body_bytes: int = 8 * 1024 * 1024
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+
+
+@dataclass
+class ServerStats:
+    """Serving counters of one :class:`EngineServer`."""
+
+    num_requests: int = 0
+    num_queries: int = 0
+    num_batches: int = 0
+    sum_batch_size: int = 0
+    max_batch_size: int = 0
+    rejected_busy: int = 0
+    rejected_invalid: int = 0
+    errors_unavailable: int = 0
+    errors_internal: int = 0
+    per_endpoint: dict[str, int] = field(default_factory=dict)
+
+    def observe_batch(self, size: int) -> None:
+        self.num_batches += 1
+        self.sum_batch_size += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    @property
+    def avg_batch_size(self) -> float:
+        return self.sum_batch_size / self.num_batches if self.num_batches else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "num_requests": self.num_requests,
+            "num_queries": self.num_queries,
+            "num_batches": self.num_batches,
+            "avg_batch_size": self.avg_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "rejected_busy": self.rejected_busy,
+            "rejected_invalid": self.rejected_invalid,
+            "errors_unavailable": self.errors_unavailable,
+            "errors_internal": self.errors_internal,
+            "per_endpoint": dict(self.per_endpoint),
+        }
+
+
+class EngineServer:
+    """An asyncio HTTP/1.1 JSON server over one engine.
+
+    Args:
+        engine: a :class:`SearchEngine` or :class:`ShardedEngine` (anything
+            with ``search_batch``); queries from every connection funnel
+            into its ``search_batch`` through the micro-batcher.
+        config: serving tunables; ``None`` uses the defaults.
+        own_engine: close the engine (if it has ``close``) on :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        config: ServerConfig | None = None,
+        own_engine: bool = False,
+    ):
+        self.engine = engine
+        self.config = config or ServerConfig()
+        self.stats = ServerStats()
+        self._own_engine = own_engine
+        self._queue: deque[tuple[Query, asyncio.Future]] = deque()
+        self._arrival: asyncio.Event | None = None
+        self._in_flight = 0
+        # Requests being handled right now (parse -> dispatch -> response
+        # written); the drain waits on this, not just on admitted queries,
+        # so a response mid-write is never cut off by the shutdown.
+        self._active_requests = 0
+        self._draining = False
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher_task: asyncio.Task | None = None
+        self._connections: set[asyncio.Task] = set()
+        # One executor thread: batches run serially, so the engine needs no
+        # extra thread safety, and the next batch coalesces while one runs.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="engine-batch"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; available after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("the server is not listening")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._arrival = asyncio.Event()
+        self._batcher_task = loop.create_task(self._batcher())
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port, limit=_LINE_LIMIT
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, finish admitted work, shut down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout_s
+        while (self._in_flight or self._active_requests) and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        if self._batcher_task is not None:
+            self._batcher_task.cancel()
+            try:
+                await self._batcher_task
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        if self._own_engine and hasattr(self.engine, "close"):
+            self.engine.close()
+
+    # -- micro-batcher -----------------------------------------------------
+
+    async def _batcher(self) -> None:
+        """Coalesce queued queries into ``search_batch`` calls, forever.
+
+        A batch opens when the first query arrives and closes when it holds
+        ``max_batch_size`` queries or ``max_wait_ms`` has passed since it
+        opened, whichever comes first.  Engine failures are delivered to the
+        affected queries' futures; the batcher itself never dies.
+        """
+        loop = asyncio.get_running_loop()
+        config = self.config
+        while True:
+            if not self._queue:
+                self._arrival.clear()
+                await self._arrival.wait()
+            deadline = loop.time() + config.max_wait_ms / 1000.0
+            while len(self._queue) < config.max_batch_size:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._arrival.clear()
+                try:
+                    await asyncio.wait_for(self._arrival.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), config.max_batch_size))
+            ]
+            if not batch:
+                continue
+            queries = [query for query, _future in batch]
+            self.stats.observe_batch(len(batch))
+            try:
+                responses = await loop.run_in_executor(
+                    self._executor, self._run_batch, queries
+                )
+            except Exception as exc:  # engine failure: fail the batch, live on
+                for _query, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (_query, future), response in zip(batch, responses):
+                if not future.done():
+                    future.set_result((response, len(batch)))
+
+    def _run_batch(self, queries: list[Query]) -> list:
+        return self.engine.search_batch(queries)
+
+    async def _admit(self, query: Query) -> tuple[Any, int]:
+        """Queue one query for the batcher and await its response."""
+        future = asyncio.get_running_loop().create_future()
+        self._queue.append((query, future))
+        self._in_flight += 1
+        self._arrival.set()
+        try:
+            return await future
+        finally:
+            self._in_flight -= 1
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            request = await self._read_request(reader, writer)
+            if request is None:
+                return
+            method, path, headers, body = request
+            self._active_requests += 1
+            try:
+                self.stats.num_requests += 1
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                status, payload, extra = await self._dispatch(method, path, body)
+                await self._write_response(writer, status, payload, keep_alive, extra)
+            finally:
+                self._active_requests -= 1
+            if not keep_alive:
+                return
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> tuple[str, str, dict, bytes] | None:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            await self._write_response(
+                writer, 400, {"error": "malformed request line"}, False, {}
+            )
+            return None
+        method, raw_path, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            await self._write_response(writer, 400, {"error": "too many headers"}, False, {})
+            return None
+        if "transfer-encoding" in headers:
+            # The parser only supports Content-Length bodies; accepting a
+            # chunked body as length 0 would desync the whole connection.
+            await self._write_response(
+                writer, 400, {"error": "Transfer-Encoding is not supported"}, False, {}
+            )
+            return None
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            length = -1
+        if length < 0:
+            await self._write_response(
+                writer, 400, {"error": f"bad Content-Length {length_text!r}"}, False, {}
+            )
+            return None
+        if length > self.config.max_body_bytes:
+            await self._write_response(
+                writer,
+                413,
+                {"error": f"body of {length} bytes exceeds {self.config.max_body_bytes}"},
+                False,
+                {},
+            )
+            return None
+        body = await reader.readexactly(length) if length else b""
+        path = raw_path.split("?", 1)[0]
+        return method, path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+        extra_headers: dict[str, str],
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        headers.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, dict[str, str]]:
+        endpoint = path if path in _ENDPOINTS else "other"
+        self.stats.per_endpoint[endpoint] = self.stats.per_endpoint.get(endpoint, 0) + 1
+        if path in ("/search", "/search/topk"):
+            if method != "POST":
+                return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
+            return await self._handle_search(path, body)
+        if method != "GET":
+            return 405, {"error": f"{path} takes GET"}, {"Allow": "GET"}
+        if path == "/healthz":
+            return 200, self._healthz(), {}
+        if path == "/stats":
+            return 200, self._stats_payload(), {}
+        if path == "/manifest":
+            return 200, self._manifest_payload(), {}
+        self.stats.rejected_invalid += 1
+        return 404, {"error": f"unknown path {path!r}"}, {}
+
+    async def _handle_search(self, path: str, body: bytes) -> tuple[int, dict, dict[str, str]]:
+        retry = {"Retry-After": f"{self.config.retry_after_s:g}"}
+        if self._draining:
+            self.stats.errors_unavailable += 1
+            return 503, {"error": "the server is draining"}, retry
+        if self._in_flight >= self.config.max_pending:
+            self.stats.rejected_busy += 1
+            return (
+                429,
+                {"error": f"{self._in_flight} queries in flight (limit {self.config.max_pending})"},
+                retry,
+            )
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.stats.rejected_invalid += 1
+            return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
+        try:
+            query = decode_query(parsed)
+            if path == "/search/topk":
+                if query.k is None:
+                    raise WireFormatError("/search/topk requires 'k'")
+            elif query.k is not None:
+                raise WireFormatError(
+                    "/search answers thresholded queries; use /search/topk for 'k'"
+                )
+        except WireFormatError as exc:
+            self.stats.rejected_invalid += 1
+            return 400, {"error": str(exc)}, {}
+        try:
+            response, batch_size = await self._admit(query)
+        except (ShardWorkerError, RuntimeError) as exc:
+            # A dead shard worker or a closed engine: the query is lost but
+            # the batcher keeps serving; clients may retry elsewhere/later.
+            self.stats.errors_unavailable += 1
+            return 503, {"error": str(exc)}, retry
+        except (ValueError, KeyError) as exc:
+            # Engine-level validation the wire decoder cannot see (backend
+            # not attached, algorithm/backend mismatch against this index).
+            self.stats.rejected_invalid += 1
+            return 400, {"error": str(exc)}, {}
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a crash
+            self.stats.errors_internal += 1
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        self.stats.num_queries += 1
+        return 200, encode_response(response, batch_size), {}
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "engine": type(self.engine).__name__,
+            "in_flight": self._in_flight,
+        }
+
+    def _stats_payload(self) -> dict:
+        payload = {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "server": self.stats.snapshot(),
+            "config": {
+                "max_batch_size": self.config.max_batch_size,
+                "max_wait_ms": self.config.max_wait_ms,
+                "max_pending": self.config.max_pending,
+            },
+        }
+        stats = getattr(self.engine, "stats", None)
+        if stats is not None and hasattr(stats, "snapshot"):
+            payload["engine"] = stats.snapshot()
+        return payload
+
+    def _manifest_payload(self) -> dict:
+        if isinstance(self.engine, ShardedEngine):
+            return {
+                "schema_version": WIRE_SCHEMA_VERSION,
+                "engine": "ShardedEngine",
+                "backend": self.engine.backend_name,
+                "default_tau": self.engine.default_tau(),
+                "manifest": self.engine.manifest,
+            }
+        backends = {}
+        for name in self.engine.attached_backends():
+            backend = self.engine.backend(name)
+            store = self.engine.store(name)
+            backends[name] = {
+                "descriptor": backend.describe(store),
+                "default_tau": backend.default_tau(store),
+            }
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "engine": type(self.engine).__name__,
+            "backends": backends,
+        }
+
+
+class ServerThread:
+    """Run an :class:`EngineServer` on a background thread with its own loop.
+
+    Used by tests, the quickstart example and anything else that wants a
+    live HTTP endpoint inside one process::
+
+        with ServerThread(engine) as handle:
+            client = EngineClient(handle.url)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) drains the server gracefully
+    and joins the thread.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        config: ServerConfig | None = None,
+        own_engine: bool = False,
+    ):
+        self.server = EngineServer(engine, config, own_engine=own_engine)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="engine-server", daemon=True
+        )
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to the caller
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        self._loop.run_forever()
+        self._loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def stop(self, timeout: float | None = None) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -35,6 +35,7 @@ import heapq
 import json
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Iterator, Sequence
@@ -46,6 +47,19 @@ from repro.engine.persistence import save_container
 
 SHARDS_MANIFEST_NAME = "shards.json"
 SHARDS_FORMAT_VERSION = 1
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard's worker process died (killed, OOM, or crashed) mid-query.
+
+    Carries the failing ``shard_id`` so callers -- the network serving layer
+    maps this to a 503 -- can report which partition of the id space is down
+    rather than surfacing a bare :class:`BrokenProcessPool`.
+    """
+
+    def __init__(self, shard_id: int, message: str):
+        super().__init__(f"shard {shard_id}: {message}")
+        self.shard_id = shard_id
 
 
 # ---------------------------------------------------------------------------
@@ -385,7 +399,10 @@ class ShardedEngine:
 
     def worker_stats(self) -> list[dict]:
         """Every worker engine's own EngineStats snapshot, in shard order."""
-        return [pool.submit(_worker_stats).result() for pool in self._pools]
+        return [
+            self._shard_result(shard_id, self._submit_to_shard(shard_id, _worker_stats))
+            for shard_id in range(len(self._pools))
+        ]
 
     # -- serving -----------------------------------------------------------
 
@@ -393,13 +410,29 @@ class ShardedEngine:
         if not self._pools:
             raise RuntimeError("the sharded engine has been closed")
 
+    def _submit_to_shard(self, shard_id: int, fn: Any, *args: Any) -> Future:
+        try:
+            return self._pools[shard_id].submit(fn, *args)
+        except BrokenProcessPool as exc:
+            raise ShardWorkerError(shard_id, f"worker process is gone ({exc})") from exc
+
+    @staticmethod
+    def _shard_result(shard_id: int, future: Future) -> Any:
+        try:
+            return future.result()
+        except BrokenProcessPool as exc:
+            raise ShardWorkerError(shard_id, f"worker process died mid-query ({exc})") from exc
+
     def _submit(self, query: Query) -> list[Future]:
         if query.backend != self.backend_name:
             raise ValueError(
                 f"this sharded index serves backend {self.backend_name!r}, "
                 f"got a query for {query.backend!r}"
             )
-        return [pool.submit(_worker_search, query) for pool in self._pools]
+        return [
+            self._submit_to_shard(shard_id, _worker_search, query)
+            for shard_id in range(len(self._pools))
+        ]
 
     def _merge(self, query: Query, parts: list[dict], elapsed: float) -> Response:
         """Combine per-shard answers; ``elapsed`` is the wall time to charge
@@ -435,7 +468,9 @@ class ShardedEngine:
         self._require_open()
         timer = Timer()
         futures = self._submit(query)
-        parts = [future.result() for future in futures]
+        parts = [
+            self._shard_result(shard_id, future) for shard_id, future in enumerate(futures)
+        ]
         return self._merge(query, parts, timer.elapsed())
 
     def search_batch(
@@ -471,12 +506,18 @@ class ShardedEngine:
         ]
         timer = Timer()
         in_flight = [
-            [pool.submit(_worker_search_many, chunk) for pool in self._pools]
+            [
+                self._submit_to_shard(shard_id, _worker_search_many, chunk)
+                for shard_id in range(len(self._pools))
+            ]
             for chunk in chunks
         ]
         responses: list[Response] = []
         for chunk, futures in zip(chunks, in_flight):
-            shard_parts = [future.result() for future in futures]
+            shard_parts = [
+                self._shard_result(shard_id, future)
+                for shard_id, future in enumerate(futures)
+            ]
             # Wall time since the previous chunk completed, amortised over
             # this chunk's queries: summed over the batch it equals the batch
             # wall time (chunks overlap in flight, so charging each query its

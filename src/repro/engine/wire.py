@@ -1,0 +1,137 @@
+"""The JSON wire format of the network serving layer.
+
+Requests and responses travelling between :mod:`repro.engine.client` and
+:mod:`repro.engine.server` are schema-versioned JSON objects.  A request
+body is the wire form of one :class:`repro.engine.api.Query`::
+
+    {
+      "schema_version": 1,            # optional; rejected when unsupported
+      "backend": "hamming",           # registered backend name
+      "payload": [0, 1, 0, ...],      # domain payload, via Backend.payload_to_wire
+      "tau": 32,                      # threshold (int/float distinction preserved)
+      "k": 5,                         # top-k result count (/search/topk only)
+      "chain_length": null,
+      "algorithm": "ring"
+    }
+
+and a response body is the wire form of one :class:`Response` plus serving
+metadata (the size of the coalesced micro-batch the query rode in).  Domain
+payloads cross the wire through ``Backend.payload_to_wire`` /
+``payload_from_wire``: token-id lists and strings are JSON-native, binary
+vectors become 0/1 integer lists, graphs become ``{vertices, edges}``
+objects.  JSON keeps the int/float distinction for ``tau``, which is
+semantic for the sets backend (int = overlap, float = Jaccard).
+
+Every malformed input raises :class:`WireFormatError`, which the server
+maps to HTTP 400 with the message in the body -- clients see *why* the
+request was rejected instead of a stack trace deep inside a backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.api import Query, Response
+from repro.engine.backend import available_backends, get_backend
+
+#: Version of the request/response JSON schema (bump on incompatible changes).
+WIRE_SCHEMA_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """A request body that cannot be decoded into a valid :class:`Query`."""
+
+
+def _check_schema_version(body: dict) -> None:
+    version = body.get("schema_version", WIRE_SCHEMA_VERSION)
+    if version != WIRE_SCHEMA_VERSION:
+        raise WireFormatError(
+            f"unsupported wire schema {version!r} (this server speaks "
+            f"{WIRE_SCHEMA_VERSION})"
+        )
+
+
+def encode_query(query: Query) -> dict:
+    """The JSON-serialisable wire form of one query (client side)."""
+    backend = get_backend(query.backend)
+    body: dict[str, Any] = {
+        "schema_version": WIRE_SCHEMA_VERSION,
+        "backend": query.backend,
+        "payload": backend.payload_to_wire(query.payload),
+        "algorithm": query.algorithm,
+    }
+    if query.tau is not None:
+        body["tau"] = query.tau
+    if query.k is not None:
+        body["k"] = query.k
+    if query.chain_length is not None:
+        body["chain_length"] = query.chain_length
+    return body
+
+
+def decode_query(body: Any) -> Query:
+    """Decode a request body into a :class:`Query` (server side).
+
+    Raises :class:`WireFormatError` for every malformed input: wrong JSON
+    shape, unknown backend, undecodable payload, or parameters the
+    :class:`Query` validator rejects (non-int ``k``, NaN ``tau``, ...).
+    """
+    if not isinstance(body, dict):
+        raise WireFormatError("the request body must be a JSON object")
+    _check_schema_version(body)
+    backend_name = body.get("backend")
+    if not isinstance(backend_name, str):
+        raise WireFormatError("'backend' must be a backend name string")
+    try:
+        backend = get_backend(backend_name)
+    except KeyError:
+        raise WireFormatError(
+            f"unknown backend {backend_name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    if "payload" not in body:
+        raise WireFormatError("the request is missing 'payload'")
+    try:
+        payload = backend.payload_from_wire(body["payload"])
+    except WireFormatError:
+        raise
+    except Exception as exc:
+        raise WireFormatError(f"undecodable {backend_name!r} payload: {exc}") from exc
+    algorithm = body.get("algorithm", "ring")
+    if not isinstance(algorithm, str):
+        raise WireFormatError("'algorithm' must be a string")
+    try:
+        backend.check_algorithm(algorithm)
+        return Query(
+            backend=backend_name,
+            payload=payload,
+            tau=body.get("tau"),
+            k=body.get("k"),
+            chain_length=body.get("chain_length"),
+            algorithm=algorithm,
+        )
+    except ValueError as exc:
+        raise WireFormatError(str(exc)) from exc
+
+
+def encode_response(response: Response, batch_size: int = 1) -> dict:
+    """The JSON-serialisable wire form of one response (server side).
+
+    ``batch_size`` is the size of the micro-batch the query was coalesced
+    into -- serving metadata the in-process :class:`Response` does not have.
+    """
+    return {
+        "schema_version": WIRE_SCHEMA_VERSION,
+        "ids": [int(obj_id) for obj_id in response.ids],
+        "scores": (
+            None
+            if response.scores is None
+            else [float(score) for score in response.scores]
+        ),
+        "tau_effective": response.tau_effective,
+        "num_results": response.num_results,
+        "num_candidates": response.num_candidates,
+        "engine_time_ms": response.engine_time * 1000.0,
+        "cached": response.cached,
+        "batch_size": batch_size,
+    }

@@ -1,0 +1,76 @@
+"""Query parameter validation: fail fast with clear messages, not in backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Query
+
+
+def test_query_needs_tau_or_k():
+    with pytest.raises(ValueError, match="threshold tau, a result count k"):
+        Query(backend="hamming", payload=[0, 1])
+
+
+@pytest.mark.parametrize("k", [0, -1, -100])
+def test_non_positive_k_rejected(k):
+    with pytest.raises(ValueError, match="k must be at least 1"):
+        Query(backend="hamming", payload=[0, 1], k=k)
+
+
+@pytest.mark.parametrize("k", [2.0, 2.5, "3", True, [1]])
+def test_non_int_k_rejected(k):
+    with pytest.raises(ValueError, match="k must be an integer"):
+        Query(backend="hamming", payload=[0, 1], k=k)
+
+
+def test_nan_tau_rejected():
+    with pytest.raises(ValueError, match="NaN"):
+        Query(backend="hamming", payload=[0, 1], tau=float("nan"))
+
+
+@pytest.mark.parametrize("tau", [float("inf"), float("-inf")])
+def test_infinite_tau_rejected(tau):
+    # -inf trips the negativity check, +inf the finiteness check; either
+    # way the error is a clear ValueError, not an OverflowError deep in a
+    # backend's int(tau).
+    with pytest.raises(ValueError, match="finite|non-negative"):
+        Query(backend="hamming", payload=[0, 1], tau=tau)
+
+
+@pytest.mark.parametrize("tau", [-1, -0.5, -1e9])
+def test_negative_tau_rejected(tau):
+    with pytest.raises(ValueError, match="non-negative"):
+        Query(backend="hamming", payload=[0, 1], tau=tau)
+
+
+@pytest.mark.parametrize("tau", ["0.8", [1], True])
+def test_non_numeric_tau_rejected(tau):
+    with pytest.raises(ValueError, match="tau must be a number"):
+        Query(backend="hamming", payload=[0, 1], tau=tau)
+
+
+@pytest.mark.parametrize("chain_length", [0, -3])
+def test_non_positive_chain_length_rejected(chain_length):
+    with pytest.raises(ValueError, match="chain_length must be at least 1"):
+        Query(backend="hamming", payload=[0, 1], tau=2, chain_length=chain_length)
+
+
+@pytest.mark.parametrize("chain_length", [2.5, "2", True])
+def test_non_int_chain_length_rejected(chain_length):
+    with pytest.raises(ValueError, match="chain_length must be an integer"):
+        Query(backend="hamming", payload=[0, 1], tau=2, chain_length=chain_length)
+
+
+def test_valid_boundary_values_accepted():
+    Query(backend="hamming", payload=[0, 1], tau=0)  # exact match search
+    Query(backend="hamming", payload=[0, 1], k=1)
+    Query(backend="sets", payload=[1, 2], tau=0.8, chain_length=1)
+
+
+def test_numpy_scalars_accepted():
+    import numpy as np
+
+    query = Query(backend="hamming", payload=[0, 1], tau=np.int64(4), k=np.int64(3))
+    assert query.tau == 4
+    assert query.k == 3

@@ -1,0 +1,470 @@
+"""The HTTP serving layer: wire equality, batching, backpressure, drain."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    EngineClient,
+    Query,
+    RequestError,
+    Response,
+    SearchEngine,
+    ServerBusyError,
+    ServerConfig,
+    ServerThread,
+    ServerUnavailableError,
+    ShardedEngine,
+    asearch,
+    build_shards,
+)
+from repro.engine.wire import WireFormatError, decode_query, encode_query
+
+ALL_DOMAINS = ["hamming", "sets", "strings", "graphs"]
+
+
+@pytest.fixture(scope="module")
+def reference(datasets):
+    engine = SearchEngine(cache_size=0)
+    for name, dataset in datasets.items():
+        engine.add_dataset(name, dataset)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def served(datasets):
+    """One live HTTP server over all four domains, shared by the module."""
+    engine = SearchEngine(cache_size=0)
+    for name, dataset in datasets.items():
+        engine.add_dataset(name, dataset)
+    with ServerThread(engine, ServerConfig(max_wait_ms=1.0)) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(served):
+    with EngineClient(served.url) as c:
+        yield c
+
+
+# ---------------------------------------------------------------------------
+# Wire codec round trips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_DOMAINS)
+def test_wire_query_round_trip(name, query_payloads, taus, reference):
+    query = Query(backend=name, payload=query_payloads[name][0], tau=taus[name])
+    decoded = decode_query(encode_query(query))
+    assert decoded.backend == name
+    assert decoded.tau == taus[name]
+    # The round-tripped payload answers identically to the original.
+    assert reference.search(decoded).ids == reference.search(query).ids
+
+
+def test_wire_preserves_int_float_tau_distinction():
+    body = encode_query(Query(backend="sets", payload=[1, 2], tau=1))
+    assert isinstance(decode_query(body).tau, int)
+    body = encode_query(Query(backend="sets", payload=[1, 2], tau=1.0))
+    assert isinstance(decode_query(body).tau, float)
+
+
+@pytest.mark.parametrize(
+    "body, match",
+    [
+        ([1, 2, 3], "JSON object"),
+        ({"backend": "nope", "payload": [], "tau": 1}, "unknown backend"),
+        ({"backend": "sets", "tau": 1}, "missing 'payload'"),
+        ({"backend": "sets", "payload": "xyz", "tau": 1}, "payload"),
+        ({"backend": "sets", "payload": [1], "tau": 1, "k": "five"}, "k must be"),
+        ({"backend": "sets", "payload": [1], "tau": float("nan")}, "NaN"),
+        ({"backend": "sets", "payload": [1], "tau": -2}, "non-negative"),
+        ({"backend": "sets", "payload": [1]}, "threshold tau"),
+        ({"backend": "sets", "payload": [1], "tau": 1, "algorithm": "gph"}, "algorithm"),
+        ({"backend": "sets", "payload": [1], "tau": 1, "schema_version": 99}, "schema"),
+    ],
+)
+def test_wire_decode_rejects_malformed_bodies(body, match):
+    with pytest.raises(WireFormatError, match=match):
+        decode_query(body)
+
+
+# ---------------------------------------------------------------------------
+# Served results are byte-identical to the in-process engine
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_DOMAINS)
+def test_served_threshold_identical_to_in_process(
+    name, served, reference, query_payloads, taus
+):
+    with EngineClient(served.url) as client:
+        for payload in query_payloads[name]:
+            local = reference.search(Query(backend=name, payload=payload, tau=taus[name]))
+            wire = client.search(name, payload, tau=taus[name])
+            assert wire.ids == [int(obj_id) for obj_id in local.ids]
+            assert wire.scores is None
+            assert wire.tau_effective == local.tau_effective
+            assert wire.num_candidates == local.num_candidates
+
+
+@pytest.mark.parametrize("name", ALL_DOMAINS)
+def test_served_topk_identical_to_in_process(name, served, reference, query_payloads, taus):
+    k = 2 if name == "graphs" else 5
+    with EngineClient(served.url) as client:
+        for payload in query_payloads[name][:2]:
+            local = reference.search(
+                Query(backend=name, payload=payload, tau=taus[name], k=k)
+            )
+            wire = client.search_topk(name, payload, k=k, tau=taus[name])
+            assert wire.ids == [int(obj_id) for obj_id in local.ids]
+            assert wire.scores == [float(score) for score in local.scores]
+            assert wire.tau_effective == local.tau_effective
+
+
+def test_asearch_matches_blocking_client(served, client, query_payloads, taus):
+    payload = query_payloads["strings"][0]
+    blocking = client.search("strings", payload, tau=taus["strings"])
+    coro = asearch(served.url, "strings", payload, tau=taus["strings"])
+    async_response = asyncio.run(coro)
+    assert async_response.ids == blocking.ids
+    assert async_response.tau_effective == blocking.tau_effective
+
+
+# ---------------------------------------------------------------------------
+# Introspection endpoints
+# ---------------------------------------------------------------------------
+
+
+def test_healthz_reports_ok(client):
+    body = client.healthz()
+    assert body["status"] == "ok"
+    assert body["engine"] == "SearchEngine"
+
+
+def test_manifest_describes_all_backends(client, datasets):
+    body = client.manifest()
+    assert set(body["backends"]) == set(ALL_DOMAINS)
+    descriptor = body["backends"]["hamming"]["descriptor"]
+    assert descriptor["num_objects"] == len(datasets["hamming"])
+    assert "default_tau" in body["backends"]["sets"]
+
+
+def test_stats_counts_requests_and_batches(served, client, query_payloads, taus):
+    client.search("sets", query_payloads["sets"][0], tau=taus["sets"])
+    body = client.stats()
+    assert body["server"]["num_queries"] >= 1
+    assert body["server"]["num_batches"] >= 1
+    assert body["engine"]["num_queries"] >= 1
+    assert body["config"]["max_pending"] == 256
+
+
+# ---------------------------------------------------------------------------
+# HTTP error taxonomy
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_path_is_404(client):
+    with pytest.raises(RequestError) as info:
+        client._request("GET", "/nope")
+    assert info.value.status == 404
+
+
+def test_wrong_method_is_405(client):
+    with pytest.raises(RequestError) as info:
+        client._request("POST", "/healthz", {"x": 1})
+    assert info.value.status == 405
+
+
+def test_malformed_query_is_400_with_reason(client):
+    with pytest.raises(RequestError, match="unknown backend") as info:
+        client.search_wire({"backend": "nope", "payload": [], "tau": 1})
+    assert info.value.status == 400
+
+
+def test_topk_endpoint_requires_k(client, query_payloads, taus):
+    body = encode_query(
+        Query(backend="sets", payload=query_payloads["sets"][0], tau=taus["sets"])
+    )
+    with pytest.raises(RequestError, match="requires 'k'"):
+        client.search_wire(body, topk=True)
+
+
+def test_search_endpoint_rejects_k(client, query_payloads):
+    body = encode_query(Query(backend="sets", payload=query_payloads["sets"][0], k=3))
+    with pytest.raises(RequestError, match="topk"):
+        client.search_wire(body)
+
+
+def test_non_object_body_is_400(client):
+    with pytest.raises(RequestError, match="JSON object"):
+        client.search_wire([1, 2, 3])
+
+
+def test_infinite_tau_is_400_not_500(served, client, query_payloads):
+    # json.loads accepts the non-standard Infinity literal; the validator
+    # must turn it into a 400, not an OverflowError-driven 500.
+    body = {"backend": "hamming", "payload": [0, 1], "tau": float("inf")}
+    with pytest.raises(RequestError, match="finite") as info:
+        client.search_wire(body)
+    assert info.value.status == 400
+    assert served.server.stats.errors_internal == 0
+
+
+def _raw_http(served, request: bytes) -> bytes:
+    import socket as socket_module
+
+    host, port = served.address
+    with socket_module.create_connection((host, port), timeout=5) as sock:
+        sock.sendall(request)
+        sock.settimeout(5)
+        chunks = []
+        while True:
+            try:
+                chunk = sock.recv(4096)
+            except TimeoutError:
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def test_negative_content_length_is_400(served):
+    reply = _raw_http(
+        served,
+        b"POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: -1\r\n"
+        b"Connection: close\r\n\r\n",
+    )
+    assert reply.startswith(b"HTTP/1.1 400")
+    assert b"Content-Length" in reply
+
+
+def test_chunked_transfer_encoding_is_rejected(served):
+    reply = _raw_http(
+        served,
+        b"POST /search HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n"
+        b"Connection: close\r\n\r\n7b\r\n",
+    )
+    assert reply.startswith(b"HTTP/1.1 400")
+    assert b"Transfer-Encoding" in reply
+
+
+def test_unknown_paths_bucket_as_other_in_stats(served, client):
+    for path in ("/nope", "/admin", "/x" * 10):
+        with pytest.raises(RequestError):
+            client._request("GET", path)
+    per_endpoint = served.server.stats.snapshot()["per_endpoint"]
+    known = {"other", "/search", "/search/topk", "/healthz", "/stats", "/manifest"}
+    assert set(per_endpoint) <= known
+    assert per_endpoint["other"] >= 3
+
+
+# ---------------------------------------------------------------------------
+# Micro-batch coalescing
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_queries_coalesce_into_batches(datasets, query_payloads, taus):
+    engine = SearchEngine(cache_size=0)
+    engine.add_dataset("sets", datasets["sets"])
+    config = ServerConfig(max_batch_size=8, max_wait_ms=150.0)
+    with ServerThread(engine, config) as handle:
+        sizes: list[int] = []
+        lock = threading.Lock()
+
+        def one(payload):
+            with EngineClient(handle.url) as client:
+                response = client.search("sets", payload, tau=taus["sets"])
+                with lock:
+                    sizes.append(response.batch_size)
+
+        payloads = (query_payloads["sets"] * 2)[:6]
+        threads = [threading.Thread(target=one, args=(p,)) for p in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(sizes) == 6
+        # The 150 ms window lets concurrent queries ride one search_batch.
+        assert max(sizes) >= 2
+        snapshot = handle.server.stats.snapshot()
+        assert snapshot["num_batches"] < snapshot["num_queries"]
+        assert snapshot["max_batch_size"] == max(sizes)
+
+
+class _BlockingEngine:
+    """A stand-in engine whose batches block until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.calls = 0
+
+    def search_batch(self, queries):
+        self.calls += 1
+        assert self.release.wait(timeout=30.0)
+        return [
+            Response(query=query, ids=[], tau_effective=query.tau) for query in queries
+        ]
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_backpressure_rejects_with_429_and_retry_after():
+    engine = _BlockingEngine()
+    config = ServerConfig(max_batch_size=1, max_wait_ms=0.0, max_pending=2)
+    with ServerThread(engine, config) as handle:
+        results = []
+
+        def one():
+            with EngineClient(handle.url) as client:
+                results.append(client.search("sets", [1, 2], tau=1))
+
+        threads = [threading.Thread(target=one) for _ in range(2)]
+        threads[0].start()
+        assert _wait_for(lambda: handle.server._in_flight == 1)
+        threads[1].start()
+        assert _wait_for(lambda: handle.server._in_flight == 2)
+
+        # The admission bound is reached: the next query is turned away
+        # immediately with a Retry-After hint, not queued.
+        with EngineClient(handle.url) as client:
+            with pytest.raises(ServerBusyError) as info:
+                client.search("sets", [3], tau=1)
+        assert info.value.retry_after is not None
+        assert handle.server.stats.rejected_busy == 1
+
+        engine.release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(results) == 2
+        # Rejected requests never reached the engine.
+        assert handle.server.stats.num_queries == 2
+
+
+def test_graceful_drain_answers_in_flight_queries():
+    engine = _BlockingEngine()
+    config = ServerConfig(max_wait_ms=0.0)
+    handle = ServerThread(engine, config).start()
+    url = handle.url
+    results = []
+
+    def one():
+        with EngineClient(url) as client:
+            results.append(client.search("sets", [1], tau=1))
+
+    worker = threading.Thread(target=one)
+    worker.start()
+    assert _wait_for(lambda: handle.server._in_flight == 1)
+
+    stopper = threading.Thread(target=handle.stop)
+    stopper.start()
+    time.sleep(0.05)
+    engine.release.set()  # the drain must wait for this query, then stop
+    stopper.join(timeout=10)
+    worker.join(timeout=10)
+    assert not stopper.is_alive()
+    assert len(results) == 1 and results[0].ids == []
+    with pytest.raises((ConnectionError, OSError)):
+        EngineClient(url, timeout=1.0).healthz()
+
+
+def test_draining_server_rejects_new_queries_with_503():
+    engine = _BlockingEngine()
+    engine.release.set()
+    with ServerThread(engine, ServerConfig(max_wait_ms=0.0)) as handle:
+        with EngineClient(handle.url) as client:
+            client.healthz()
+            handle.server._draining = True
+            with pytest.raises(ServerUnavailableError, match="draining"):
+                client.search("sets", [1], tau=1)
+            assert client.healthz()["status"] == "draining"
+        handle.server._draining = False
+
+
+# ---------------------------------------------------------------------------
+# Load generator
+# ---------------------------------------------------------------------------
+
+
+def test_load_bench_closed_and_open_loop(served, query_payloads, taus):
+    from repro.engine import run_load_bench, wire_requests
+
+    requests = wire_requests("sets", query_payloads["sets"], tau=taus["sets"], repeat=4)
+    closed = run_load_bench(served.url, requests, concurrency=4, mode="closed")
+    assert closed.num_ok == len(requests)
+    assert closed.num_errors == 0
+    assert closed.achieved_qps > 0
+    assert closed.p50_ms <= closed.p95_ms <= closed.p99_ms <= closed.max_ms
+
+    opened = run_load_bench(
+        served.url, requests[:12], concurrency=4, mode="open", target_qps=300.0
+    )
+    assert opened.num_ok == 12
+    assert opened.mode == "open"
+    assert opened.target_qps == 300.0
+    assert opened.achieved_qps > 0
+
+
+def test_load_bench_topk_requests(served, reference, query_payloads):
+    from repro.engine import run_load_bench, wire_requests
+
+    payload = query_payloads["hamming"][0]
+    requests = wire_requests("hamming", [payload], k=3, repeat=4)
+    report = run_load_bench(served.url, requests, concurrency=2, topk=True)
+    assert report.num_ok == 4
+    local = reference.search(Query(backend="hamming", payload=payload, k=3))
+    assert local.num_results == 3
+
+
+def test_load_bench_rejects_bad_arguments(served):
+    from repro.engine import run_load_bench
+
+    with pytest.raises(ValueError, match="at least one request"):
+        run_load_bench(served.url, [])
+    with pytest.raises(ValueError, match="target_qps"):
+        run_load_bench(served.url, [{"backend": "sets"}], mode="open")
+    with pytest.raises(ValueError, match="mode"):
+        run_load_bench(served.url, [{"backend": "sets"}], mode="looped")
+
+
+# ---------------------------------------------------------------------------
+# Sharded engine behind the server: a dead worker maps to 503
+# ---------------------------------------------------------------------------
+
+
+def test_dead_shard_worker_maps_to_503_without_wedging(tmp_path, datasets, taus):
+    directory = str(tmp_path / "strings-shards")
+    build_shards("strings", datasets["strings"], directory, 2)
+    engine = ShardedEngine(directory)
+    with ServerThread(engine, ServerConfig(max_wait_ms=0.0), own_engine=True) as handle:
+        with EngineClient(handle.url) as client:
+            ok = client.search("strings", datasets["strings"].record(0), tau=taus["strings"])
+            assert ok.num_results >= 1  # the record itself matches at tau >= 0
+
+            # Kill one shard's worker process out from under the engine.
+            victim = next(iter(engine._pools[0]._processes))
+            os.kill(victim, signal.SIGKILL)
+
+            with pytest.raises(ServerUnavailableError, match="shard"):
+                client.search("strings", datasets["strings"].record(0), tau=taus["strings"])
+
+            # The batcher survives: health and stats still answer, and the
+            # failure is accounted as unavailability, not a crash.
+            assert client.healthz()["status"] == "ok"
+            assert handle.server.stats.errors_unavailable >= 1
+            with pytest.raises(ServerUnavailableError):
+                client.search("strings", datasets["strings"].record(1), tau=taus["strings"])

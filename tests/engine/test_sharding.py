@@ -11,6 +11,7 @@ from repro.engine import Query, SearchEngine, build_shards
 from repro.engine.persistence import load_container
 from repro.engine.sharding import (
     ShardedEngine,
+    ShardWorkerError,
     load_shards_manifest,
     merge_threshold,
     merge_topk,
@@ -259,3 +260,69 @@ def test_closed_engine_refuses_queries(tmp_path, datasets):
     engine.close()
     with pytest.raises(RuntimeError, match="closed"):
         engine.search(Query(backend="strings", payload="abc", tau=1))
+
+
+# ---------------------------------------------------------------------------
+# Failure paths: dead workers surface structured errors; close is idempotent
+# ---------------------------------------------------------------------------
+
+
+def _kill_shard_worker(engine: ShardedEngine, shard_id: int) -> None:
+    import os
+    import signal
+
+    victim = next(iter(engine._pools[shard_id]._processes))
+    os.kill(victim, signal.SIGKILL)
+
+
+def test_killed_worker_surfaces_shard_worker_error(tmp_path, datasets, taus):
+    directory = str(tmp_path / "kill")
+    build_shards("strings", datasets["strings"], directory, 2)
+    with ShardedEngine(directory) as engine:
+        query = Query(backend="strings", payload=datasets["strings"].record(0), tau=taus["strings"])
+        engine.search(query)  # healthy first
+        _kill_shard_worker(engine, 1)
+        with pytest.raises(ShardWorkerError, match="shard 1") as info:
+            engine.search(query)
+        assert info.value.shard_id == 1
+
+
+def test_killed_worker_mid_batch_fails_structured(tmp_path, datasets, taus):
+    directory = str(tmp_path / "kill-batch")
+    build_shards("strings", datasets["strings"], directory, 2)
+    with ShardedEngine(directory) as engine:
+        queries = [
+            Query(backend="strings", payload=datasets["strings"].record(i), tau=taus["strings"])
+            for i in range(4)
+        ]
+        assert len(engine.search_batch(queries)) == 4
+        _kill_shard_worker(engine, 0)
+        with pytest.raises(ShardWorkerError, match="shard 0"):
+            engine.search_batch(queries, chunk_size=1)
+        # The error names the broken shard in worker_stats too.
+        with pytest.raises(ShardWorkerError):
+            engine.worker_stats()
+
+
+def test_close_is_idempotent_and_double_exit_safe(tmp_path, datasets):
+    directory = str(tmp_path / "close")
+    build_shards("strings", datasets["strings"], directory, 2)
+    engine = ShardedEngine(directory)
+    engine.close()
+    engine.close()  # second close is a no-op, not an error
+    engine.__exit__(None, None, None)
+    engine.__exit__(None, None, None)
+
+    with ShardedEngine(directory) as reopened:
+        reopened.close()
+    # __exit__ after an explicit close inside the block already ran: fine.
+    reopened.close()
+
+
+def test_close_after_worker_death_is_clean(tmp_path, datasets):
+    directory = str(tmp_path / "close-dead")
+    build_shards("strings", datasets["strings"], directory, 2)
+    engine = ShardedEngine(directory)
+    _kill_shard_worker(engine, 0)
+    engine.close()
+    engine.close()
