@@ -6,9 +6,13 @@ against the candidate report produced by ``benchmarks/run_all.py``:
 * the candidate must use the same benchmark schema version,
 * sharded results must still agree with the unsharded reference,
 * throughput must not drop more than ``--tolerance`` (default 30%)
-  relative to the baseline, and
+  relative to the baseline,
 * the HTTP ``served`` profile (when both reports carry one) must not lose
-  more than ``--tolerance`` of its achieved QPS at any concurrency level.
+  more than ``--tolerance`` of its achieved QPS at any concurrency level,
+  and
+* the ``mutation`` profile (when both reports carry one) must keep
+  compaction answer-preserving and must not lose more than ``--tolerance``
+  of its query throughput under write load.
 
 Throughput is hardware-dependent; each report's ``hardware`` block records
 the ``cpu_count`` it was measured on, and the tolerance absorbs
@@ -70,6 +74,33 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
                     f"({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
                 )
     failures.extend(compare_served(baseline, candidate, tolerance))
+    failures.extend(compare_mutation(baseline, candidate, tolerance))
+    return failures
+
+
+def compare_mutation(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
+    """Gate the write-load profile: query QPS under writes + compact safety."""
+    base_mutation = baseline.get("mutation", {}).get("domains", {})
+    if not base_mutation:
+        return []  # old baseline without a mutation profile: nothing to gate
+    failures: list[str] = []
+    cand_mutation = candidate.get("mutation", {}).get("domains", {})
+    for domain, base_entry in base_mutation.items():
+        cand_entry = cand_mutation.get(domain)
+        if cand_entry is None:
+            failures.append(f"mutation {domain}: missing from the candidate report")
+            continue
+        if not cand_entry.get("compact_preserves_answers", False):
+            failures.append(f"mutation {domain}: compaction changed query answers")
+        base_qps = base_entry.get("queries_per_s_under_writes", 0.0)
+        cand_qps = cand_entry.get("queries_per_s_under_writes", 0.0)
+        floor = base_qps * (1.0 - tolerance)
+        if cand_qps < floor:
+            drop = 1.0 - cand_qps / base_qps if base_qps else 1.0
+            failures.append(
+                f"mutation {domain}: query throughput under writes dropped "
+                f"{drop:.0%} ({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
+            )
     return failures
 
 
@@ -170,6 +201,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"({delta})  p99 {entry.get('p99_ms', 0.0):.2f} ms  "
                 f"batch {entry.get('avg_batch_size', 0.0):.2f}"
             )
+    for domain, entry in sorted(candidate.get("mutation", {}).get("domains", {}).items()):
+        base = baseline.get("mutation", {}).get("domains", {}).get(domain, {})
+        base_qps = base.get("queries_per_s_under_writes")
+        delta = (
+            f"{entry['queries_per_s_under_writes'] / base_qps - 1.0:+.0%} vs baseline"
+            if base_qps
+            else "no baseline"
+        )
+        print(
+            f"[{domain:>8} mutation] {entry['queries_per_s_under_writes']:>8.1f} q/s "
+            f"under {entry.get('writes_per_s', 0.0):.1f} w/s ({delta})  "
+            f"compact {entry.get('compact_seconds', 0.0):.2f}s  "
+            f"stable={entry.get('compact_preserves_answers')}"
+        )
     print(
         f"hardware: baseline {base_cpus} cpu(s), candidate {cand_cpus} cpu(s); "
         f"tolerance {args.tolerance:.0%}"

@@ -8,12 +8,16 @@ For every domain (Hamming, sets, strings, graphs) this runner
 3. builds a sharded index at each shard count and serves the workload
    through a ``ShardedEngine`` (one worker process per shard), measuring
    throughput and p50/p95 latency with ``repro.engine.bench``,
-4. checks the sharded answers equal the reference answers exactly, and
+4. checks the sharded answers equal the reference answers exactly,
 5. (unless ``--no-served``) starts the HTTP serving layer as a real
    subprocess (``python -m repro.engine serve``) over each domain's index
    and drives it with the closed-loop load generator at concurrency 1 and
    8, recording achieved QPS, p50/p95/p99 latency and the observed
-   micro-batch coalescing under a ``served`` section.
+   micro-batch coalescing under a ``served`` section, and
+6. (unless ``--no-mutation``) replays the query workload while a writer
+   interleaves upserts and deletes, recording query latency and
+   throughput **under write load** plus compaction cost under a
+   ``mutation`` section -- and asserts that compaction changes no answer.
 
 The single schema-versioned report (``benchmarks/BENCH_all.json`` by
 default) carries throughput, latency percentiles, merge overhead and
@@ -68,6 +72,11 @@ DEFAULT_SHARD_COUNTS = (1, 2, 4)
 SERVED_REQUESTS = {"ci": 120, "full": 600}
 SERVED_CONCURRENCY = (1, 8)
 
+#: Write rounds of the query-latency-under-write-load profile.  Each round
+#: applies one upsert (and, every third round, one delete) and then replays
+#: the whole query workload, so the delta store grows as the run proceeds.
+MUTATION_ROUNDS = {"ci": 24, "full": 80}
+
 
 def bench_domain(name: str, config: dict, shard_counts: tuple[int, ...], workdir: str) -> dict:
     """Measure one domain at every shard count; returns its report section."""
@@ -107,6 +116,63 @@ def bench_domain(name: str, config: dict, shard_counts: tuple[int, ...], workdir
             entry["throughput_qps"] / baseline_qps if baseline_qps else 0.0
         )
     return section
+
+
+def bench_mutation(name: str, config: dict, rounds: int) -> dict:
+    """Query latency under write load, plus compaction cost, for one domain.
+
+    A writer interleaves upserts (records recycled from the dataset itself,
+    so every domain works unchanged) and deletes with full replays of the
+    query workload; the delta store grows round by round, so the recorded
+    percentiles include the linear delta-scan cost a freshly-written index
+    pays.  Ends with a ``compact()`` and asserts it changes no answer.
+    """
+    from repro.engine.bench import percentile
+
+    backend = get_backend(name)
+    dataset, payloads = backend.make_workload(config["size"], config["num_queries"], config["seed"])
+    engine = SearchEngine(cache_size=0)
+    store = engine.add_dataset(name, dataset)
+    tau = backend.default_tau(store)
+    queries = [Query(backend=name, payload=payload, tau=tau) for payload in payloads]
+    recycled = list(backend.store_records(store))
+    engine.search(queries[0])  # warmup: searcher construction is not serving
+
+    latencies_ms: list[float] = []
+    num_writes = 0
+    next_delete = 0
+    timer = Timer()
+    for round_index in range(rounds):
+        engine.upsert(name, recycled[round_index % len(recycled)])
+        num_writes += 1
+        if round_index % 3 == 2:
+            engine.delete(name, next_delete)
+            next_delete += 1
+            num_writes += 1
+        for query in queries:
+            query_timer = Timer()
+            engine.search(query)
+            latencies_ms.append(query_timer.elapsed() * 1000.0)
+    wall = timer.elapsed()
+
+    before = [sorted(engine.search(query).ids) for query in queries]
+    compact_timer = Timer()
+    summary = engine.compact(name)
+    compact_seconds = compact_timer.elapsed()
+    after = [sorted(engine.search(query).ids) for query in queries]
+    return {
+        "tau": tau,
+        "rounds": rounds,
+        "num_queries": len(latencies_ms),
+        "num_writes": num_writes,
+        "delta_records_at_compact": summary.get("folded_records", 0),
+        "queries_per_s_under_writes": len(latencies_ms) / wall if wall else 0.0,
+        "writes_per_s": num_writes / wall if wall else 0.0,
+        "query_p50_ms": percentile(latencies_ms, 0.50),
+        "query_p95_ms": percentile(latencies_ms, 0.95),
+        "compact_seconds": compact_seconds,
+        "compact_preserves_answers": before == after,
+    }
 
 
 def _spawn_server(index_dir: str, ready_file: str) -> subprocess.Popen:
@@ -205,6 +271,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the HTTP served-profile benchmarks",
     )
+    parser.add_argument(
+        "--no-mutation",
+        action="store_true",
+        help="skip the query-latency-under-write-load benchmarks",
+    )
     args = parser.parse_args(argv)
 
     shard_counts = tuple(int(part) for part in args.shards.split(","))
@@ -235,6 +306,20 @@ def main(argv: list[str] | None = None) -> int:
                     f"speedup {entry['speedup_vs_1_shard']:.2f}x  "
                     f"agree={entry['results_agree']}"
                 )
+        if not args.no_mutation:
+            report["mutation"] = {"rounds": MUTATION_ROUNDS[args.profile], "domains": {}}
+            for name in domains:
+                section = bench_mutation(name, profile[name], MUTATION_ROUNDS[args.profile])
+                report["mutation"]["domains"][name] = section
+                ok = ok and section["compact_preserves_answers"]
+                print(
+                    f"[{name:>8} mutation] {section['queries_per_s_under_writes']:>8.1f} q/s "
+                    f"under {section['writes_per_s']:.1f} w/s  "
+                    f"p50 {section['query_p50_ms']:>7.2f} ms  "
+                    f"p95 {section['query_p95_ms']:>7.2f} ms  "
+                    f"compact {section['compact_seconds']:.2f}s  "
+                    f"stable={section['compact_preserves_answers']}"
+                )
         if not args.no_served:
             report["served"] = {
                 "levels": list(SERVED_CONCURRENCY),
@@ -258,7 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
     print(f"wrote {args.out}")
     if not ok:
-        print("FAIL: sharded results diverged from the unsharded reference")
+        print("FAIL: results diverged (sharded vs reference, or across a compaction)")
     return 0 if ok else 1
 
 

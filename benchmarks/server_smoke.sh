@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI server smoke: build an index, start the HTTP serving layer for real,
-# drive it with the load generator, and require non-zero QPS plus a clean
-# graceful shutdown on SIGTERM.  Run from the repo root with the package
-# importable (PYTHONPATH=src or an installed checkout):
+# drive it with the load generator, mutate the live index over HTTP
+# (upsert -> query it back -> delete -> verify it is gone -> compact), and
+# require non-zero QPS plus a clean graceful shutdown on SIGTERM.  Run from
+# the repo root with the package importable (PYTHONPATH=src or an
+# installed checkout):
 #
 #   PYTHONPATH=src timeout 300 bash benchmarks/server_smoke.sh
 set -euo pipefail
@@ -46,6 +48,32 @@ report = json.load(open(sys.argv[1]))
 qps = {level: entry["achieved_qps"] for level, entry in report["concurrency"].items()}
 assert all(value > 0 for value in qps.values()), f"zero QPS: {qps}"
 print("smoke QPS:", {level: round(value, 1) for level, value in qps.items()})
+EOF
+
+# Mutate the live index over HTTP: a fresh record must be servable
+# immediately, and must vanish the moment it is deleted.
+python - "$url" <<'EOF'
+import sys
+
+from repro.engine.client import EngineClient
+
+url = sys.argv[1]
+doomed = [70001, 70002, 70003]  # tokens no synthetic record uses
+keeper = [80001, 80002, 80003]
+with EngineClient(url) as client:
+    doomed_id = client.upsert("sets", doomed)
+    keeper_id = client.upsert("sets", keeper)
+    hits = client.search("sets", doomed, tau=1.0)  # Jaccard 1.0: exact match
+    assert doomed_id in hits.ids, f"upserted id {doomed_id} not served: {hits.ids}"
+    assert client.delete("sets", doomed_id) is True
+    hits = client.search("sets", doomed, tau=1.0)
+    assert doomed_id not in hits.ids, f"deleted id {doomed_id} still served: {hits.ids}"
+    assert client.delete("sets", doomed_id) is False  # idempotent
+    summary = client.compact()
+    assert summary["compacted"] is True, summary
+    hits = client.search("sets", keeper, tau=1.0)
+    assert keeper_id in hits.ids, f"id {keeper_id} lost by compaction: {hits.ids}"
+    print(f"mutation smoke: upsert/delete/compact OK (ids {doomed_id}/{keeper_id})")
 EOF
 
 kill -TERM "$server_pid"

@@ -12,6 +12,8 @@ searcher classes; this subsystem puts one serving layer on top of them:
 * :mod:`repro.engine.executor` -- :class:`SearchEngine`: searcher reuse, an
   LRU result cache, batched and thread-pooled execution, latency statistics.
 * :mod:`repro.engine.topk` -- top-k search via adaptive threshold escalation.
+* :mod:`repro.engine.mutation` -- :class:`DeltaStore`: the delta/tombstone
+  overlay behind online ``upsert`` / ``delete`` / ``compact``.
 * :mod:`repro.engine.persistence` -- build-once/save/load index containers.
 * :mod:`repro.engine.sharding` -- :class:`ShardedEngine`: id-range shards
   served by one worker process each, with exact threshold/top-k merging.
@@ -26,8 +28,8 @@ searcher classes; this subsystem puts one serving layer on top of them:
 * :mod:`repro.engine.client` -- the blocking :class:`EngineClient` and the
   :func:`asearch` coroutine.
 * :mod:`repro.engine.cli` -- ``python -m repro.engine`` with ``build-index``,
-  ``query``, ``bench``, ``build-shards``, ``serve-bench``, ``serve`` and
-  ``load-bench`` subcommands.
+  ``query``, ``bench``, ``build-shards``, ``serve-bench``, ``serve``,
+  ``load-bench``, ``upsert``, ``delete`` and ``compact`` subcommands.
 
 See ENGINE.md at the repository root for the architecture walkthrough.
 """
@@ -56,6 +58,7 @@ from repro.engine.client import (
     asearch,
 )
 from repro.engine.executor import EngineStats, SearchEngine
+from repro.engine.mutation import DeltaStore
 from repro.engine.persistence import Container, load_container, save_container
 from repro.engine.server import EngineServer, ServerConfig, ServerThread
 from repro.engine.sharding import (
@@ -71,6 +74,7 @@ __all__ = [
     "Backend",
     "BenchReport",
     "Container",
+    "DeltaStore",
     "EngineClient",
     "EngineClientError",
     "EngineServer",

@@ -85,9 +85,23 @@ class Backend(abc.ABC):
         """Rank scores for many objects; backends override to batch the work."""
         return [self.distance(store, payload, obj_id, tau) for obj_id in ids]
 
+    def validate_tau(self, tau: float | int) -> None:
+        """Reject thresholds that are meaningless for this domain.
+
+        Called by the engine before serving and by the wire decoder before
+        admitting a request, so a bad threshold fails with a clear message
+        instead of an obscure error deep inside a searcher.  The default
+        accepts anything :class:`repro.engine.api.Query` accepts (finite,
+        non-NaN, non-negative); similarity domains override.
+        """
+
     @abc.abstractmethod
     def tau_ladder(
-        self, store: Any, payload: Any, start: float | int | None
+        self,
+        store: Any,
+        payload: Any,
+        start: float | int | None,
+        max_size: int | None = None,
     ) -> Iterable[float | int]:
         """Escalating thresholds for top-k search, selective to permissive.
 
@@ -96,6 +110,13 @@ class Backend(abc.ABC):
         where the domain's distance makes that intractable (exact GED is
         exponential in the threshold; the graphs backend caps the ladder and
         serves best-effort top-k within that radius).
+
+        ``max_size`` is the largest :meth:`record_size` among the objects the
+        ladder must be exhaustive over.  The engine passes the *live* maximum
+        (main minus tombstones, plus delta) so that a mutated index walks
+        exactly the ladder a from-scratch rebuild of the surviving records
+        would walk; ``None`` means "compute it from the store" (every object
+        in the main store is live).
         """
 
     # -- wire format -------------------------------------------------------
@@ -129,6 +150,103 @@ class Backend(abc.ABC):
         shards; global ids are recovered as ``local_id + lo``.
         """
         raise NotImplementedError(f"backend {self.name!r} does not support id-range sharding")
+
+    # -- mutation ----------------------------------------------------------
+
+    #: Whether the backend implements the mutation protocol below
+    #: (``delta_store`` / ``apply_mutations`` and the record primitives they
+    #: rest on).  The engine refuses ``upsert``/``delete`` on backends that
+    #: leave this False.
+    mutable: bool = False
+
+    #: Whether :meth:`tau_ladder` actually depends on ``max_size``.  When
+    #: False (Hamming: the ladder depends only on the shared dimension) the
+    #: engine skips the O(live records) size scan before every top-k query
+    #: on a mutated store.
+    ladder_uses_max_size: bool = True
+
+    def delta_store(self, store: Any) -> Any:
+        """A fresh (identity) delta/tombstone overlay for a prepared store."""
+        from repro.engine.mutation import DeltaStore
+
+        if not self.mutable:
+            raise NotImplementedError(
+                f"backend {self.name!r} does not support online mutation"
+            )
+        return DeltaStore.fresh(self.store_size(store))
+
+    def apply_mutations(self, store: Any, delta: Any) -> tuple[Any, Any]:
+        """Fold an overlay into a rebuilt main store (compaction).
+
+        Returns the rebuilt, prepared store plus the overlay of the rebuilt
+        store (empty delta and tombstones; the external-id mapping and
+        ``next_id`` survive, so ids stay stable across compactions).
+        """
+        if not self.mutable:
+            raise NotImplementedError(
+                f"backend {self.name!r} does not support online mutation"
+            )
+        live_ids, records = delta.live_records(self.store_records(store))
+        if not records:
+            raise ValueError(
+                f"compacting would leave backend {self.name!r} with zero live "
+                f"records; the domain datasets cannot be empty"
+            )
+        rebuilt = self.prepare(self.make_dataset(store, records))
+        return rebuilt, delta.compacted(live_ids)
+
+    def store_records(self, store: Any) -> Sequence[Any]:
+        """The raw records of a store, indexed by main position."""
+        raise NotImplementedError(f"backend {self.name!r} does not expose raw records")
+
+    def make_dataset(self, store: Any, records: Sequence[Any]) -> Any:
+        """A raw dataset over ``records`` preserving the store's parameters.
+
+        Like :meth:`shard_store`, but from an explicit record list; used by
+        compaction to rebuild the main store from the surviving records.
+        """
+        raise NotImplementedError(f"backend {self.name!r} cannot rebuild from records")
+
+    def check_record(self, store: Any, record: Any) -> Any:
+        """Validate (and normalise) a record before it enters the delta.
+
+        Raises ``ValueError`` for records the store could never hold (wrong
+        vector dimension, wrong type); upsert fails fast instead of poisoning
+        every later search.
+        """
+        return record
+
+    def record_size(self, store: Any, record: Any) -> int:
+        """The :meth:`tau_ladder` size measure of one raw record."""
+        return 1
+
+    def record_distance(
+        self, store: Any, payload: Any, record: Any, tau: float | int | None
+    ) -> float:
+        """Exact rank score between a payload and a raw record (lower wins).
+
+        The delta-store counterpart of :meth:`distance`: the record is not in
+        the main store, so it is scored directly.  Must agree, bit for bit,
+        with what :meth:`distance` would return once the record is folded
+        into the main store -- the mutation tests assert exactly that.
+        """
+        raise NotImplementedError(f"backend {self.name!r} cannot score raw records")
+
+    def score_matches(self, score: float, tau: float | int) -> bool:
+        """Whether a :meth:`record_distance` score satisfies threshold ``tau``.
+
+        Distance domains match when ``score <= tau``; similarity domains
+        (which negate their similarity into the score) override.
+        """
+        return score <= tau
+
+    def record_to_wire(self, record: Any) -> Any:
+        """JSON form of a data record; defaults to the payload codec."""
+        return self.payload_to_wire(record)
+
+    def record_from_wire(self, data: Any) -> Any:
+        """Rebuild a data record from :meth:`record_to_wire` output."""
+        return self.payload_from_wire(data)
 
     # -- persistence -------------------------------------------------------
 

@@ -76,6 +76,8 @@ class HammingBackend(Backend):
     """Hamming distance over binary vectors (GPH / pigeonring)."""
 
     name = "hamming"
+    mutable = True
+    ladder_uses_max_size = False  # the ladder depends only on the dimension
 
     def prepare(self, dataset: Any) -> HammingStore:
         if isinstance(dataset, HammingStore):
@@ -138,6 +140,32 @@ class HammingBackend(Backend):
         vectors = store.dataset.vectors[lo:hi]
         return BinaryVectorDataset(vectors, num_parts=store.dataset.m)
 
+    def store_records(self, store: HammingStore) -> np.ndarray:
+        return store.dataset.vectors
+
+    def make_dataset(self, store: HammingStore, records: Sequence[Any]) -> BinaryVectorDataset:
+        matrix = np.asarray([np.asarray(record, dtype=np.uint8) for record in records])
+        return BinaryVectorDataset(matrix, num_parts=store.dataset.m)
+
+    def check_record(self, store: HammingStore, record: Any) -> np.ndarray:
+        vector = np.asarray(record, dtype=np.uint8).reshape(-1)
+        if vector.shape[0] != store.dataset.d:
+            raise ValueError(
+                f"a hamming record must be a {store.dataset.d}-dimensional 0/1 "
+                f"vector, got {vector.shape[0]} dimensions"
+            )
+        return vector
+
+    def record_size(self, store: HammingStore, record: Any) -> int:
+        return int(np.asarray(record).reshape(-1).shape[0])
+
+    def record_distance(
+        self, store: HammingStore, payload: Any, record: Any, tau: float | int | None
+    ) -> float:
+        query = np.asarray(payload, dtype=np.uint8).reshape(-1)
+        vector = np.asarray(record, dtype=np.uint8).reshape(-1)
+        return float(np.count_nonzero(query != vector))
+
     def payload_to_wire(self, payload: Any) -> list[int]:
         return [int(bit) for bit in np.asarray(payload).reshape(-1)]
 
@@ -148,8 +176,14 @@ class HammingBackend(Backend):
         return vector
 
     def tau_ladder(
-        self, store: HammingStore, payload: Any, start: float | int | None
+        self,
+        store: HammingStore,
+        payload: Any,
+        start: float | int | None,
+        max_size: int | None = None,
     ) -> Iterable[int]:
+        # The ladder depends only on the dimension, which every record shares,
+        # so the live maximum (max_size) is irrelevant here.
         d = store.dataset.d
         tau = int(start) if start is not None else self.default_tau(store)
         tau = max(1, min(tau, d))
@@ -222,6 +256,18 @@ class SetBackend(Backend):
 
     name = "sets"
     algorithms = ("ring", "baseline", "adapt", "partalloc", "linear")
+    mutable = True
+
+    def validate_tau(self, tau: float | int) -> None:
+        """Similarity thresholds: Jaccard in (0, 1], overlap >= 1.
+
+        ``tau=0`` (or any non-positive threshold) matches nothing under
+        overlap semantics and is undefined for Jaccard.  Delegates to the
+        predicate constructors, so the rules and messages stay
+        single-sourced with searcher construction; this merely runs them at
+        query-validation / HTTP-400 time instead of deep inside a search.
+        """
+        _set_predicate(tau)
 
     def prepare(self, dataset: Any) -> SetDataset:
         if isinstance(dataset, SetDataset):
@@ -279,6 +325,38 @@ class SetBackend(Backend):
     def shard_store(self, store: SetDataset, lo: int, hi: int) -> SetDataset:
         return SetDataset(store.raw_records[lo:hi], num_classes=store.num_classes)
 
+    def store_records(self, store: SetDataset) -> list[list[int]]:
+        return store.raw_records
+
+    def make_dataset(self, store: SetDataset, records: Sequence[Any]) -> SetDataset:
+        return SetDataset(list(records), num_classes=store.num_classes)
+
+    def check_record(self, store: SetDataset, record: Any) -> list[int]:
+        try:
+            tokens = [int(token) for token in record]
+        except TypeError:
+            raise ValueError("a sets record must be an iterable of integer tokens") from None
+        if not tokens:
+            raise ValueError("a sets record needs at least one token")
+        return tokens
+
+    def record_size(self, store: SetDataset, record: Any) -> int:
+        return len(set(record))
+
+    def record_distance(
+        self, store: SetDataset, payload: Any, record: Any, tau: float | int | None
+    ) -> float:
+        # Token ranks are a bijection on tokens (unseen tokens get unique
+        # ranks), so intersection/union sizes -- hence overlap and Jaccard --
+        # are identical whether computed on raw tokens or on ranks.
+        use_overlap = tau is not None and isinstance(_set_predicate(tau), OverlapPredicate)
+        if use_overlap:
+            return -float(overlap(record, payload))
+        return -jaccard(record, payload)
+
+    def score_matches(self, score: float, tau: float | int) -> bool:
+        return -score >= float(tau)
+
     def payload_to_wire(self, payload: Any) -> list[int]:
         return [int(token) for token in payload]
 
@@ -288,7 +366,11 @@ class SetBackend(Backend):
         return [int(token) for token in data]
 
     def tau_ladder(
-        self, store: SetDataset, payload: Any, start: float | int | None
+        self,
+        store: SetDataset,
+        payload: Any,
+        start: float | int | None,
+        max_size: int | None = None,
     ) -> Iterable[float | int]:
         if start is not None and isinstance(_set_predicate(start), OverlapPredicate):
             tau = int(start)
@@ -298,7 +380,8 @@ class SetBackend(Backend):
             yield 1
             return
         # Jaccard: any pair sharing one token has J >= 1 / |union|.
-        max_size = max((store.size(obj_id) for obj_id in range(len(store))), default=1)
+        if max_size is None:
+            max_size = max((store.size(obj_id) for obj_id in range(len(store))), default=1)
         floor = 1.0 / max(1, len(set(payload)) + max_size)
         tau = float(start) if start is not None else self.default_tau(store)
         while tau > floor:
@@ -345,6 +428,7 @@ class StringBackend(Backend):
     """Edit distance over strings (Pivotal / pigeonring)."""
 
     name = "strings"
+    mutable = True
 
     def prepare(self, dataset: Any) -> StringDataset:
         if isinstance(dataset, StringDataset):
@@ -386,17 +470,42 @@ class StringBackend(Backend):
     def shard_store(self, store: StringDataset, lo: int, hi: int) -> StringDataset:
         return StringDataset(store.records[lo:hi], kappa=store.kappa)
 
+    def store_records(self, store: StringDataset) -> list[str]:
+        return store.records
+
+    def make_dataset(self, store: StringDataset, records: Sequence[Any]) -> StringDataset:
+        return StringDataset(list(records), kappa=store.kappa)
+
+    def check_record(self, store: StringDataset, record: Any) -> str:
+        if not isinstance(record, str):
+            raise ValueError(f"a strings record must be a string, got {type(record).__name__}")
+        if not record:
+            raise ValueError("a strings record must be non-empty")
+        return record
+
+    def record_size(self, store: StringDataset, record: Any) -> int:
+        return len(record)
+
+    def record_distance(
+        self, store: StringDataset, payload: Any, record: Any, tau: float | int | None
+    ) -> float:
+        return float(edit_distance(record, str(payload)))
+
     def payload_from_wire(self, data: Any) -> str:
         if not isinstance(data, str):
             raise ValueError("a strings payload must be a string")
         return data
 
     def tau_ladder(
-        self, store: StringDataset, payload: Any, start: float | int | None
+        self,
+        store: StringDataset,
+        payload: Any,
+        start: float | int | None,
+        max_size: int | None = None,
     ) -> Iterable[int]:
-        max_tau = max(
-            max((len(record) for record in store.records), default=1), len(str(payload)), 1
-        )
+        if max_size is None:
+            max_size = max((len(record) for record in store.records), default=1)
+        max_tau = max(max_size, len(str(payload)), 1)
         tau = int(start) if start is not None else 1
         tau = max(1, min(tau, max_tau))
         while tau < max_tau:
@@ -450,6 +559,7 @@ class GraphBackend(Backend):
     """Graph edit distance over labelled graphs (Pars / pigeonring)."""
 
     name = "graphs"
+    mutable = True
 
     def prepare(self, dataset: Any) -> GraphDataset:
         if isinstance(dataset, GraphDataset):
@@ -507,6 +617,28 @@ class GraphBackend(Backend):
     def shard_store(self, store: GraphDataset, lo: int, hi: int) -> GraphDataset:
         return GraphDataset(store.graphs[lo:hi])
 
+    def store_records(self, store: GraphDataset) -> list[Graph]:
+        return store.graphs
+
+    def make_dataset(self, store: GraphDataset, records: Sequence[Any]) -> GraphDataset:
+        return GraphDataset(list(records))
+
+    def check_record(self, store: GraphDataset, record: Any) -> Graph:
+        if not isinstance(record, Graph):
+            raise ValueError(f"a graphs record must be a Graph, got {type(record).__name__}")
+        if record.num_vertices < 1:
+            raise ValueError("a graphs record needs at least one vertex")
+        return record
+
+    def record_size(self, store: GraphDataset, record: Graph) -> int:
+        return record.num_vertices + record.num_edges
+
+    def record_distance(
+        self, store: GraphDataset, payload: Graph, record: Graph, tau: float | int | None
+    ) -> float:
+        upper = int(tau) if tau is not None else None
+        return float(graph_edit_distance(record, payload, upper_bound=upper))
+
     def payload_to_wire(self, payload: Graph) -> dict:
         return _graph_to_json(payload)
 
@@ -516,9 +648,16 @@ class GraphBackend(Backend):
         return _graph_from_json(data)
 
     def tau_ladder(
-        self, store: GraphDataset, payload: Graph, start: float | int | None
+        self,
+        store: GraphDataset,
+        payload: Graph,
+        start: float | int | None,
+        max_size: int | None = None,
     ) -> Iterable[int]:
-        max_size = max((graph.num_vertices + graph.num_edges for graph in store.graphs), default=1)
+        if max_size is None:
+            max_size = max(
+                (graph.num_vertices + graph.num_edges for graph in store.graphs), default=1
+            )
         cap = min(max_size + payload.num_vertices + payload.num_edges, self.escalation_cap)
         tau = int(start) if start is not None else 1
         tau = max(1, min(tau, cap))

@@ -1,6 +1,6 @@
 """Command-line front end: ``python -m repro.engine <command>``.
 
-Seven subcommands make the engine drivable end-to-end without writing code:
+Ten subcommands make the engine drivable end-to-end without writing code:
 
 * ``build-index`` -- generate a synthetic workload for one backend, build the
   dataset (and, for Hamming, the partition index) once, and save everything
@@ -21,6 +21,10 @@ Seven subcommands make the engine drivable end-to-end without writing code:
 * ``load-bench`` -- drive a running server with the index's stored workload
   at one or more concurrency levels and record achieved QPS plus
   p50/p95/p99 latency to a JSON report.
+* ``upsert`` / ``delete`` / ``compact`` -- mutate an index on disk (plain
+  container or sharded directory): records land in the delta store, deletes
+  tombstone, and ``compact`` folds the overlay into a rebuilt main index.
+  Records are given in the backend's JSON wire form.
 """
 
 from __future__ import annotations
@@ -215,6 +219,84 @@ def _serve_bench(args: argparse.Namespace) -> int:
             with open(args.out, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2)
             print(f"wrote {args.out}")
+    return 0
+
+
+def _mutate(args: argparse.Namespace) -> int:
+    """Shared driver of the ``upsert`` / ``delete`` / ``compact`` commands."""
+    from repro.engine.wire import WireFormatError
+
+    sharded = os.path.exists(os.path.join(args.index, SHARDS_MANIFEST_NAME))
+    if sharded:
+        engine: object = ShardedEngine(args.index, mp_context=args.mp_context)
+        backend_name = engine.backend_name
+        close = engine.close
+
+        def persist() -> None:
+            engine.flush()
+
+    else:
+        engine = SearchEngine()
+        container = engine.load_index(args.index)
+        backend_name = container.backend.name
+        close = None
+
+        def persist() -> None:
+            engine.save_index(backend_name, args.index, queries=container.queries)
+
+    try:
+        if args.command == "upsert":
+            backend = get_backend(backend_name)
+            try:
+                record = backend.record_from_wire(json.loads(args.record))
+            except (json.JSONDecodeError, WireFormatError, ValueError) as exc:
+                print(f"bad --record for backend {backend_name!r}: {exc}", file=sys.stderr)
+                return 2
+            assigned = engine.upsert(backend_name, record, args.id)
+            print(f"[{backend_name}] upserted id {assigned}")
+        elif args.command == "delete":
+            deleted = engine.delete(backend_name, args.id)
+            if not deleted:
+                print(f"[{backend_name}] id {args.id} was not live", file=sys.stderr)
+                return 1
+            print(f"[{backend_name}] deleted id {args.id}")
+        else:
+            try:
+                summary = engine.compact(backend_name)
+            except ValueError as exc:  # e.g. every record deleted
+                print(f"[{backend_name}] compact failed: {exc}", file=sys.stderr)
+                return 1
+            summaries = summary if isinstance(summary, list) else [summary]
+            failed = False
+            for entry in summaries:
+                shard = f"shard {entry['shard_id']} " if "shard_id" in entry else ""
+                if entry.get("compacted"):
+                    print(
+                        f"[{backend_name}] {shard}compacted: folded "
+                        f"{entry['folded_records']} delta record(s), dropped "
+                        f"{entry['dropped_tombstones']} tombstone(s), "
+                        f"{entry['num_live']} live object(s)"
+                    )
+                elif "error" in entry:
+                    failed = True
+                    print(
+                        f"[{backend_name}] {shard}compact failed: {entry['error']}",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(f"[{backend_name}] {shard}nothing to compact")
+            if failed:
+                persist()  # the untouched overlays are still worth saving
+                return 1
+        persist()
+        info = engine.mutation_info(backend_name)
+        print(
+            f"  live {info['num_live']}  delta {info['delta_records']}  "
+            f"tombstones {info['num_tombstones']}  next id {info['next_id']}"
+        )
+    finally:
+        if close is not None:
+            close()
     return 0
 
 
@@ -475,6 +557,35 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--timeout", type=float, default=30.0)
     load.add_argument("--out", default=None, help="write the JSON report here")
     load.set_defaults(func=_load_bench)
+
+    upsert = commands.add_parser(
+        "upsert", help="insert or overwrite one record in an index on disk"
+    )
+    upsert.add_argument("--index", required=True, help="container or sharded directory")
+    upsert.add_argument(
+        "--record",
+        required=True,
+        help="the record in the backend's JSON wire form "
+        "(0/1 list, token list, \"string\", or {vertices, edges})",
+    )
+    upsert.add_argument(
+        "--id", type=int, default=None, help="overwrite this id (default: append a new one)"
+    )
+    upsert.add_argument("--mp-context", default=None, choices=["fork", "spawn", "forkserver"])
+    upsert.set_defaults(func=_mutate)
+
+    delete = commands.add_parser("delete", help="delete one record from an index on disk")
+    delete.add_argument("--index", required=True, help="container or sharded directory")
+    delete.add_argument("--id", type=int, required=True, help="the id to remove")
+    delete.add_argument("--mp-context", default=None, choices=["fork", "spawn", "forkserver"])
+    delete.set_defaults(func=_mutate)
+
+    compact = commands.add_parser(
+        "compact", help="fold an index's delta store into a rebuilt main index"
+    )
+    compact.add_argument("--index", required=True, help="container or sharded directory")
+    compact.add_argument("--mp-context", default=None, choices=["fork", "spawn", "forkserver"])
+    compact.set_defaults(func=_mutate)
     return parser
 
 

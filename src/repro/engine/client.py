@@ -28,7 +28,7 @@ from typing import Any
 from urllib.parse import urlsplit
 
 from repro.engine.api import Query
-from repro.engine.wire import encode_query
+from repro.engine.wire import encode_delete, encode_query, encode_upsert
 
 
 class EngineClientError(Exception):
@@ -104,6 +104,22 @@ def _parse_base_url(base_url: str) -> tuple[str, int]:
     return parts.hostname, parts.port or 80
 
 
+def parse_retry_after(value: str | None) -> float | None:
+    """The ``Retry-After`` header as seconds, or ``None`` when unusable.
+
+    Servers (and intermediaries) send missing, empty, HTTP-date or otherwise
+    malformed values in the wild; 429/503 handling must degrade to "no hint"
+    rather than raise while the typed error is being built.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return seconds if seconds >= 0 else None
+
+
 def _raise_for_status(status: int, body: dict, retry_after: float | None) -> None:
     message = body.get("error", "") if isinstance(body, dict) else str(body)
     if status == 429:
@@ -160,14 +176,10 @@ class EngineClient:
             # dropped); throw it away so the next call reconnects.
             self.close()
             raise
-        retry_after = response.getheader("Retry-After")
+        retry_after = parse_retry_after(response.getheader("Retry-After"))
         decoded = json.loads(data.decode("utf-8")) if data else {}
         if response.status != 200:
-            _raise_for_status(
-                response.status,
-                decoded,
-                float(retry_after) if retry_after else None,
-            )
+            _raise_for_status(response.status, decoded, retry_after)
         return decoded
 
     # -- API ---------------------------------------------------------------
@@ -216,6 +228,23 @@ class EngineClient:
         """Send an already-encoded wire query (used by the load generator)."""
         path = "/search/topk" if topk else "/search"
         return WireResponse.from_wire(self._request("POST", path, body))
+
+    def upsert(self, backend: str, record: Any, obj_id: int | None = None) -> int:
+        """Insert or overwrite one record (``POST /upsert``); returns its id."""
+        body = self._request("POST", "/upsert", encode_upsert(backend, record, obj_id))
+        return int(body["id"])
+
+    def delete(self, backend: str, obj_id: int) -> bool:
+        """Remove one id (``POST /delete``); True when it named a live object."""
+        body = self._request("POST", "/delete", encode_delete(backend, obj_id))
+        return bool(body["deleted"])
+
+    def compact(self, backend: str | None = None) -> dict:
+        """Fold the server's delta store(s) into rebuilt indexes."""
+        payload: dict | None = None
+        if backend is not None:
+            payload = {"backend": backend}
+        return self._request("POST", "/compact", payload)
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
@@ -308,6 +337,5 @@ async def asearch(
         host, port, "POST", path, encode_query(query), timeout
     )
     if status != 200:
-        retry_after = headers.get("retry-after")
-        _raise_for_status(status, body, float(retry_after) if retry_after else None)
+        _raise_for_status(status, body, parse_retry_after(headers.get("retry-after")))
     return WireResponse.from_wire(body)

@@ -7,7 +7,13 @@ adds the serving-layer machinery the per-domain searchers do not have:
 * a **searcher cache** -- searcher construction (per algorithm / tau / chain
   length) happens once and is reused across queries;
 * an **LRU result cache** keyed on ``(backend, query, tau, chain_length,
-  algorithm, k)``;
+  algorithm, k)`` plus the store and mutation epochs, so a mutation can
+  never serve a stale answer;
+* **online mutation** -- :meth:`SearchEngine.upsert` / :meth:`SearchEngine.
+  delete` maintain a per-backend :class:`repro.engine.mutation.DeltaStore`
+  (delta records answered by exact linear scan, tombstones filtered from
+  main answers) and :meth:`SearchEngine.compact` folds it into a rebuilt
+  main index;
 * **batched and thread-pooled parallel execution** with order-preserving
   results;
 * **latency statistics** per backend, aggregated with
@@ -15,7 +21,10 @@ adds the serving-layer machinery the per-domain searchers do not have:
 * **top-k search** delegated to :mod:`repro.engine.topk`.
 
 The engine is thread-safe: shared state is touched only under an internal
-lock, which is never held while a searcher runs.
+lock, which is never held while a searcher runs.  Mutations are atomic
+(copy-on-write overlays swapped under the lock); a compaction that races
+in-flight mutations may lose them, so serialise writers with compactions
+(the HTTP serving layer runs both on one executor thread).
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from repro.common.stats import QueryStats, Timer
 from repro.engine import backends as _backends  # noqa: F401 - populate registry
 from repro.engine.api import Query, Response
 from repro.engine.backend import Backend, get_backend
+from repro.engine.mutation import DeltaStore
 from repro.engine.persistence import Container, load_container, save_container
 from repro.engine.topk import run_topk
 
@@ -105,6 +115,12 @@ class SearchEngine:
         # store can never be served again (even by a search that raced the
         # replacement).
         self._epochs: dict[str, int] = {}
+        # Bumped on every upsert/delete; part of the *result* cache key only
+        # -- a mutation invalidates cached answers but the searchers, which
+        # serve the unchanged main store, stay warm.
+        self._mutation_epochs: dict[str, int] = {}
+        # Per-backend delta/tombstone overlay (None for immutable backends).
+        self._deltas: dict[str, DeltaStore | None] = {}
         self._searchers: dict[tuple, Any] = {}
         self._cache: OrderedDict[tuple, Response] = OrderedDict()
         self._cache_size = cache_size
@@ -118,8 +134,10 @@ class SearchEngine:
         """Attach a domain dataset; the backend builds its store/index once."""
         backend = get_backend(backend_name)
         store = backend.prepare(dataset)
+        delta = backend.delta_store(store) if backend.mutable else None
         with self._lock:
             self._stores[backend_name] = store
+            self._deltas[backend_name] = delta
             self._epochs[backend_name] = self._epochs.get(backend_name, 0) + 1
             self._evict_backend_state(backend_name)
         return store
@@ -148,25 +166,129 @@ class SearchEngine:
         for key in [key for key in self._cache if key[0] == backend_name]:
             del self._cache[key]
 
+    def _invalidate_results(self, backend_name: str) -> None:
+        """Evict cached responses after a mutation; searchers stay warm.
+
+        The epoch bump also fences any search that raced the mutation: its
+        response was keyed under the old mutation epoch and can never be
+        served again, even though it may have seen the new overlay.
+        """
+        self._mutation_epochs[backend_name] = self._mutation_epochs.get(backend_name, 0) + 1
+        for key in [key for key in self._cache if key[0] == backend_name]:
+            del self._cache[key]
+
     # -- persistence -------------------------------------------------------
 
     def save_index(
         self, backend_name: str, directory: str, queries: Sequence[Any] | None = None
     ) -> dict:
-        """Persist the attached store (and optional workload) to ``directory``."""
-        return save_container(
-            self.backend(backend_name), self.store(backend_name), directory, queries
-        )
+        """Persist the attached store (and optional workload) to ``directory``.
+
+        A live delta/tombstone overlay is persisted alongside the main store,
+        so upserts and deletes survive a save/load round trip without forcing
+        a compaction first.
+        """
+        with self._lock:
+            store = self.store(backend_name)
+            delta = self._deltas.get(backend_name)
+        return save_container(self.backend(backend_name), store, directory, queries, delta=delta)
 
     def load_index(self, directory: str) -> Container:
         """Load a container and attach its store; returns the container."""
         container = load_container(directory)
+        backend = container.backend
+        delta = container.delta
+        if delta is None and backend.mutable:
+            delta = backend.delta_store(container.store)
         with self._lock:
-            name = container.backend.name
+            name = backend.name
             self._stores[name] = container.store
+            self._deltas[name] = delta
             self._epochs[name] = self._epochs.get(name, 0) + 1
             self._evict_backend_state(name)
         return container
+
+    # -- mutation ----------------------------------------------------------
+
+    def delta(self, backend_name: str) -> DeltaStore | None:
+        """The backend's current overlay (None for immutable backends)."""
+        self.store(backend_name)  # fail fast when nothing is attached
+        with self._lock:
+            return self._deltas.get(backend_name)
+
+    def _require_mutable(self, backend_name: str) -> tuple[Backend, Any]:
+        backend = self.backend(backend_name)
+        store = self.store(backend_name)
+        if not backend.mutable:
+            raise NotImplementedError(
+                f"backend {backend_name!r} does not support online mutation"
+            )
+        return backend, store
+
+    def upsert(self, backend_name: str, record: Any, obj_id: int | None = None) -> int:
+        """Insert a new record (``obj_id=None``) or overwrite an existing id.
+
+        The record lands in the backend's delta store and is servable
+        immediately; cached responses for the backend are invalidated.
+        Returns the record's external id.
+        """
+        backend, store = self._require_mutable(backend_name)
+        record = backend.check_record(store, record)
+        with self._lock:
+            delta, assigned = self._deltas[backend_name].with_upsert(record, obj_id)
+            self._deltas[backend_name] = delta
+            self._invalidate_results(backend_name)
+        return assigned
+
+    def delete(self, backend_name: str, obj_id: int) -> bool:
+        """Remove one id (tombstoning its main copy); True if it was live."""
+        self._require_mutable(backend_name)
+        with self._lock:
+            delta, deleted = self._deltas[backend_name].with_delete(obj_id)
+            if deleted:
+                self._deltas[backend_name] = delta
+                self._invalidate_results(backend_name)
+        return deleted
+
+    def compact(self, backend_name: str) -> dict:
+        """Fold the delta store into a rebuilt main index.
+
+        Rebuilding costs one full index construction over the live records
+        -- the same price as the original build -- which is why it is an
+        explicit operation rather than something every upsert pays.  Returns
+        a summary of what was folded.  Searches may run concurrently (they
+        serve the old store until the swap); concurrent *mutations* may be
+        lost, so serialise writers with compactions.
+        """
+        backend, store = self._require_mutable(backend_name)
+        with self._lock:
+            delta = self._deltas[backend_name]
+        before = delta.summary()
+        if delta.is_identity:
+            return {"backend": backend_name, "compacted": False, **before}
+        new_store, new_delta = backend.apply_mutations(store, delta)
+        with self._lock:
+            self._stores[backend_name] = new_store
+            self._deltas[backend_name] = new_delta
+            self._epochs[backend_name] = self._epochs.get(backend_name, 0) + 1
+            self._evict_backend_state(backend_name)
+        return {
+            "backend": backend_name,
+            "compacted": True,
+            "folded_records": before["delta_records"],
+            "dropped_tombstones": before["num_tombstones"],
+            **new_delta.summary(),
+        }
+
+    def mutation_info(self, backend_name: str) -> dict:
+        """Overlay counters of one backend (``/stats`` and CLI surface)."""
+        backend = self.backend(backend_name)
+        self.store(backend_name)
+        if not backend.mutable:
+            return {"backend": backend_name, "mutable": False}
+        with self._lock:
+            delta = self._deltas[backend_name]
+        return {"backend": backend_name, "mutable": True, **delta.summary()}
 
     # -- execution ---------------------------------------------------------
 
@@ -186,6 +308,7 @@ class SearchEngine:
         return (
             query.backend,
             self._epochs.get(query.backend, 0),
+            self._mutation_epochs.get(query.backend, 0),
             backend.query_key(query.payload),
             _tau_key(query.tau),
             query.chain_length,
@@ -193,16 +316,22 @@ class SearchEngine:
             query.k,
         )
 
-    def _searcher(self, query: Query, backend: Backend) -> Any:
+    def _searcher(self, query: Query, backend: Backend, store: Any, epoch: int) -> Any:
+        """The cached searcher for ``store``, which was read at ``epoch``.
+
+        The key uses the epoch captured *together with* the store snapshot:
+        keying on the current epoch instead would let a compaction that
+        lands between the snapshot and this call cache an old-store
+        searcher under the new epoch, poisoning every later query.
+        """
+        key = (
+            query.backend,
+            epoch,
+            query.algorithm,
+            _tau_key(query.tau),
+            query.chain_length,
+        )
         with self._lock:
-            store = self.store(query.backend)
-            key = (
-                query.backend,
-                self._epochs.get(query.backend, 0),
-                query.algorithm,
-                _tau_key(query.tau),
-                query.chain_length,
-            )
             searcher = self._searchers.get(key)
         if searcher is not None:
             return searcher
@@ -211,10 +340,105 @@ class SearchEngine:
             self._searchers.setdefault(key, searcher)
         return searcher
 
+    def _snapshot(self, backend_name: str) -> tuple[Any, DeltaStore | None, int]:
+        """The current (store, overlay, store epoch), read atomically."""
+        with self._lock:
+            return (
+                self.store(backend_name),
+                self._deltas.get(backend_name),
+                self._epochs.get(backend_name, 0),
+            )
+
+    def _search_threshold(self, query: Query, backend: Backend) -> Response:
+        """One tau-selection: main index answer merged with the delta scan."""
+        store, delta, epoch = self._snapshot(query.backend)
+        searcher = self._searcher(query, backend, store, epoch)
+        outcome = searcher(query.payload)
+        ids = list(outcome.results)
+        num_candidates = outcome.num_candidates
+        if delta is not None and delta.mutated:
+            # Map main positions to external ids, drop tombstoned objects,
+            # scan the delta exactly, and return the union sorted by id --
+            # the answer an index rebuilt from the live records would give.
+            ids = [
+                delta.ids[position]
+                for position in ids
+                if delta.ids[position] not in delta.tombstones
+            ]
+            for obj_id, record in delta.records.items():
+                score = backend.record_distance(store, query.payload, record, query.tau)
+                if backend.score_matches(score, query.tau):
+                    ids.append(obj_id)
+            num_candidates += len(delta.records)
+            ids.sort()
+        return Response(
+            query=query,
+            ids=ids,
+            tau_effective=query.tau,
+            num_candidates=num_candidates,
+            candidate_time=outcome.candidate_time,
+            verify_time=outcome.verify_time,
+        )
+
+    def rank_scores(
+        self, backend_name: str, payload: Any, ids: Sequence[int], tau: float | int | None
+    ) -> list[float]:
+        """Exact rank scores of external ids, wherever the objects live.
+
+        Main-store objects are scored through the backend's (batched)
+        ``distances``; delta records are scored directly.  Used by top-k
+        ranking, so scores agree bit-for-bit with an unmutated store.
+        """
+        backend = self.backend(backend_name)
+        store, delta, _epoch = self._snapshot(backend_name)
+        if delta is None or not delta.mutated:
+            return backend.distances(store, payload, list(ids), tau)
+        scores: list[float | None] = [None] * len(ids)
+        main_slots: list[int] = []
+        main_positions: list[int] = []
+        for slot, obj_id in enumerate(ids):
+            if obj_id in delta.records:
+                scores[slot] = backend.record_distance(
+                    store, payload, delta.records[obj_id], tau
+                )
+            else:
+                main_slots.append(slot)
+                main_positions.append(delta.positions[obj_id])
+        for slot, score in zip(
+            main_slots, backend.distances(store, payload, main_positions, tau)
+        ):
+            scores[slot] = score
+        return scores
+
+    def escalation_ladder(
+        self, backend_name: str, payload: Any, start: float | int | None
+    ) -> list[float | int]:
+        """The top-k threshold ladder over the *live* record population."""
+        backend = self.backend(backend_name)
+        store, delta, _epoch = self._snapshot(backend_name)
+        if delta is None or not delta.mutated or not backend.ladder_uses_max_size:
+            return list(backend.tau_ladder(store, payload, start))
+        if not delta.records and not delta.tombstones:
+            # Post-compaction (or all mutations cancelled out): the live
+            # population IS the main store, so skip the O(live) size scan
+            # and let the backend compute its own maximum as usual.
+            return list(backend.tau_ladder(store, payload, start))
+        records = backend.store_records(store)
+        sizes = [
+            backend.record_size(store, records[position])
+            for position, _obj_id in delta.live_main()
+        ]
+        sizes.extend(backend.record_size(store, record) for record in delta.records.values())
+        return list(
+            backend.tau_ladder(store, payload, start, max_size=max(sizes, default=1))
+        )
+
     def search(self, query: Query) -> Response:
         """Answer one query (thresholded selection, or top-k when ``k`` is set)."""
         backend = self.backend(query.backend)
         backend.check_algorithm(query.algorithm)
+        if query.tau is not None:
+            backend.validate_tau(query.tau)
         self.store(query.backend)  # fail fast when nothing is attached
         key = self._cache_key(query, backend)
         with self._lock:
@@ -227,16 +451,7 @@ class SearchEngine:
         if query.k is not None:
             response = run_topk(self, query)
         else:
-            searcher = self._searcher(query, backend)
-            outcome = searcher(query.payload)
-            response = Response(
-                query=query,
-                ids=list(outcome.results),
-                tau_effective=query.tau,
-                num_candidates=outcome.num_candidates,
-                candidate_time=outcome.candidate_time,
-                verify_time=outcome.verify_time,
-            )
+            response = self._search_threshold(query, backend)
         response.engine_time = timer.elapsed()
         with self._lock:
             self._stats.cache_misses += 1

@@ -4,8 +4,18 @@ A container is a directory holding
 
 * ``manifest.json`` -- format version, backend name and store descriptor,
 * a backend-owned payload (``data.npz`` for Hamming -- vectors plus the
-  serialised partition index -- or ``data.json`` for the other domains), and
-* an optional persisted query workload (``queries.npz`` / ``queries.json``).
+  serialised partition index -- or ``data.json`` for the other domains),
+* an optional persisted query workload (``queries.npz`` / ``queries.json``),
+  and
+* an optional ``mutations.json`` -- the delta/tombstone overlay of a
+  mutated index (:mod:`repro.engine.mutation`), so upserts and deletes
+  survive save/load without forcing a compaction.
+
+Format versioning: version 1 is the original immutable layout; version 2
+adds the overlay.  Containers are written at the *lowest* version that can
+represent them (an unmutated index still writes version 1), and readers
+accept both -- but a version-1 reader refuses a version-2 container
+outright rather than silently serving it without its mutations.
 
 Loading resolves the backend through the registry, so a container is
 self-describing: :func:`load_container` needs only the path.
@@ -19,9 +29,12 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.engine.backend import Backend, get_backend
+from repro.engine.mutation import DeltaStore, delta_from_json, delta_to_json
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
 MANIFEST_NAME = "manifest.json"
+MUTATIONS_NAME = "mutations.json"
 
 
 @dataclass
@@ -32,6 +45,7 @@ class Container:
     store: Any
     queries: list[Any] | None
     manifest: dict
+    delta: DeltaStore | None = None
 
 
 def save_container(
@@ -39,11 +53,13 @@ def save_container(
     store: Any,
     directory: str,
     queries: Sequence[Any] | None = None,
+    delta: DeltaStore | None = None,
 ) -> dict:
-    """Write a store (and optionally a query workload) into ``directory``."""
+    """Write a store (and optionally a workload and overlay) to ``directory``."""
     os.makedirs(directory, exist_ok=True)
+    write_delta = delta is not None and delta.mutated
     manifest = {
-        "format_version": FORMAT_VERSION,
+        "format_version": FORMAT_VERSION if write_delta else 1,
         "backend": backend.name,
         "descriptor": backend.describe(store),
         # Recorded at build time (JSON keeps the int/float distinction, which
@@ -52,6 +68,15 @@ def save_container(
         "default_tau": backend.default_tau(store),
     }
     backend.save_store(store, directory)
+    mutations_path = os.path.join(directory, MUTATIONS_NAME)
+    if write_delta:
+        manifest["mutations"] = delta.summary()
+        with open(mutations_path, "w", encoding="utf-8") as handle:
+            json.dump(delta_to_json(backend, delta), handle)
+    elif os.path.exists(mutations_path):
+        # Overwriting a mutated container with an unmutated store: a stale
+        # overlay must not resurrect on the next load.
+        os.remove(mutations_path)
     if queries is not None:
         backend.save_queries(queries, directory)
         manifest["num_queries"] = len(queries)
@@ -68,9 +93,15 @@ def load_container(directory: str) -> Container:
     with open(path, encoding="utf-8") as handle:
         manifest = json.load(handle)
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported container format {version!r} (supported: {FORMAT_VERSION})")
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_FORMAT_VERSIONS))
+        raise ValueError(f"unsupported container format {version!r} (supported: {supported})")
     backend = get_backend(manifest["backend"])
     store = backend.load_store(directory)
     queries = backend.load_queries(directory)
-    return Container(backend=backend, store=store, queries=queries, manifest=manifest)
+    delta = None
+    mutations_path = os.path.join(directory, MUTATIONS_NAME)
+    if os.path.exists(mutations_path):
+        with open(mutations_path, encoding="utf-8") as handle:
+            delta = delta_from_json(backend, json.load(handle))
+    return Container(backend=backend, store=store, queries=queries, manifest=manifest, delta=delta)

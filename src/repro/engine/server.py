@@ -19,7 +19,12 @@ the package:
   and a ``Retry-After`` hint instead of growing an unbounded queue.
 * **schema-versioned JSON endpoints** (:mod:`repro.engine.wire`):
   ``POST /search`` (thresholded selection), ``POST /search/topk`` (top-k),
-  ``GET /healthz``, ``GET /stats`` and ``GET /manifest``.
+  ``POST /upsert`` / ``POST /delete`` / ``POST /compact`` (online index
+  mutation), ``GET /healthz``, ``GET /stats`` and ``GET /manifest``.
+* **write serialisation**: mutations run on the same one-thread executor
+  as the search batches, so a write is atomic with respect to every
+  batch -- no query observes a half-applied mutation -- and admission
+  control covers writes exactly like reads.
 * **graceful drain**: :meth:`EngineServer.stop` stops accepting work,
   answers everything already admitted, then shuts the batcher down; a
   killed shard worker surfaces as 503 on the affected queries without
@@ -45,7 +50,10 @@ from repro.engine.sharding import ShardedEngine, ShardWorkerError
 from repro.engine.wire import (
     WIRE_SCHEMA_VERSION,
     WireFormatError,
+    decode_compact,
+    decode_delete,
     decode_query,
+    decode_upsert,
     encode_response,
 )
 
@@ -66,7 +74,16 @@ _MAX_HEADERS = 100
 
 #: Known endpoint paths; anything else is bucketed under "other" in the
 #: per-endpoint stats so a path scanner cannot grow the dict unboundedly.
-_ENDPOINTS = ("/search", "/search/topk", "/healthz", "/stats", "/manifest")
+_ENDPOINTS = (
+    "/search",
+    "/search/topk",
+    "/upsert",
+    "/delete",
+    "/compact",
+    "/healthz",
+    "/stats",
+    "/manifest",
+)
 
 
 @dataclass
@@ -119,6 +136,9 @@ class ServerStats:
     rejected_invalid: int = 0
     errors_unavailable: int = 0
     errors_internal: int = 0
+    num_upserts: int = 0
+    num_deletes: int = 0
+    num_compactions: int = 0
     per_endpoint: dict[str, int] = field(default_factory=dict)
 
     def observe_batch(self, size: int) -> None:
@@ -141,6 +161,9 @@ class ServerStats:
             "rejected_invalid": self.rejected_invalid,
             "errors_unavailable": self.errors_unavailable,
             "errors_internal": self.errors_internal,
+            "num_upserts": self.num_upserts,
+            "num_deletes": self.num_deletes,
+            "num_compactions": self.num_compactions,
             "per_endpoint": dict(self.per_endpoint),
         }
 
@@ -422,6 +445,10 @@ class EngineServer:
             if method != "POST":
                 return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
             return await self._handle_search(path, body)
+        if path in ("/upsert", "/delete", "/compact"):
+            if method != "POST":
+                return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
+            return await self._handle_mutation(path, body)
         if method != "GET":
             return 405, {"error": f"{path} takes GET"}, {"Allow": "GET"}
         if path == "/healthz":
@@ -479,6 +506,92 @@ class EngineServer:
             return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
         self.stats.num_queries += 1
         return 200, encode_response(response, batch_size), {}
+
+    async def _handle_mutation(self, path: str, body: bytes) -> tuple[int, dict, dict[str, str]]:
+        """Apply one upsert/delete/compact through the batch executor.
+
+        Writes run on the same single thread as the coalesced search
+        batches, so every batch sees either all of a mutation or none of
+        it, and the admission-control / drain bookkeeping covers writes
+        exactly like reads.
+        """
+        retry = {"Retry-After": f"{self.config.retry_after_s:g}"}
+        if self._draining:
+            self.stats.errors_unavailable += 1
+            return 503, {"error": "the server is draining"}, retry
+        if self._in_flight >= self.config.max_pending:
+            self.stats.rejected_busy += 1
+            return (
+                429,
+                {"error": f"{self._in_flight} queries in flight (limit {self.config.max_pending})"},
+                retry,
+            )
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.stats.rejected_invalid += 1
+            return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
+        try:
+            apply = self._decode_mutation(path, parsed)
+        except WireFormatError as exc:
+            self.stats.rejected_invalid += 1
+            return 400, {"error": str(exc)}, {}
+        loop = asyncio.get_running_loop()
+        self._in_flight += 1
+        try:
+            payload = await loop.run_in_executor(self._executor, apply)
+        except (ShardWorkerError, RuntimeError) as exc:
+            self.stats.errors_unavailable += 1
+            return 503, {"error": str(exc)}, retry
+        except (ValueError, KeyError, NotImplementedError) as exc:
+            self.stats.rejected_invalid += 1
+            return 400, {"error": str(exc)}, {}
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a crash
+            self.stats.errors_internal += 1
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        finally:
+            self._in_flight -= 1
+        payload["schema_version"] = WIRE_SCHEMA_VERSION
+        return 200, payload, {}
+
+    def _decode_mutation(self, path: str, parsed: Any):
+        """Decode one mutation body into a thunk run on the batch executor."""
+        engine = self.engine
+        if path == "/upsert":
+            backend_name, record, obj_id = decode_upsert(parsed)
+
+            def apply() -> dict:
+                assigned = engine.upsert(backend_name, record, obj_id)
+                self.stats.num_upserts += 1
+                return {"backend": backend_name, "id": int(assigned)}
+
+        elif path == "/delete":
+            backend_name, obj_id = decode_delete(parsed)
+
+            def apply() -> dict:
+                deleted = engine.delete(backend_name, obj_id)
+                self.stats.num_deletes += 1
+                return {"backend": backend_name, "id": obj_id, "deleted": bool(deleted)}
+
+        else:
+            backend_name = decode_compact(parsed)
+            if backend_name is None and not isinstance(engine, ShardedEngine):
+                attached = engine.attached_backends()
+                if len(attached) != 1:
+                    raise WireFormatError(
+                        f"this server serves {len(attached)} backends "
+                        f"({', '.join(attached) or 'none'}); pass 'backend'"
+                    )
+                backend_name = attached[0]
+
+            def apply() -> dict:
+                summary = engine.compact(backend_name)
+                self.stats.num_compactions += 1
+                if isinstance(summary, list):  # per-shard summaries
+                    return {"backend": engine.backend_name, "shards": summary}
+                return summary
+
+        return apply
 
     def _healthz(self) -> dict:
         return {

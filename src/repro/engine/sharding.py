@@ -46,7 +46,12 @@ from repro.engine.backend import get_backend
 from repro.engine.persistence import save_container
 
 SHARDS_MANIFEST_NAME = "shards.json"
-SHARDS_FORMAT_VERSION = 1
+#: Version 1 is the original frozen layout; version 2 adds mutation fields
+#: (``next_id``, per-shard live counters) written by :meth:`ShardedEngine.
+#: flush`.  Fresh builds still write version 1 -- a sharded index is saved
+#: at the lowest version that can represent it -- and readers accept both.
+SHARDS_FORMAT_VERSION = 2
+SUPPORTED_SHARDS_FORMAT_VERSIONS = frozenset({1, 2})
 
 
 class ShardWorkerError(RuntimeError):
@@ -126,7 +131,7 @@ def build_shards(
             }
         )
     manifest = {
-        "format_version": SHARDS_FORMAT_VERSION,
+        "format_version": 1,
         "backend": backend.name,
         "num_objects": num_objects,
         "num_shards": len(shards),
@@ -150,11 +155,9 @@ def load_shards_manifest(directory: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         manifest = json.load(handle)
     version = manifest.get("format_version")
-    if version != SHARDS_FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported shards format {version!r} (supported: "
-            f"{SHARDS_FORMAT_VERSION})"
-        )
+    if version not in SUPPORTED_SHARDS_FORMAT_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_SHARDS_FORMAT_VERSIONS))
+        raise ValueError(f"unsupported shards format {version!r} (supported: {supported})")
     return manifest
 
 
@@ -238,6 +241,35 @@ def _worker_search_many(queries: Sequence[Query]) -> list[dict]:
 def _worker_stats() -> dict:
     """Snapshot of the worker engine's own EngineStats."""
     return _WORKER["engine"].stats.snapshot()
+
+
+def _worker_upsert(record: Any, local_id: int) -> int:
+    """Apply one upsert in the worker's local id space; returns the global id."""
+    assigned = _WORKER["engine"].upsert(_WORKER["backend"], record, local_id)
+    return int(assigned) + _WORKER["offset"]
+
+
+def _worker_delete(local_id: int) -> bool:
+    return _WORKER["engine"].delete(_WORKER["backend"], local_id)
+
+
+def _worker_compact() -> dict:
+    engine = _WORKER["engine"]
+    try:
+        return engine.compact(_WORKER["backend"])
+    except ValueError as exc:
+        # Every record of this shard is deleted; the overlay stays (searches
+        # keep answering correctly through the tombstones).
+        return {"backend": _WORKER["backend"], "compacted": False, "error": str(exc)}
+
+
+def _worker_mutation_info() -> dict:
+    return _WORKER["engine"].mutation_info(_WORKER["backend"])
+
+
+def _worker_flush(shard_dir: str) -> dict:
+    """Persist the worker's store (and overlay) back into its container."""
+    return _WORKER["engine"].save_index(_WORKER["backend"], shard_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -329,6 +361,7 @@ class ShardedEngine:
         self._manifest = load_shards_manifest(directory)
         self._directory = directory
         self._backend = get_backend(self._manifest["backend"])
+        self._next_id = int(self._manifest.get("next_id", self._manifest["num_objects"]))
         context = multiprocessing.get_context(mp_context) if mp_context is not None else None
         self._pools: list[ProcessPoolExecutor] = []
         self._stats = ShardedStats()
@@ -403,6 +436,130 @@ class ShardedEngine:
             self._shard_result(shard_id, self._submit_to_shard(shard_id, _worker_stats))
             for shard_id in range(len(self._pools))
         ]
+
+    # -- mutation ----------------------------------------------------------
+
+    def _check_backend(self, backend_name: str) -> None:
+        if backend_name != self.backend_name:
+            raise ValueError(
+                f"this sharded index serves backend {self.backend_name!r}, "
+                f"got backend {backend_name!r}"
+            )
+
+    def _shard_for_id(self, obj_id: int) -> dict:
+        """The shard entry owning an external id.
+
+        Ids land in their build-time ``[lo, hi)`` range; ids appended after
+        the build (``>=`` the last shard's ``hi``) belong to the last shard,
+        whose range grows rightwards.
+        """
+        if obj_id < 0:
+            raise ValueError(f"object ids are non-negative, got {obj_id}")
+        shards = self._manifest["shards"]
+        for shard in shards:
+            if shard["lo"] <= obj_id < shard["hi"]:
+                return shard
+        return shards[-1]
+
+    def upsert(self, backend_name: str, record: Any, obj_id: int | None = None) -> int:
+        """Insert or overwrite one record on its owning id-range shard."""
+        self._require_open()
+        self._check_backend(backend_name)
+        if obj_id is None:
+            obj_id = self._next_id
+        shard = self._shard_for_id(obj_id)
+        future = self._submit_to_shard(
+            shard["shard_id"], _worker_upsert, record, obj_id - shard["lo"]
+        )
+        assigned = self._shard_result(shard["shard_id"], future)
+        self._next_id = max(self._next_id, assigned + 1)
+        return assigned
+
+    def delete(self, backend_name: str, obj_id: int) -> bool:
+        """Remove one external id; True when it named a live object."""
+        self._require_open()
+        self._check_backend(backend_name)
+        shard = self._shard_for_id(obj_id)
+        future = self._submit_to_shard(shard["shard_id"], _worker_delete, obj_id - shard["lo"])
+        return self._shard_result(shard["shard_id"], future)
+
+    def compact(self, backend_name: str | None = None) -> list[dict]:
+        """Fold every shard's delta store into its rebuilt main index.
+
+        Shards compact independently (each is its own container), so the
+        cost is one index rebuild per *shard*, not per dataset.  Returns the
+        per-shard summaries in shard order.
+        """
+        self._require_open()
+        if backend_name is not None:
+            self._check_backend(backend_name)
+        futures = [
+            self._submit_to_shard(shard_id, _worker_compact)
+            for shard_id in range(len(self._pools))
+        ]
+        summaries = []
+        for shard_id, future in enumerate(futures):
+            summary = dict(self._shard_result(shard_id, future))
+            summary["shard_id"] = shard_id
+            summaries.append(summary)
+        return summaries
+
+    def mutation_info(self, backend_name: str | None = None) -> dict:
+        """Aggregate overlay counters, plus the per-shard breakdown."""
+        self._require_open()
+        if backend_name is not None:
+            self._check_backend(backend_name)
+        per_shard = []
+        for shard_id in range(len(self._pools)):
+            info = dict(
+                self._shard_result(
+                    shard_id, self._submit_to_shard(shard_id, _worker_mutation_info)
+                )
+            )
+            info["shard_id"] = shard_id
+            per_shard.append(info)
+        return {
+            "backend": self.backend_name,
+            "mutable": True,
+            "num_tombstones": sum(info["num_tombstones"] for info in per_shard),
+            "delta_records": sum(info["delta_records"] for info in per_shard),
+            "num_live": sum(info["num_live"] for info in per_shard),
+            "next_id": self._next_id,
+            "mutated": any(info["mutated"] for info in per_shard),
+            "per_shard": per_shard,
+        }
+
+    def flush(self) -> dict:
+        """Persist every shard (store + overlay) and the shards manifest.
+
+        After ``flush`` the index directory reopens with all mutations
+        intact; the manifest records the id-space high-water mark so new
+        upserts keep getting fresh ids, and the last shard's range absorbs
+        the ids appended since the build.  Returns the written manifest.
+        """
+        self._require_open()
+        shards = self._manifest["shards"]
+        infos = []
+        for shard_id, shard in enumerate(shards):
+            directory = os.path.join(self._directory, shard["path"])
+            container_manifest = self._shard_result(
+                shard_id, self._submit_to_shard(shard_id, _worker_flush, directory)
+            )
+            shard["descriptor"] = container_manifest["descriptor"]
+            info = self._shard_result(
+                shard_id, self._submit_to_shard(shard_id, _worker_mutation_info)
+            )
+            shard["num_live"] = info["num_live"]
+            infos.append(info)
+        shards[-1]["hi"] = max(shards[-1]["hi"], self._next_id)
+        mutated = any(info["mutated"] for info in infos)
+        self._manifest["format_version"] = SHARDS_FORMAT_VERSION if mutated else 1
+        self._manifest["num_objects"] = sum(info["num_live"] for info in infos)
+        self._manifest["next_id"] = self._next_id
+        path = os.path.join(self._directory, SHARDS_MANIFEST_NAME)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self._manifest, handle, indent=2)
+        return self._manifest
 
     # -- serving -----------------------------------------------------------
 

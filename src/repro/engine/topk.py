@@ -30,8 +30,7 @@ def run_topk(engine: "SearchEngine", query: Query) -> Response:
     if query.k is None:
         raise ValueError("run_topk needs a query with k set")
     backend = engine.backend(query.backend)
-    store = engine.store(query.backend)
-    ladder = list(backend.tau_ladder(store, query.payload, query.tau))
+    ladder = engine.escalation_ladder(query.backend, query.payload, query.tau)
     if not ladder:
         raise ValueError(f"backend {backend.name!r} produced an empty tau ladder")
 
@@ -54,7 +53,9 @@ def run_topk(engine: "SearchEngine", query: Query) -> Response:
         if response.num_results >= query.k:
             break
 
-    scores = backend.distances(store, query.payload, response.ids, response.tau_effective)
+    scores = engine.rank_scores(
+        query.backend, query.payload, response.ids, response.tau_effective
+    )
     scored = sorted(zip(scores, response.ids))[: query.k]
     return Response(
         query=query,

@@ -22,6 +22,11 @@ vectors become 0/1 integer lists, graphs become ``{vertices, edges}``
 objects.  JSON keeps the int/float distinction for ``tau``, which is
 semantic for the sets backend (int = overlap, float = Jaccard).
 
+Mutations use the same conventions: ``POST /upsert`` carries ``{backend,
+record, id?}`` (the record in the backend's wire form), ``POST /delete``
+carries ``{backend, id}`` and ``POST /compact`` an optional ``{backend}``;
+see :func:`decode_upsert` / :func:`decode_delete` / :func:`decode_compact`.
+
 Every malformed input raises :class:`WireFormatError`, which the server
 maps to HTTP 400 with the message in the body -- clients see *why* the
 request was rejected instead of a stack trace deep inside a backend.
@@ -102,7 +107,7 @@ def decode_query(body: Any) -> Query:
         raise WireFormatError("'algorithm' must be a string")
     try:
         backend.check_algorithm(algorithm)
-        return Query(
+        query = Query(
             backend=backend_name,
             payload=payload,
             tau=body.get("tau"),
@@ -110,8 +115,97 @@ def decode_query(body: Any) -> Query:
             chain_length=body.get("chain_length"),
             algorithm=algorithm,
         )
+        if query.tau is not None:
+            # Domain-specific threshold semantics (e.g. sets: Jaccard in
+            # (0, 1], overlap >= 1) are rejected here, at 400 time, instead
+            # of surfacing as an obscure error deep inside a searcher.
+            backend.validate_tau(query.tau)
+        return query
     except ValueError as exc:
         raise WireFormatError(str(exc)) from exc
+
+
+def _decode_backend(body: Any, required: bool = True) -> Any:
+    """Resolve and validate the ``backend`` field of a mutation body."""
+    if not isinstance(body, dict):
+        raise WireFormatError("the request body must be a JSON object")
+    _check_schema_version(body)
+    backend_name = body.get("backend")
+    if backend_name is None and not required:
+        return None
+    if not isinstance(backend_name, str):
+        raise WireFormatError("'backend' must be a backend name string")
+    try:
+        backend = get_backend(backend_name)
+    except KeyError:
+        raise WireFormatError(
+            f"unknown backend {backend_name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    if not backend.mutable:
+        raise WireFormatError(f"backend {backend_name!r} does not support mutation")
+    return backend
+
+
+def _decode_object_id(body: dict, required: bool) -> int | None:
+    obj_id = body.get("id")
+    if obj_id is None:
+        if required:
+            raise WireFormatError("the request is missing 'id'")
+        return None
+    if isinstance(obj_id, bool) or not isinstance(obj_id, int) or obj_id < 0:
+        raise WireFormatError(f"'id' must be a non-negative integer, got {obj_id!r}")
+    return obj_id
+
+
+def encode_upsert(backend_name: str, record: Any, obj_id: int | None = None) -> dict:
+    """The wire form of one upsert (client side)."""
+    backend = get_backend(backend_name)
+    body: dict[str, Any] = {
+        "schema_version": WIRE_SCHEMA_VERSION,
+        "backend": backend_name,
+        "record": backend.record_to_wire(record),
+    }
+    if obj_id is not None:
+        body["id"] = obj_id
+    return body
+
+
+def decode_upsert(body: Any) -> tuple[str, Any, int | None]:
+    """Decode a ``/upsert`` body into ``(backend, record, id)`` (server side)."""
+    backend = _decode_backend(body)
+    if "record" not in body:
+        raise WireFormatError("the request is missing 'record'")
+    try:
+        record = backend.record_from_wire(body["record"])
+    except WireFormatError:
+        raise
+    except Exception as exc:
+        raise WireFormatError(f"undecodable {backend.name!r} record: {exc}") from exc
+    return backend.name, record, _decode_object_id(body, required=False)
+
+
+def encode_delete(backend_name: str, obj_id: int) -> dict:
+    """The wire form of one delete (client side)."""
+    return {
+        "schema_version": WIRE_SCHEMA_VERSION,
+        "backend": backend_name,
+        "id": obj_id,
+    }
+
+
+def decode_delete(body: Any) -> tuple[str, int]:
+    """Decode a ``/delete`` body into ``(backend, id)`` (server side)."""
+    backend = _decode_backend(body)
+    return backend.name, _decode_object_id(body, required=True)
+
+
+def decode_compact(body: Any) -> str | None:
+    """Decode a ``/compact`` body into its optional backend name."""
+    if body is None:
+        return None
+    backend = _decode_backend(body, required=False)
+    return None if backend is None else backend.name
 
 
 def encode_response(response: Response, batch_size: int = 1) -> dict:

@@ -74,3 +74,47 @@ def test_numpy_scalars_accepted():
     query = Query(backend="hamming", payload=[0, 1], tau=np.int64(4), k=np.int64(3))
     assert query.tau == 4
     assert query.k == 3
+
+
+# ---------------------------------------------------------------------------
+# Backend-specific threshold validation (engine + wire surfaces)
+# ---------------------------------------------------------------------------
+
+
+def test_sets_zero_overlap_tau_rejected_with_clear_message(engine):
+    """``tau=0`` used to fall through to an obscure predicate error.
+
+    (Negative thresholds are already rejected by ``Query`` itself.)
+    """
+    with pytest.raises(ValueError, match="overlap threshold must be at least 1"):
+        engine.search(Query(backend="sets", payload=[1, 2], tau=0))
+
+
+@pytest.mark.parametrize("tau", [0.0])
+def test_sets_zero_jaccard_tau_rejected_with_clear_message(engine, tau):
+    with pytest.raises(ValueError, match="Jaccard threshold must be in \\(0, 1\\]"):
+        engine.search(Query(backend="sets", payload=[1, 2], tau=tau))
+
+
+def test_sets_non_integral_overlap_tau_rejected(engine):
+    with pytest.raises(ValueError, match="must be integral"):
+        engine.search(Query(backend="sets", payload=[1, 2], tau=2.5))
+
+
+def test_sets_zero_tau_rejected_at_wire_decode_time():
+    """The server rejects it as a 400 (WireFormatError), not a 500."""
+    from repro.engine.wire import WireFormatError, decode_query
+
+    with pytest.raises(WireFormatError, match="overlap threshold must be at least 1"):
+        decode_query({"backend": "sets", "payload": [1, 2], "tau": 0})
+    with pytest.raises(WireFormatError, match="Jaccard threshold"):
+        decode_query({"backend": "sets", "payload": [1, 2], "tau": 0.0})
+
+
+@pytest.mark.parametrize("name", ["hamming", "strings", "graphs"])
+def test_distance_domains_accept_zero_tau(engine, query_payloads, name):
+    """Distance 0 is a legitimate exact-match threshold outside ``sets``."""
+    response = engine.search(
+        Query(backend=name, payload=query_payloads[name][0], tau=0, algorithm="linear")
+    )
+    assert response.tau_effective == 0

@@ -1,0 +1,97 @@
+"""429/503 handling must survive missing or malformed ``Retry-After`` headers."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.engine.client import (
+    EngineClient,
+    ServerBusyError,
+    ServerUnavailableError,
+    parse_retry_after,
+)
+
+
+@pytest.mark.parametrize(
+    ("value", "expected"),
+    [
+        (None, None),
+        ("", None),
+        ("0", 0.0),
+        ("1.5", 1.5),
+        ("120", 120.0),
+        ("soon", None),  # free-text garbage
+        ("Wed, 21 Oct 2026 07:28:00 GMT", None),  # the HTTP-date form
+        ("-3", None),  # negative hints are meaningless
+        ("nan", None),
+    ],
+)
+def test_parse_retry_after(value, expected):
+    parsed = parse_retry_after(value)
+    if expected is None:
+        assert parsed is None
+    else:
+        assert parsed == expected
+
+
+def _canned_server(response: bytes) -> tuple[str, int, threading.Thread]:
+    """One-shot TCP server answering any request with a fixed response."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+
+    def serve() -> None:
+        connection, _addr = listener.accept()
+        connection.recv(65536)
+        connection.sendall(response)
+        connection.close()
+        listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return host, port, thread
+
+
+def _respond(status_line: str, headers: list[str], body: bytes) -> bytes:
+    lines = [status_line, f"Content-Length: {len(body)}", "Connection: close", *headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def test_busy_error_with_malformed_retry_after_degrades_to_none():
+    body = b'{"error": "too busy"}'
+    host, port, thread = _canned_server(
+        _respond("HTTP/1.1 429 Too Many Requests", ["Retry-After: soon"], body)
+    )
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0)
+    with pytest.raises(ServerBusyError) as excinfo:
+        client.search("strings", "x", tau=1)
+    assert excinfo.value.retry_after is None
+    thread.join(timeout=5)
+
+
+def test_unavailable_error_with_missing_retry_after_degrades_to_none():
+    body = b'{"error": "draining"}'
+    host, port, thread = _canned_server(
+        _respond("HTTP/1.1 503 Service Unavailable", [], body)
+    )
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0)
+    with pytest.raises(ServerUnavailableError) as excinfo:
+        client.search("strings", "x", tau=1)
+    assert excinfo.value.retry_after is None
+    thread.join(timeout=5)
+
+
+def test_busy_error_with_numeric_retry_after_still_parses():
+    body = b'{"error": "too busy"}'
+    host, port, thread = _canned_server(
+        _respond("HTTP/1.1 429 Too Many Requests", ["Retry-After: 2.5"], body)
+    )
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0)
+    with pytest.raises(ServerBusyError) as excinfo:
+        client.search("strings", "x", tau=1)
+    assert excinfo.value.retry_after == 2.5
+    thread.join(timeout=5)

@@ -133,3 +133,125 @@ def test_engine_results_match_direct_searchers(engine, datasets, query_payloads)
         served = engine.search(Query(backend="hamming", payload=payload, tau=16, chain_length=3))
         assert served.ids == list(direct.results)
         assert served.num_candidates == direct.num_candidates
+
+
+# ---------------------------------------------------------------------------
+# Canonical cache keys: semantically equal payloads must share one entry
+# ---------------------------------------------------------------------------
+
+
+def test_cache_key_canonical_for_token_set_payloads(engine, query_payloads, taus):
+    """list / set / frozenset / duplicated-token payloads hit one entry."""
+    tokens = list(query_payloads["sets"][0])
+    first = engine.search(Query(backend="sets", payload=tokens, tau=taus["sets"]))
+    for variant in (set(tokens), frozenset(tokens), tokens + tokens[:1], tuple(tokens)):
+        response = engine.search(Query(backend="sets", payload=variant, tau=taus["sets"]))
+        assert response.cached, f"payload variant {type(variant).__name__} missed the cache"
+        assert response.ids == first.ids
+
+
+def test_cache_key_canonical_for_numpy_vector_payloads(engine, query_payloads, taus):
+    import numpy as np
+
+    vector = np.asarray(query_payloads["hamming"][0], dtype=np.uint8)
+    first = engine.search(Query(backend="hamming", payload=vector, tau=taus["hamming"]))
+    for variant in (
+        [int(bit) for bit in vector],
+        vector.astype(np.int64),
+        vector.astype(bool),
+    ):
+        response = engine.search(Query(backend="hamming", payload=variant, tau=taus["hamming"]))
+        assert response.cached, f"payload dtype {type(variant).__name__} missed the cache"
+        assert response.ids == first.ids
+
+
+def test_cache_key_canonical_for_graph_payloads(engine, query_payloads, taus):
+    """The same graph assembled in a different insertion order must hit."""
+    from repro.graphs.graph import Graph
+
+    graph = query_payloads["graphs"][0]
+    reordered = Graph()
+    for vertex in reversed(graph.vertices):
+        reordered.add_vertex(vertex, graph.vertex_label(vertex))
+    for u, v, label in reversed(graph.edges()):
+        reordered.add_edge(v, u, label)  # swapped endpoints: same edge
+    first = engine.search(Query(backend="graphs", payload=graph, tau=taus["graphs"]))
+    response = engine.search(Query(backend="graphs", payload=reordered, tau=taus["graphs"]))
+    assert response.cached
+    assert response.ids == first.ids
+
+
+def test_cache_key_canonical_for_string_payloads(engine, query_payloads, taus):
+    payload = query_payloads["strings"][0]
+    first = engine.search(Query(backend="strings", payload=payload, tau=taus["strings"]))
+    response = engine.search(Query(backend="strings", payload=str(payload), tau=taus["strings"]))
+    assert response.cached
+    assert response.ids == first.ids
+
+
+# ---------------------------------------------------------------------------
+# Cache invalidation: mutations and store replacement evict stale state
+# ---------------------------------------------------------------------------
+
+
+def test_mutation_evicts_stale_cached_responses(engine, query_payloads, taus):
+    payload = query_payloads["strings"][0]
+    query = Query(backend="strings", payload=payload, tau=taus["strings"])
+    engine.search(query)
+    assert engine.search(query).cached
+    new_id = engine.upsert("strings", str(payload))  # an exact match, distance 0
+    refreshed = engine.search(query)
+    assert not refreshed.cached, "a cached Response survived an upsert"
+    assert new_id in refreshed.ids
+    engine.delete("strings", new_id)
+    after_delete = engine.search(query)
+    assert not after_delete.cached, "a cached Response survived a delete"
+    assert new_id not in after_delete.ids
+
+
+def test_mutation_keeps_other_backends_cached(engine, query_payloads, taus):
+    """Invalidation is per backend, not a global cache wipe."""
+    strings_query = Query(
+        backend="strings", payload=query_payloads["strings"][0], tau=taus["strings"]
+    )
+    hamming_query = Query(
+        backend="hamming", payload=query_payloads["hamming"][0], tau=taus["hamming"]
+    )
+    engine.search(strings_query)
+    engine.search(hamming_query)
+    engine.upsert("strings", "brand new record")
+    assert not engine.search(strings_query).cached
+    assert engine.search(hamming_query).cached
+
+
+def test_store_replacement_evicts_responses_and_searchers(query_payloads, taus):
+    """Replacing a dataset drops both cached Responses and stale searchers."""
+    from repro.strings import StringDataset
+
+    engine = SearchEngine(cache_size=32)
+    engine.add_dataset("strings", StringDataset(["alpha", "beta", "gamma"], kappa=2))
+    query = Query(backend="strings", payload="alpha", tau=0, algorithm="linear")
+    assert engine.search(query).ids == [0]
+    assert engine.search(query).cached
+    engine.add_dataset("strings", StringDataset(["delta", "alpha"], kappa=2))
+    refreshed = engine.search(query)
+    # A stale searcher would still scan the old record list; a stale cache
+    # entry would replay [0].  Both must be gone.
+    assert not refreshed.cached
+    assert refreshed.ids == [1]
+
+
+def test_compaction_evicts_stale_searchers(engine, query_payloads, taus):
+    """After compact the main store changed: searchers must be rebuilt."""
+    payload = query_payloads["sets"][0]
+    query = Query(backend="sets", payload=payload, tau=taus["sets"])
+    before = engine.search(query)
+    doomed = min(before.ids, default=0)
+    engine.delete("sets", doomed)
+    engine.compact("sets")
+    after = engine.search(query)
+    # Compaction shifts main positions: a stale searcher would emit wrong
+    # ids, and a stale cache entry would replay the pre-delete answer.
+    assert not after.cached
+    assert doomed not in after.ids
+    assert sorted(after.ids) == sorted(obj_id for obj_id in before.ids if obj_id != doomed)

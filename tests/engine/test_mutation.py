@@ -1,0 +1,372 @@
+"""Online mutation: delta/tombstone overlays must be invisible to answers.
+
+The contract under test: after *any* interleaving of upserts and deletes,
+threshold and top-k answers are byte-identical (ids and scores) to an index
+rebuilt from scratch over the surviving records -- per domain, unsharded and
+2-shard, in-process and over HTTP through :class:`EngineClient`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.datasets.molecules import aids_like
+from repro.engine import Query, SearchEngine
+from repro.engine.client import EngineClient
+from repro.engine.mutation import DeltaStore
+from repro.engine.server import ServerThread
+from repro.engine.sharding import ShardedEngine, build_shards
+from repro.graphs import GraphDataset
+from repro.hamming import BinaryVectorDataset
+from repro.sets import SetDataset
+from repro.strings import StringDataset
+
+DOMAINS = ("hamming", "sets", "strings", "graphs")
+
+#: Threshold / top-k parameters per domain (graphs kept small: exact GED).
+PARAMS = {
+    "hamming": dict(tau=16, k=5),
+    "sets": dict(tau=0.6, k=4),
+    "strings": dict(tau=2, k=4),
+    "graphs": dict(tau=2, k=3),
+}
+
+
+# ---------------------------------------------------------------------------
+# Record generation and reference rebuilds
+# ---------------------------------------------------------------------------
+
+
+def _record_pool(domain: str, rng: random.Random, datasets):
+    """An endless stream of fresh records for one domain.
+
+    Graph records are drawn from the same clustered family as the dataset:
+    top-k escalation over graphs is exponential in the threshold, so the
+    queries must keep near neighbours for the ladder to stop early -- the
+    same property the serving workloads have.
+    """
+    if domain == "hamming":
+        while True:
+            yield np.array([rng.randint(0, 1) for _ in range(64)], dtype=np.uint8)
+    elif domain == "sets":
+        while True:
+            yield [rng.randint(0, 80) for _ in range(rng.randint(2, 9))]
+    elif domain == "strings":
+        alphabet = "abcdefghij"
+        while True:
+            yield "".join(rng.choice(alphabet) for _ in range(rng.randint(3, 12)))
+    else:
+        graphs = [graph.copy() for graph in datasets["graphs"].graphs]
+        graphs += aids_like(num_graphs=12, num_queries=1, seed=909).graphs
+        while True:
+            yield graphs[rng.randrange(len(graphs))]
+
+
+def _initial_records(domain: str, datasets) -> list:
+    store = datasets[domain]
+    if domain == "hamming":
+        return [np.array(row, dtype=np.uint8) for row in store.vectors]
+    if domain == "sets":
+        return [list(record) for record in store.raw_records]
+    if domain == "strings":
+        return list(store.records)
+    return list(store.graphs)
+
+
+def _rebuild(domain: str, records: dict) -> tuple[SearchEngine, list[int]]:
+    """A from-scratch engine over the surviving records, plus the id map.
+
+    The rebuilt dataset is dense (ids ``0..m-1``); ``live`` maps its dense
+    ids back to the mutated engine's sparse external ids.  The map is
+    monotone, so ``(score, id)`` tie-breaking agrees between the two.
+    """
+    live = sorted(records)
+    rows = [records[obj_id] for obj_id in live]
+    if domain == "hamming":
+        dataset = BinaryVectorDataset(np.asarray(rows, dtype=np.uint8), num_parts=4)
+    elif domain == "sets":
+        dataset = SetDataset(rows, num_classes=4)
+    elif domain == "strings":
+        dataset = StringDataset(rows, kappa=2)
+    else:
+        dataset = GraphDataset(rows)
+    engine = SearchEngine(cache_size=0)
+    engine.add_dataset(domain, dataset)
+    return engine, live
+
+
+def _apply_random_mutations(
+    target, domain: str, records: dict, rng: random.Random, datasets, steps: int = 55
+) -> dict:
+    """Drive ``steps`` random upserts/deletes; returns the surviving records.
+
+    ``target`` is anything with the uniform mutation surface -- a
+    :class:`SearchEngine`, a :class:`ShardedEngine`, or an
+    :class:`EngineClient` (whose methods take the backend name first too).
+    """
+    pool = _record_pool(domain, rng, datasets)
+    next_id = max(records, default=-1) + 1
+    for _ in range(steps):
+        action = rng.random()
+        if action < 0.5 or not records:
+            record = next(pool)
+            assigned = target.upsert(domain, record)
+            assert assigned == next_id
+            records[assigned] = record
+            next_id += 1
+        elif action < 0.75:
+            obj_id = rng.choice(sorted(records))
+            record = next(pool)
+            assert target.upsert(domain, record, obj_id) == obj_id
+            records[obj_id] = record
+        else:
+            obj_id = rng.choice(sorted(records))
+            assert target.delete(domain, obj_id) is True
+            del records[obj_id]
+    return records
+
+
+def _seed_topk_neighbours(target, domain: str, payloads, records: dict) -> dict:
+    """Guarantee every graph query keeps ``k`` near neighbours.
+
+    Exact GED escalation is exponential in the threshold: if the random
+    mutations wipe out a query's cluster, top-k walks the ladder to the
+    escalation cap and a unit test turns into minutes of branch-and-bound.
+    Upserting ``k`` copies of each query pins the ladder to its first rung
+    -- and exercises delta/main tie-breaking on equal scores as a bonus.
+    In a sharded engine every shard walks its *own* ladder, so the copies
+    are spread over the id space: ``k`` overwrites of low (first-shard) ids
+    plus ``k`` appends (which route to the last shard).
+    """
+    if domain != "graphs":
+        return records
+    k = PARAMS["graphs"]["k"]
+    for index, payload in enumerate(payloads):
+        for low_id in range(index * k, index * k + k):
+            assert target.upsert(domain, payload.copy(), low_id) == low_id
+            records[low_id] = payload.copy()
+        for _ in range(k):
+            assigned = target.upsert(domain, payload.copy())
+            records[assigned] = payload.copy()
+    return records
+
+
+def _assert_matches_rebuild(engine, client, domain, payloads, records) -> None:
+    """Threshold + top-k answers equal a from-scratch rebuild, both surfaces."""
+    reference, live = _rebuild(domain, records)
+    tau, k = PARAMS[domain]["tau"], PARAMS[domain]["k"]
+    taus = [tau, 2] if domain == "sets" else [tau]  # cover overlap taus too
+    for payload in payloads:
+        for threshold in taus:
+            mutated = engine.search(Query(backend=domain, payload=payload, tau=threshold))
+            expected = reference.search(Query(backend=domain, payload=payload, tau=threshold))
+            expected_ids = sorted(live[dense] for dense in expected.ids)
+            assert mutated.ids == expected_ids
+            if client is not None:
+                served = client.search(domain, payload, tau=threshold)
+                assert served.ids == expected_ids
+        mutated = engine.search(Query(backend=domain, payload=payload, k=k))
+        expected = reference.search(Query(backend=domain, payload=payload, k=k))
+        assert mutated.ids == [live[dense] for dense in expected.ids]
+        assert mutated.scores == expected.scores
+        if client is not None:
+            served = client.search_topk(domain, payload, k=k)
+            assert served.ids == mutated.ids
+            assert served.scores == mutated.scores
+
+
+# ---------------------------------------------------------------------------
+# The equivalence matrix: 4 domains x {plain, 2-shard} x {in-process, HTTP}
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_mutated_plain_engine_matches_rebuild(domain, datasets, query_payloads):
+    """Unsharded: mutations over HTTP, answers checked on both surfaces."""
+    rng = random.Random(42)
+    engine = SearchEngine(cache_size=64)
+    engine.add_dataset(domain, datasets[domain])
+    records = dict(enumerate(_initial_records(domain, datasets)))
+    with ServerThread(engine) as handle:
+        client = EngineClient(handle.url)
+        # Mutations travel through POST /upsert and /delete for real.
+        records = _apply_random_mutations(client, domain, records, rng, datasets)
+        records = _seed_topk_neighbours(client, domain, query_payloads[domain], records)
+        _assert_matches_rebuild(engine, client, domain, query_payloads[domain], records)
+        # Compaction must not change a single answer.
+        summary = engine.compact(domain)
+        assert summary["compacted"] is True
+        assert summary["delta_records"] == 0 and summary["num_tombstones"] == 0
+        _assert_matches_rebuild(engine, client, domain, query_payloads[domain], records)
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_mutated_sharded_engine_matches_rebuild(domain, datasets, query_payloads, tmp_path):
+    """2-shard: mutations route to the owning shard; answers on both surfaces."""
+    rng = random.Random(1234)
+    directory = str(tmp_path / f"{domain}-shards")
+    build_shards(domain, datasets[domain], directory, 2)
+    records = dict(enumerate(_initial_records(domain, datasets)))
+    with ShardedEngine(directory, cache_size=16) as engine:
+        records = _apply_random_mutations(engine, domain, records, rng, datasets)
+        records = _seed_topk_neighbours(engine, domain, query_payloads[domain], records)
+        with ServerThread(engine) as handle:
+            client = EngineClient(handle.url)
+            _assert_matches_rebuild(engine, client, domain, query_payloads[domain], records)
+        # Per-shard compaction preserves every answer as well.
+        engine.compact(domain)
+        _assert_matches_rebuild(engine, None, domain, query_payloads[domain], records)
+
+
+# ---------------------------------------------------------------------------
+# Persistence: delta + tombstones survive save/load and flush/reload
+# ---------------------------------------------------------------------------
+
+
+def test_plain_container_roundtrips_live_delta(engine, query_payloads, tmp_path):
+    directory = str(tmp_path / "sets-idx")
+    engine.upsert("sets", [1, 2, 3, 4])
+    engine.delete("sets", 0)
+    manifest = engine.save_index("sets", directory)
+    assert manifest["format_version"] == 2
+    assert manifest["mutations"]["delta_records"] == 1
+    restored = SearchEngine(cache_size=0)
+    restored.load_index(directory)
+    assert restored.mutation_info("sets") == engine.mutation_info("sets")
+    for payload in query_payloads["sets"]:
+        query = Query(backend="sets", payload=payload, tau=0.5)
+        assert restored.search(query).ids == engine.search(query).ids
+    # Ids keep advancing from the persisted high-water mark.
+    assert restored.upsert("sets", [9, 9, 1]) == engine.delta("sets").next_id
+
+
+def test_unmutated_container_stays_format_v1(engine, tmp_path):
+    directory = str(tmp_path / "v1-idx")
+    manifest = engine.save_index("strings", directory)
+    assert manifest["format_version"] == 1
+    assert "mutations" not in manifest
+
+
+def test_sharded_flush_reloads_mutations(datasets, query_payloads, tmp_path):
+    directory = str(tmp_path / "strings-shards")
+    build_shards("strings", datasets["strings"], directory, 2)
+    rng = random.Random(7)
+    records = dict(enumerate(_initial_records("strings", datasets)))
+    with ShardedEngine(directory) as engine:
+        records = _apply_random_mutations(engine, "strings", records, rng, datasets, steps=30)
+        manifest = engine.flush()
+        assert manifest["format_version"] == 2
+        next_id = engine.mutation_info()["next_id"]
+    with ShardedEngine(directory) as restored:
+        _assert_matches_rebuild(restored, None, "strings", query_payloads["strings"], records)
+        assert restored.upsert("strings", "freshly appended") == next_id
+
+
+# ---------------------------------------------------------------------------
+# DeltaStore unit behaviour and validation
+# ---------------------------------------------------------------------------
+
+
+def test_delta_store_upsert_delete_lifecycle():
+    delta = DeltaStore.fresh(3)
+    assert delta.is_identity and delta.num_live == 3
+    delta, assigned = delta.with_upsert("new")
+    assert assigned == 3 and delta.num_live == 4 and delta.mutated
+    delta, assigned = delta.with_upsert("overwrite", 1)
+    assert assigned == 1
+    assert 1 in delta.tombstones and delta.records[1] == "overwrite"
+    assert delta.num_live == 4  # overwrite does not change the population
+    delta, deleted = delta.with_delete(3)
+    assert deleted and delta.num_live == 3
+    same, deleted = delta.with_delete(3)
+    assert not deleted and same is delta  # double delete: no-op, same overlay
+    ids, rows = delta.live_records(["a", "b", "c"])
+    assert ids == [0, 1, 2] and rows == ["a", "overwrite", "c"]
+
+
+def test_upsert_rejects_invalid_records(engine):
+    with pytest.raises(ValueError, match="dimension"):
+        engine.upsert("hamming", np.zeros(7, dtype=np.uint8))
+    with pytest.raises(ValueError, match="token"):
+        engine.upsert("sets", 17)
+    with pytest.raises(ValueError, match="at least one token"):
+        engine.upsert("sets", [])
+    with pytest.raises(ValueError, match="string"):
+        engine.upsert("strings", 42)
+    with pytest.raises(ValueError, match="Graph"):
+        engine.upsert("graphs", "not a graph")
+    with pytest.raises(ValueError, match="non-negative"):
+        engine.upsert("strings", "fine", -3)
+
+
+def test_delete_of_unknown_id_is_false(engine):
+    assert engine.delete("strings", 10**6) is False
+    assert engine.mutation_info("strings")["mutated"] is False
+
+
+def test_compact_refuses_to_empty_a_store():
+    engine = SearchEngine()
+    engine.add_dataset("strings", StringDataset(["solo"], kappa=2))
+    engine.delete("strings", 0)
+    with pytest.raises(ValueError, match="zero live"):
+        engine.compact("strings")
+    # The tombstoned store still answers (with nothing) instead of crashing.
+    assert engine.search(Query(backend="strings", payload="solo", tau=1)).ids == []
+
+
+def test_compact_without_mutations_is_a_noop(engine):
+    summary = engine.compact("hamming")
+    assert summary["compacted"] is False
+
+
+def test_mutation_requires_a_mutable_backend(engine):
+    from repro.engine.backend import Backend, register_backend
+
+    class Immutable(Backend):
+        name = "immutable-test"
+
+        def describe(self, store):
+            return {"num_objects": 1}
+
+        def default_tau(self, store):
+            return 1
+
+        def query_key(self, payload):
+            return str(payload)
+
+        def make_searcher(self, store, algorithm, tau, chain_length):
+            raise NotImplementedError
+
+        def distance(self, store, payload, obj_id, tau):
+            raise NotImplementedError
+
+        def tau_ladder(self, store, payload, start, max_size=None):
+            return [1]
+
+        def save_store(self, store, directory):
+            raise NotImplementedError
+
+        def load_store(self, directory):
+            raise NotImplementedError
+
+        def save_queries(self, queries, directory):
+            raise NotImplementedError
+
+        def load_queries(self, directory):
+            return None
+
+        def make_workload(self, size, num_queries, seed):
+            raise NotImplementedError
+
+    from repro.engine import backend as backend_module
+
+    register_backend(Immutable(), replace=True)
+    try:
+        engine.add_dataset("immutable-test", object())
+        with pytest.raises(NotImplementedError, match="does not support online mutation"):
+            engine.upsert("immutable-test", object())
+    finally:
+        backend_module._REGISTRY.pop("immutable-test", None)
