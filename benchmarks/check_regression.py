@@ -9,10 +9,23 @@ against the candidate report produced by ``benchmarks/run_all.py``:
   relative to the baseline,
 * the HTTP ``served`` profile (when both reports carry one) must not lose
   more than ``--tolerance`` of its achieved QPS at any concurrency level,
-  and
 * the ``mutation`` profile (when both reports carry one) must keep
   compaction answer-preserving and must not lose more than ``--tolerance``
-  of its query throughput under write load.
+  of its query throughput under write load, and
+* the ``pipeline`` profile (when both reports carry one) must keep the
+  columnar ids identical to the scalar reference, must not lose more than
+  ``--tolerance`` of the columnar (``ring``) throughput, and -- on the
+  sets and strings domains, whose kernels are the point of the columnar
+  rewrite -- must keep the same-hardware columnar-vs-scalar speedup above
+  ``--speedup-floor`` (a scalar-loop regression in the kernels drags that
+  ratio towards 1x and fails the build even when absolute throughput
+  noise would mask it).
+
+``--pipeline-only`` gates just the ``pipeline`` section and only its
+hardware-independent checks (agreement + speedup ratio, not absolute
+QPS -- the committed baseline was measured on different hardware than
+the CI runner); CI's kernel micro-bench smoke pairs it with
+``run_all.py --pipeline-only``.
 
 Throughput is hardware-dependent; each report's ``hardware`` block records
 the ``cpu_count`` it was measured on, and the tolerance absorbs
@@ -39,7 +52,13 @@ def load_report(path: str) -> dict:
         return json.load(handle)
 
 
-def compare(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
+def compare(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float,
+    speedup_floor: float = 0.0,
+    pipeline_only: bool = False,
+) -> list[str]:
     """All gate violations, as human-readable messages (empty means pass)."""
     failures: list[str] = []
     base_schema = baseline.get("schema_version")
@@ -49,6 +68,15 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
             f"schema mismatch: baseline v{base_schema} vs candidate v{cand_schema}; "
             f"regenerate the baseline with benchmarks/run_all.py"
         ]
+    if pipeline_only:
+        # The kernel-smoke gate runs on arbitrary CI hardware against the
+        # committed baseline, so only the hardware-independent checks apply:
+        # columnar/scalar agreement and the same-machine speedup ratio.
+        # Absolute pipeline throughput is gated by the full compare, which
+        # CI pairs with a runner-measured baseline.
+        return compare_pipeline(
+            baseline, candidate, tolerance, speedup_floor, gate_throughput=False
+        )
     for domain, base_section in baseline.get("domains", {}).items():
         cand_section = candidate.get("domains", {}).get(domain)
         if cand_section is None:
@@ -75,6 +103,59 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
                 )
     failures.extend(compare_served(baseline, candidate, tolerance))
     failures.extend(compare_mutation(baseline, candidate, tolerance))
+    failures.extend(compare_pipeline(baseline, candidate, tolerance, speedup_floor))
+    return failures
+
+
+#: Domains whose columnar-vs-scalar speedup is gated (the acceptance target
+#: of the columnar rewrite); graphs' hot loop is the per-pair isomorphism,
+#: so its ratio is reported but not gated.
+SPEEDUP_GATED_DOMAINS = ("sets", "strings")
+
+
+def compare_pipeline(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float,
+    speedup_floor: float,
+    gate_throughput: bool = True,
+) -> list[str]:
+    """Gate the columnar pipeline: agreement, throughput, kernel speedup."""
+    base_pipeline = baseline.get("pipeline", {}).get("domains", {})
+    if not base_pipeline:
+        return []  # old baseline without a pipeline profile: nothing to gate
+    failures: list[str] = []
+    cand_pipeline = candidate.get("pipeline", {}).get("domains", {})
+    for domain, base_entry in base_pipeline.items():
+        cand_entry = cand_pipeline.get(domain)
+        if cand_entry is None:
+            failures.append(f"pipeline {domain}: missing from the candidate report")
+            continue
+        if not cand_entry.get("results_agree", False):
+            failures.append(
+                f"pipeline {domain}: columnar ids diverged from the scalar reference"
+            )
+        base_qps = base_entry.get("algorithms", {}).get("ring", {}).get("throughput_qps", 0.0)
+        cand_qps = cand_entry.get("algorithms", {}).get("ring", {}).get("throughput_qps", 0.0)
+        floor = base_qps * (1.0 - tolerance)
+        if gate_throughput and cand_qps < floor:
+            drop = 1.0 - cand_qps / base_qps if base_qps else 1.0
+            failures.append(
+                f"pipeline {domain}: columnar throughput dropped {drop:.0%} "
+                f"({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
+            )
+        if (
+            speedup_floor > 0.0
+            and domain in SPEEDUP_GATED_DOMAINS
+            and base_entry.get("speedup_columnar_vs_scalar") is not None
+        ):
+            speedup = cand_entry.get("speedup_columnar_vs_scalar", 0.0)
+            if speedup < speedup_floor:
+                failures.append(
+                    f"pipeline {domain}: columnar-vs-scalar speedup fell to "
+                    f"{speedup:.2f}x (floor {speedup_floor:.2f}x) -- a scalar-loop "
+                    f"regression in the kernels"
+                )
     return failures
 
 
@@ -147,13 +228,35 @@ def main(argv: list[str] | None = None) -> int:
         default=0.30,
         help="maximum tolerated fractional throughput drop (default 0.30)",
     )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=1.5,
+        help=(
+            "minimum columnar-vs-scalar pipeline speedup on sets/strings "
+            "(default 1.5; 0 disables the gate)"
+        ),
+    )
+    parser.add_argument(
+        "--pipeline-only",
+        action="store_true",
+        help="gate only the pipeline section (CI kernel micro-bench smoke)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be within [0, 1)")
+    if args.speedup_floor < 0.0:
+        parser.error("--speedup-floor must be non-negative")
 
     baseline = load_report(args.baseline)
     candidate = load_report(args.candidate)
-    failures = compare(baseline, candidate, args.tolerance)
+    failures = compare(
+        baseline,
+        candidate,
+        args.tolerance,
+        speedup_floor=args.speedup_floor,
+        pipeline_only=args.pipeline_only,
+    )
 
     base_cpus = baseline.get("hardware", {}).get("cpu_count")
     cand_cpus = candidate.get("hardware", {}).get("cpu_count")
@@ -201,6 +304,25 @@ def main(argv: list[str] | None = None) -> int:
                 f"({delta})  p99 {entry.get('p99_ms', 0.0):.2f} ms  "
                 f"batch {entry.get('avg_batch_size', 0.0):.2f}"
             )
+    for domain, entry in sorted(candidate.get("pipeline", {}).get("domains", {}).items()):
+        base = baseline.get("pipeline", {}).get("domains", {}).get(domain, {})
+        ring = entry.get("algorithms", {}).get("ring", {})
+        base_qps = base.get("algorithms", {}).get("ring", {}).get("throughput_qps")
+        delta = (
+            f"{ring.get('throughput_qps', 0.0) / base_qps - 1.0:+.0%} vs baseline"
+            if base_qps
+            else "no baseline"
+        )
+        speedup = entry.get("speedup_columnar_vs_scalar")
+        speedup_text = f"columnar {speedup:.2f}x vs scalar  " if speedup is not None else ""
+        print(
+            f"[{domain:>8} pipeline] {ring.get('throughput_qps', 0.0):>8.1f} q/s "
+            f"({delta})  {speedup_text}"
+            f"funnel {ring.get('avg_generated_candidates', 0.0):.1f} -> "
+            f"{ring.get('avg_verified_candidates', 0.0):.1f} -> "
+            f"{ring.get('avg_results', 0.0):.1f}  "
+            f"agree={entry.get('results_agree')}"
+        )
     for domain, entry in sorted(candidate.get("mutation", {}).get("domains", {}).items()):
         base = baseline.get("mutation", {}).get("domains", {}).get(domain, {})
         base_qps = base.get("queries_per_s_under_writes")

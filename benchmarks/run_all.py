@@ -13,11 +13,19 @@ For every domain (Hamming, sets, strings, graphs) this runner
    subprocess (``python -m repro.engine serve``) over each domain's index
    and drives it with the closed-loop load generator at concurrency 1 and
    8, recording achieved QPS, p50/p95/p99 latency and the observed
-   micro-batch coalescing under a ``served`` section, and
+   micro-batch coalescing under a ``served`` section,
 6. (unless ``--no-mutation``) replays the query workload while a writer
    interleaves upserts and deletes, recording query latency and
    throughput **under write load** plus compaction cost under a
-   ``mutation`` section -- and asserts that compaction changes no answer.
+   ``mutation`` section -- and asserts that compaction changes no answer,
+   and
+7. (unless ``--no-pipeline``) runs the threshold workload through the
+   columnar candidate pipeline (algorithm ``ring``) and the retained
+   scalar searchers (``ring-scalar``) back to back on the same engine,
+   recording per-algorithm throughput, the filter-vs-verify candidate
+   funnel and per-stage timings under a ``pipeline`` section -- asserting
+   the two return identical ids.  ``--pipeline-only`` runs just this
+   section (the CI kernel micro-bench smoke).
 
 The single schema-versioned report (``benchmarks/BENCH_all.json`` by
 default) carries throughput, latency percentiles, merge overhead and
@@ -76,6 +84,71 @@ SERVED_CONCURRENCY = (1, 8)
 #: applies one upsert (and, every third round, one delete) and then replays
 #: the whole query workload, so the delta store grows as the run proceeds.
 MUTATION_ROUNDS = {"ci": 24, "full": 80}
+
+#: Algorithms compared by the ``pipeline`` section; domains that retain no
+#: scalar ring (Hamming was always vectorised) report only ``ring``.
+PIPELINE_ALGORITHMS = ("ring", "ring-scalar")
+
+
+def bench_pipeline(name: str, config: dict) -> dict:
+    """Columnar vs scalar threshold search on one in-process engine.
+
+    Both algorithms answer the identical workload on the same store, so the
+    throughput ratio is a same-hardware measurement of the columnar
+    kernels; per-stage timings and the candidate funnel (generated ->
+    verified -> results) come from the engine's per-backend stats.
+    """
+    backend = get_backend(name)
+    dataset, payloads = backend.make_workload(config["size"], config["num_queries"], config["seed"])
+    engine = SearchEngine(cache_size=0)
+    store = engine.add_dataset(name, dataset)
+    tau = backend.default_tau(store)
+    algorithms = [
+        algorithm for algorithm in PIPELINE_ALGORITHMS if algorithm in backend.algorithms
+    ]
+    section: dict = {
+        "tau": tau,
+        "num_objects": backend.store_size(store),
+        "num_queries": len(payloads),
+        "repeat": config["repeat"],
+        "algorithms": {},
+    }
+    ids_by_algorithm: dict[str, list] = {}
+    for algorithm in algorithms:
+        queries = [
+            Query(backend=name, payload=payload, tau=tau, algorithm=algorithm)
+            for payload in payloads
+        ]
+        engine.search(queries[0])  # searcher construction is not serving
+        engine.reset_stats()
+        responses: list = []
+        timer = Timer()
+        for _ in range(config["repeat"]):
+            responses = [engine.search(query) for query in queries]
+        wall = timer.elapsed()
+        stats = engine.stats.snapshot()["per_backend"][name]
+        ids_by_algorithm[algorithm] = [
+            sorted(int(obj_id) for obj_id in response.ids) for response in responses
+        ]
+        section["algorithms"][algorithm] = {
+            "throughput_qps": config["repeat"] * len(queries) / wall if wall else 0.0,
+            "avg_generated_candidates": stats["avg_generated_candidates"],
+            "avg_verified_candidates": stats["avg_candidates"],
+            "avg_results": stats["avg_results"],
+            "avg_candidate_time_ms": stats["avg_candidate_time_ms"],
+            "avg_verify_time_ms": stats["avg_verify_time_ms"],
+        }
+    if len(algorithms) > 1:
+        section["results_agree"] = (
+            ids_by_algorithm["ring"] == ids_by_algorithm["ring-scalar"]
+        )
+        scalar_qps = section["algorithms"]["ring-scalar"]["throughput_qps"]
+        section["speedup_columnar_vs_scalar"] = (
+            section["algorithms"]["ring"]["throughput_qps"] / scalar_qps if scalar_qps else 0.0
+        )
+    else:
+        section["results_agree"] = True
+    return section
 
 
 def bench_domain(name: str, config: dict, shard_counts: tuple[int, ...], workdir: str) -> dict:
@@ -276,7 +349,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the query-latency-under-write-load benchmarks",
     )
+    parser.add_argument(
+        "--no-pipeline",
+        action="store_true",
+        help="skip the columnar-vs-scalar pipeline benchmarks",
+    )
+    parser.add_argument(
+        "--pipeline-only",
+        action="store_true",
+        help="run only the pipeline section (the CI kernel micro-bench smoke)",
+    )
     args = parser.parse_args(argv)
+    if args.pipeline_only and args.no_pipeline:
+        parser.error("--pipeline-only and --no-pipeline are mutually exclusive")
 
     shard_counts = tuple(int(part) for part in args.shards.split(","))
     profile = PROFILES[args.profile]
@@ -296,6 +381,8 @@ def main(argv: list[str] | None = None) -> int:
     ok = True
     with tempfile.TemporaryDirectory(prefix="bench-shards-") as workdir:
         for name in domains:
+            if args.pipeline_only:
+                break
             section = bench_domain(name, profile[name], shard_counts, workdir)
             report["domains"][name] = section
             for count, entry in section["shards"].items():
@@ -306,7 +393,31 @@ def main(argv: list[str] | None = None) -> int:
                     f"speedup {entry['speedup_vs_1_shard']:.2f}x  "
                     f"agree={entry['results_agree']}"
                 )
-        if not args.no_mutation:
+        if not args.no_pipeline:
+            report["pipeline"] = {"algorithms": list(PIPELINE_ALGORITHMS), "domains": {}}
+            for name in domains:
+                section = bench_pipeline(name, profile[name])
+                report["pipeline"]["domains"][name] = section
+                ok = ok and section["results_agree"]
+                for algorithm, entry in section["algorithms"].items():
+                    print(
+                        f"[{name:>8} pipeline {algorithm:<11}] "
+                        f"{entry['throughput_qps']:>8.1f} q/s  "
+                        f"funnel {entry['avg_generated_candidates']:>8.1f} -> "
+                        f"{entry['avg_verified_candidates']:>7.1f} -> "
+                        f"{entry['avg_results']:>6.1f}  "
+                        f"cand {entry['avg_candidate_time_ms']:>6.2f} ms  "
+                        f"verify {entry['avg_verify_time_ms']:>6.2f} ms"
+                    )
+                if "speedup_columnar_vs_scalar" in section:
+                    print(
+                        f"[{name:>8} pipeline] columnar speedup "
+                        f"{section['speedup_columnar_vs_scalar']:.2f}x  "
+                        f"agree={section['results_agree']}"
+                    )
+        if args.pipeline_only:
+            report.pop("domains", None)
+        if not args.no_mutation and not args.pipeline_only:
             report["mutation"] = {"rounds": MUTATION_ROUNDS[args.profile], "domains": {}}
             for name in domains:
                 section = bench_mutation(name, profile[name], MUTATION_ROUNDS[args.profile])
@@ -320,7 +431,7 @@ def main(argv: list[str] | None = None) -> int:
                     f"compact {section['compact_seconds']:.2f}s  "
                     f"stable={section['compact_preserves_answers']}"
                 )
-        if not args.no_served:
+        if not args.no_served and not args.pipeline_only:
             report["served"] = {
                 "levels": list(SERVED_CONCURRENCY),
                 "domains": {},
@@ -343,7 +454,10 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
     print(f"wrote {args.out}")
     if not ok:
-        print("FAIL: results diverged (sharded vs reference, or across a compaction)")
+        print(
+            "FAIL: results diverged (sharded vs reference, columnar vs "
+            "scalar, or across a compaction)"
+        )
     return 0 if ok else 1
 
 

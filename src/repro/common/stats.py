@@ -73,9 +73,20 @@ class SearchResult:
 
 @dataclass
 class QueryStats:
-    """Aggregate of :class:`SearchResult` objects over a query workload."""
+    """Aggregate of :class:`SearchResult` objects over a query workload.
+
+    ``total_generated`` counts the objects that *entered* the filter
+    pipeline (pre-chain candidates); ``total_candidates`` counts the objects
+    that survived it and reached verification.  The gap between the two is
+    what the filters earned, and the gap between ``total_candidates`` and
+    ``total_results`` is what verification still had to reject.  Searchers
+    that do not report a ``generated`` counter (the scalar baselines) fall
+    back to the candidate count, making the filter look free rather than
+    wrong.
+    """
 
     num_queries: int = 0
+    total_generated: int = 0
     total_candidates: int = 0
     total_results: int = 0
     total_candidate_time: float = 0.0
@@ -83,6 +94,11 @@ class QueryStats:
 
     def add(self, result: SearchResult) -> None:
         self.num_queries += 1
+        generated = getattr(result, "num_generated", None)
+        if generated is None:
+            extra = getattr(result, "extra", None)
+            generated = extra.get("generated") if extra else None
+        self.total_generated += result.num_candidates if generated is None else int(generated)
         self.total_candidates += result.num_candidates
         self.total_results += result.num_results
         self.total_candidate_time += result.candidate_time
@@ -94,6 +110,10 @@ class QueryStats:
         for result in results:
             stats.add(result)
         return stats
+
+    @property
+    def avg_generated(self) -> float:
+        return self.total_generated / self.num_queries if self.num_queries else 0.0
 
     @property
     def avg_candidates(self) -> float:
@@ -108,6 +128,10 @@ class QueryStats:
         return (
             self.total_candidate_time / self.num_queries if self.num_queries else 0.0
         )
+
+    @property
+    def avg_verify_time(self) -> float:
+        return self.total_verify_time / self.num_queries if self.num_queries else 0.0
 
     @property
     def avg_total_time(self) -> float:

@@ -43,9 +43,12 @@ class Query:
         chain_length: pigeonring chain length ``l``; ``None`` picks the
             backend's paper-tuned default.
         algorithm: which searcher family answers the query; every backend
-            understands ``ring`` (pigeonring), ``baseline`` (the paper's
-            per-domain baseline: GPH / pkwise / Pivotal / Pars) and
-            ``linear`` (brute force).  The sets backend additionally accepts
+            understands ``ring`` (pigeonring -- served by the columnar
+            candidate pipeline on the sets/strings/graphs backends),
+            ``baseline`` (the paper's per-domain baseline: GPH / pkwise /
+            Pivotal / Pars) and ``linear`` (brute force).  The sets, strings
+            and graphs backends additionally accept ``ring-scalar`` (the
+            retained scalar pigeonring reference); sets also accepts
             ``adapt`` and ``partalloc``.
     """
 
@@ -94,6 +97,9 @@ class Response:
         tau_effective: the threshold that produced the result -- the query's
             own ``tau``, or the final rung of the top-k escalation ladder.
         num_candidates: objects that reached verification (filter output).
+        num_generated: objects that *entered* the filter pipeline before the
+            chain checks (reported by the columnar searchers; ``None`` when
+            the searcher does not track it).
         candidate_time / verify_time: searcher-reported seconds, as in
             :class:`repro.common.stats.SearchResult`.
         engine_time: wall-clock seconds spent inside the engine for this
@@ -106,6 +112,7 @@ class Response:
     scores: list[float] | None = None
     tau_effective: float | int | None = None
     num_candidates: int = 0
+    num_generated: int | None = None
     candidate_time: float = 0.0
     verify_time: float = 0.0
     engine_time: float = 0.0

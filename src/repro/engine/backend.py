@@ -232,6 +232,18 @@ class Backend(abc.ABC):
         """
         raise NotImplementedError(f"backend {self.name!r} cannot score raw records")
 
+    def record_distances(
+        self, store: Any, payload: Any, records: Sequence[Any], tau: float | int | None
+    ) -> list[float]:
+        """Rank scores for many raw records; backends override to batch.
+
+        The delta-store counterpart of :meth:`distances`: the engine scores
+        a mutated index's whole delta in one call, so backends can run their
+        vectorised kernels instead of a per-record Python loop.  Must agree
+        element-wise with :meth:`record_distance`.
+        """
+        return [self.record_distance(store, payload, record, tau) for record in records]
+
     def score_matches(self, score: float, tau: float | int) -> bool:
         """Whether a :meth:`record_distance` score satisfies threshold ``tau``.
 
@@ -239,6 +251,22 @@ class Backend(abc.ABC):
         (which negate their similarity into the score) override.
         """
         return score <= tau
+
+    def scan_records(
+        self, store: Any, payload: Any, records: Sequence[Any], tau: float | int
+    ) -> list[bool]:
+        """Which raw records satisfy threshold ``tau`` against ``payload``.
+
+        The engine's delta-store scan: like ``score_matches`` over
+        :meth:`record_distances`, but backends may override with a cheaper
+        predicate-only kernel (e.g. the banded edit-distance check, which
+        never computes distances beyond ``tau``).  Must agree with
+        ``score_matches(record_distance(...), tau)`` on every record.
+        """
+        return [
+            self.score_matches(score, tau)
+            for score in self.record_distances(store, payload, records, tau)
+        ]
 
     def record_to_wire(self, record: Any) -> Any:
         """JSON form of a data record; defaults to the payload codec."""

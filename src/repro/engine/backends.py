@@ -15,14 +15,16 @@ from typing import Any, Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.common.scratch import segment_sums, sorted_member_mask
 from repro.common.stats import SearchResult
 from repro.datasets.binary import gist_like
 from repro.datasets.molecules import aids_like
 from repro.datasets.text import imdb_like
 from repro.datasets.tokens import dblp_like
 from repro.engine.backend import Backend, register_backend
+from repro.graphs.columnar import ColumnarGraphSearcher
 from repro.graphs.dataset import GraphDataset
-from repro.graphs.ged import graph_edit_distance
+from repro.graphs.ged import ged_within, graph_edit_distance
 from repro.graphs.graph import Graph
 from repro.graphs.linear import LinearGraphSearcher
 from repro.graphs.pars import ParsSearcher
@@ -33,14 +35,16 @@ from repro.hamming.index import PartitionIndex
 from repro.hamming.linear import LinearHammingSearcher
 from repro.hamming.ring import RingHammingSearcher
 from repro.sets.adaptsearch import AdaptSearchSearcher
+from repro.sets.columnar import ColumnarSetSearcher
 from repro.sets.dataset import SetDataset
 from repro.sets.linear import LinearSetSearcher
 from repro.sets.partalloc import PartAllocSearcher
 from repro.sets.pkwise import PkwiseSearcher
 from repro.sets.ring import RingSetSearcher
 from repro.sets.similarity import JaccardPredicate, OverlapPredicate, jaccard, overlap
+from repro.strings.columnar import ColumnarStringSearcher
 from repro.strings.dataset import StringDataset
-from repro.strings.edit_distance import edit_distance
+from repro.strings.edit_distance import edit_distance, edit_distance_within
 from repro.strings.linear import LinearStringSearcher
 from repro.strings.pivotal import PivotalSearcher
 from repro.strings.ring import RingStringSearcher
@@ -166,6 +170,19 @@ class HammingBackend(Backend):
         vector = np.asarray(record, dtype=np.uint8).reshape(-1)
         return float(np.count_nonzero(query != vector))
 
+    def record_distances(
+        self,
+        store: HammingStore,
+        payload: Any,
+        records: Sequence[Any],
+        tau: float | int | None,
+    ) -> list[float]:
+        if not records:
+            return []
+        query = np.asarray(payload, dtype=np.uint8).reshape(-1)
+        matrix = np.asarray([np.asarray(record, dtype=np.uint8).reshape(-1) for record in records])
+        return np.count_nonzero(matrix != query, axis=1).astype(float).tolist()
+
     def payload_to_wire(self, payload: Any) -> list[int]:
         return [int(bit) for bit in np.asarray(payload).reshape(-1)]
 
@@ -255,7 +272,7 @@ class SetBackend(Backend):
     """Set similarity (overlap / Jaccard) over token sets (pkwise / pigeonring)."""
 
     name = "sets"
-    algorithms = ("ring", "baseline", "adapt", "partalloc", "linear")
+    algorithms = ("ring", "ring-scalar", "baseline", "adapt", "partalloc", "linear")
     mutable = True
 
     def validate_tau(self, tau: float | int) -> None:
@@ -293,6 +310,10 @@ class SetBackend(Backend):
         self.check_algorithm(algorithm)
         predicate = _set_predicate(tau)
         if algorithm == "ring":
+            # The served hot path: the columnar candidate pipeline, byte-
+            # identical to the scalar Ring searcher kept as ``ring-scalar``.
+            searcher = ColumnarSetSearcher(store, predicate, chain_length=chain_length or 2)
+        elif algorithm == "ring-scalar":
             searcher = RingSetSearcher(store, predicate, chain_length=chain_length or 2)
         elif algorithm == "baseline":
             searcher = PkwiseSearcher(store, predicate)
@@ -353,6 +374,35 @@ class SetBackend(Backend):
         if use_overlap:
             return -float(overlap(record, payload))
         return -jaccard(record, payload)
+
+    def record_distances(
+        self,
+        store: SetDataset,
+        payload: Any,
+        records: Sequence[Any],
+        tau: float | int | None,
+    ) -> list[float]:
+        # The whole delta in one kernel: every record's distinct tokens are
+        # concatenated and matched against the sorted query with a single
+        # searchsorted sweep; per-record overlaps fall out of segment sums.
+        if not records:
+            return []
+        query = np.unique(np.fromiter((int(token) for token in payload), dtype=np.int64))
+        distinct = [np.unique(np.asarray(list(record), dtype=np.int64)) for record in records]
+        sizes = np.asarray([tokens.size for tokens in distinct], dtype=np.int64)
+        flat = np.concatenate(distinct) if distinct else np.empty(0, dtype=np.int64)
+        hits = sorted_member_mask(query, flat)
+        boundaries = np.zeros(len(records) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=boundaries[1:])
+        overlaps = segment_sums(hits, boundaries)
+        use_overlap = tau is not None and isinstance(_set_predicate(tau), OverlapPredicate)
+        if use_overlap:
+            return [-float(count) for count in overlaps]
+        unions = sizes + query.size - overlaps
+        return [
+            -(int(count) / int(union)) if union else -1.0
+            for count, union in zip(overlaps, unions)
+        ]
 
     def score_matches(self, score: float, tau: float | int) -> bool:
         return -score >= float(tau)
@@ -428,6 +478,7 @@ class StringBackend(Backend):
     """Edit distance over strings (Pivotal / pigeonring)."""
 
     name = "strings"
+    algorithms = ("ring", "ring-scalar", "baseline", "linear")
     mutable = True
 
     def prepare(self, dataset: Any) -> StringDataset:
@@ -457,6 +508,8 @@ class StringBackend(Backend):
             searcher = LinearStringSearcher(store)
             return lambda payload: searcher.search(payload, tau)
         if algorithm == "ring":
+            searcher = ColumnarStringSearcher(store, tau, chain_length=chain_length)
+        elif algorithm == "ring-scalar":
             searcher = RingStringSearcher(store, tau, chain_length=chain_length)
         else:
             searcher = PivotalSearcher(store, tau)
@@ -490,6 +543,15 @@ class StringBackend(Backend):
         self, store: StringDataset, payload: Any, record: Any, tau: float | int | None
     ) -> float:
         return float(edit_distance(record, str(payload)))
+
+    def scan_records(
+        self, store: StringDataset, payload: Any, records: Sequence[Any], tau: float | int
+    ) -> list[bool]:
+        # The delta scan only needs the predicate, so the banded dynamic
+        # program (O(tau * n) with early exit) replaces full edit distances.
+        query = str(payload)
+        limit = int(tau)
+        return [edit_distance_within(record, query, limit) for record in records]
 
     def payload_from_wire(self, data: Any) -> str:
         if not isinstance(data, str):
@@ -559,6 +621,7 @@ class GraphBackend(Backend):
     """Graph edit distance over labelled graphs (Pars / pigeonring)."""
 
     name = "graphs"
+    algorithms = ("ring", "ring-scalar", "baseline", "linear")
     mutable = True
 
     def prepare(self, dataset: Any) -> GraphDataset:
@@ -595,6 +658,8 @@ class GraphBackend(Backend):
             searcher = LinearGraphSearcher(store)
             return lambda payload: searcher.search(payload, tau)
         if algorithm == "ring":
+            searcher = ColumnarGraphSearcher(store, tau, chain_length=chain_length)
+        elif algorithm == "ring-scalar":
             searcher = RingGraphSearcher(store, tau, chain_length=chain_length)
         else:
             searcher = ParsSearcher(store, tau)
@@ -638,6 +703,14 @@ class GraphBackend(Backend):
     ) -> float:
         upper = int(tau) if tau is not None else None
         return float(graph_edit_distance(record, payload, upper_bound=upper))
+
+    def scan_records(
+        self, store: GraphDataset, payload: Graph, records: Sequence[Any], tau: float | int
+    ) -> list[bool]:
+        # The delta scan only needs the predicate; ``ged_within`` prunes the
+        # branch-and-bound harder than a capped exact distance.
+        limit = int(tau)
+        return [ged_within(record, payload, limit) for record in records]
 
     def payload_to_wire(self, payload: Graph) -> dict:
         return _graph_to_json(payload)

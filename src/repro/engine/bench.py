@@ -33,7 +33,7 @@ from repro.common.stats import Timer
 from repro.engine.api import Query, Response
 
 #: Schema of every report this module emits (bump on incompatible changes).
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 
 class Servable(Protocol):

@@ -76,6 +76,9 @@ class WireResponse:
     cached: bool
     batch_size: int
     raw: dict
+    #: pre-chain-filter candidate count (None when the searcher does not
+    #: report the funnel; see Response.num_generated)
+    num_generated: int | None = None
 
     @property
     def num_results(self) -> int:
@@ -88,6 +91,7 @@ class WireResponse:
             scores=None if body.get("scores") is None else list(body["scores"]),
             tau_effective=body.get("tau_effective"),
             num_candidates=body.get("num_candidates", 0),
+            num_generated=body.get("num_generated"),
             engine_time_ms=body.get("engine_time_ms", 0.0),
             cached=body.get("cached", False),
             batch_size=body.get("batch_size", 1),

@@ -77,8 +77,14 @@ class EngineStats:
             "per_backend": {
                 name: {
                     "num_queries": stats.num_queries,
+                    # The filter-vs-verify funnel: objects that entered the
+                    # pipeline, objects that reached verification, objects
+                    # that matched -- plus where the time went per stage.
+                    "avg_generated_candidates": stats.avg_generated,
                     "avg_candidates": stats.avg_candidates,
                     "avg_results": stats.avg_results,
+                    "avg_candidate_time_ms": stats.avg_candidate_time * 1000.0,
+                    "avg_verify_time_ms": stats.avg_verify_time * 1000.0,
                     "avg_total_time_ms": stats.avg_total_time * 1000.0,
                 }
                 for name, stats in self.per_backend.items()
@@ -356,26 +362,35 @@ class SearchEngine:
         outcome = searcher(query.payload)
         ids = list(outcome.results)
         num_candidates = outcome.num_candidates
+        num_generated = outcome.extra.get("generated")
         if delta is not None and delta.mutated:
             # Map main positions to external ids, drop tombstoned objects,
-            # scan the delta exactly, and return the union sorted by id --
-            # the answer an index rebuilt from the live records would give.
+            # scan the whole delta through the backend's batched kernel, and
+            # return the union sorted by id -- the answer an index rebuilt
+            # from the live records would give.
             ids = [
                 delta.ids[position]
                 for position in ids
                 if delta.ids[position] not in delta.tombstones
             ]
-            for obj_id, record in delta.records.items():
-                score = backend.record_distance(store, query.payload, record, query.tau)
-                if backend.score_matches(score, query.tau):
-                    ids.append(obj_id)
+            if delta.records:
+                delta_ids = list(delta.records)
+                matches = backend.scan_records(
+                    store, query.payload, [delta.records[i] for i in delta_ids], query.tau
+                )
+                ids.extend(obj_id for obj_id, hit in zip(delta_ids, matches) if hit)
             num_candidates += len(delta.records)
+            if num_generated is not None:
+                # Delta records enter the pipeline unfiltered, so they count
+                # on both sides of the filter-vs-verify funnel.
+                num_generated += len(delta.records)
             ids.sort()
         return Response(
             query=query,
             ids=ids,
             tau_effective=query.tau,
             num_candidates=num_candidates,
+            num_generated=num_generated,
             candidate_time=outcome.candidate_time,
             verify_time=outcome.verify_time,
         )
@@ -394,16 +409,21 @@ class SearchEngine:
         if delta is None or not delta.mutated:
             return backend.distances(store, payload, list(ids), tau)
         scores: list[float | None] = [None] * len(ids)
+        delta_slots: list[int] = []
+        delta_records: list[Any] = []
         main_slots: list[int] = []
         main_positions: list[int] = []
         for slot, obj_id in enumerate(ids):
             if obj_id in delta.records:
-                scores[slot] = backend.record_distance(
-                    store, payload, delta.records[obj_id], tau
-                )
+                delta_slots.append(slot)
+                delta_records.append(delta.records[obj_id])
             else:
                 main_slots.append(slot)
                 main_positions.append(delta.positions[obj_id])
+        for slot, score in zip(
+            delta_slots, backend.record_distances(store, payload, delta_records, tau)
+        ):
+            scores[slot] = score
         for slot, score in zip(
             main_slots, backend.distances(store, payload, main_positions, tau)
         ):

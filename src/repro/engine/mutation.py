@@ -10,7 +10,11 @@ index *writable* the way LSM-style systems do, with a **main/delta split**:
 * a small :class:`DeltaStore` rides on top, holding
 
   - ``records`` -- freshly upserted objects, answered by an exact linear
-    scan and merged into every main answer,
+    scan (batched through the backend's vectorised
+    :meth:`repro.engine.backend.Backend.scan_records` /
+    :meth:`~repro.engine.backend.Backend.record_distances` kernels, so a
+    large delta is one kernel call, not one Python dispatch per record)
+    and merged into every main answer,
   - ``tombstones`` -- external ids whose main copy is dead (deleted, or
     shadowed by an upsert), filtered out of every main answer, and
   - ``ids`` -- the mapping from main *positions* (what the searchers emit)

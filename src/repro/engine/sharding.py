@@ -227,6 +227,7 @@ def _worker_search(query: Query) -> dict:
         ),
         "tau_effective": response.tau_effective,
         "num_candidates": response.num_candidates,
+        "num_generated": response.num_generated,
         "candidate_time": response.candidate_time,
         "verify_time": response.verify_time,
         "engine_time": response.engine_time,
@@ -603,12 +604,18 @@ class ShardedEngine:
             ids, scores = merge_topk(parts, query.k)
             tau_effective = max(part["tau_effective"] for part in parts)
         merge_time = merge_timer.elapsed()
+        generated = [part.get("num_generated") for part in parts]
         response = Response(
             query=query,
             ids=ids,
             scores=scores,
             tau_effective=tau_effective,
             num_candidates=sum(part["num_candidates"] for part in parts),
+            # The funnel counter survives the merge only when every shard
+            # reported it (scalar searchers report None).
+            num_generated=(
+                sum(generated) if all(value is not None for value in generated) else None
+            ),
             candidate_time=sum(part["candidate_time"] for part in parts),
             verify_time=sum(part["verify_time"] for part in parts),
             engine_time=elapsed + merge_time,

@@ -225,6 +225,7 @@ def encode_response(response: Response, batch_size: int = 1) -> dict:
         "tau_effective": response.tau_effective,
         "num_results": response.num_results,
         "num_candidates": response.num_candidates,
+        "num_generated": response.num_generated,
         "engine_time_ms": response.engine_time * 1000.0,
         "cached": response.cached,
         "batch_size": batch_size,

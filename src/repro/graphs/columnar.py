@@ -1,0 +1,129 @@
+"""Columnar (batch-at-a-time) pigeonring graph edit distance search.
+
+:class:`ColumnarGraphSearcher` keeps the exact semantics of
+:class:`repro.graphs.ring.RingGraphSearcher` but flattens the per-part label
+containment test -- the first and by far the widest stage of the graph
+pipeline -- into two dense count matrices over the label vocabulary of all
+parts.  One broadcasted comparison per query replaces the per-part Counter
+walks; only the parts that survive reach the (inherently per-pair) subgraph
+isomorphism and chain checks, and only candidate graphs reach the exact GED
+verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.stats import SearchResult, Timer
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.ged import ged_within
+from repro.graphs.graph import Graph
+from repro.graphs.isomorphism import min_mapping_cost
+from repro.graphs.ring import RingGraphSearcher
+
+
+class ColumnarGraphSearcher(RingGraphSearcher):
+    """Array-kernel pigeonring searcher for graph edit distance.
+
+    Args:
+        dataset: the collection of data graphs.
+        tau: the GED threshold (also fixes ``m = tau + 1``).
+        chain_length: chain length ``l``; the paper finds ``l`` in
+            ``[tau - 2, tau]`` best.
+    """
+
+    def __init__(self, dataset: GraphDataset, tau: int, chain_length: int | None = None):
+        super().__init__(dataset, tau, chain_length=chain_length)
+        self._build_columns()
+
+    def _build_columns(self) -> None:
+        """Flatten every part's label multisets into dense count matrices."""
+        vertex_vocab: dict = {}
+        edge_vocab: dict = {}
+        flat_parts: list[Graph] = []
+        owners: list[int] = []
+        indexes: list[int] = []
+        for obj_id, parts in enumerate(self._parts):
+            for index, part in enumerate(parts):
+                flat_parts.append(part)
+                owners.append(obj_id)
+                indexes.append(index)
+                for label in part.vertex_label_counts():
+                    vertex_vocab.setdefault(label, len(vertex_vocab))
+                for label in part.edge_label_counts():
+                    edge_vocab.setdefault(label, len(edge_vocab))
+        num_parts = len(flat_parts)
+        vertex_counts = np.zeros((num_parts, max(1, len(vertex_vocab))), dtype=np.int64)
+        edge_counts = np.zeros((num_parts, max(1, len(edge_vocab))), dtype=np.int64)
+        for row, part in enumerate(flat_parts):
+            for label, count in part.vertex_label_counts().items():
+                vertex_counts[row, vertex_vocab[label]] = count
+            for label, count in part.edge_label_counts().items():
+                edge_counts[row, edge_vocab[label]] = count
+        self._flat_parts = flat_parts
+        self._part_owner = np.asarray(owners, dtype=np.int64)
+        self._part_index = np.asarray(indexes, dtype=np.int64)
+        self._vertex_vocab = vertex_vocab
+        self._edge_vocab = edge_vocab
+        self._vertex_counts = vertex_counts
+        self._edge_counts = edge_counts
+
+    def _contained_parts(self, query: Graph) -> np.ndarray:
+        """Rows of every part whose label multisets fit inside the query."""
+        query_vertices = np.zeros(self._vertex_counts.shape[1], dtype=np.int64)
+        for vertex in query.vertices:
+            slot = self._vertex_vocab.get(query.vertex_label(vertex))
+            if slot is not None:
+                query_vertices[slot] += 1
+        query_edges = np.zeros(self._edge_counts.shape[1], dtype=np.int64)
+        for *_edge, label in query.edges():
+            slot = self._edge_vocab.get(label)
+            if slot is not None:
+                query_edges[slot] += 1
+        contained = (self._vertex_counts <= query_vertices).all(axis=1)
+        contained &= (self._edge_counts <= query_edges).all(axis=1)
+        return np.flatnonzero(contained)
+
+    def _candidates_columnar(self, query: Graph) -> tuple[list[int], int]:
+        """Candidate ids (ascending) plus the label-survivor graph count."""
+        rows = self._contained_parts(query)
+        if not rows.size:
+            return [], 0
+        owners = self._part_owner[rows]
+        boundaries = np.flatnonzero(np.diff(owners)) + 1
+        groups = np.split(rows, boundaries)
+        found: list[int] = []
+        for group in groups:
+            obj_id = int(self._part_owner[group[0]])
+            starts = [
+                int(self._part_index[row])
+                for row in group.tolist()
+                if min_mapping_cost(self._flat_parts[row], query, budget=0) == 0
+            ]
+            if not starts:
+                continue
+            if self._chain_length == 1 or self._passes_chain_check(obj_id, starts, query):
+                found.append(obj_id)
+        return found, len(groups)
+
+    def candidates(self, query: Graph) -> list[int]:
+        found, _generated = self._candidates_columnar(query)
+        return found
+
+    def search(self, query: Graph) -> SearchResult:
+        timer = Timer()
+        candidates, generated = self._candidates_columnar(query)
+        candidate_time = timer.restart()
+        results = [
+            obj_id
+            for obj_id in candidates
+            if ged_within(self._dataset.graph(obj_id), query, self._tau)
+        ]
+        verify_time = timer.elapsed()
+        return SearchResult(
+            results=results,
+            candidates=candidates,
+            candidate_time=candidate_time,
+            verify_time=verify_time,
+            extra={"generated": generated, "verified": len(candidates)},
+        )

@@ -17,6 +17,9 @@ Public API:
   :class:`repro.sets.similarity.JaccardPredicate` -- selection predicates.
 * :class:`repro.sets.ring.RingSetSearcher` -- the pigeonring searcher
   (``chain_length=1`` is exactly pkwise).
+* :class:`repro.sets.columnar.ColumnarSetSearcher` -- the same filter as
+  batch-at-a-time numpy kernels over CSR columns (the engine's served hot
+  path; byte-identical results).
 * :class:`repro.sets.pkwise.PkwiseSearcher` -- the pkwise baseline.
 * :class:`repro.sets.adaptsearch.AdaptSearchSearcher` -- prefix-filter
   baseline (AllPairs / PPJoin search version).
@@ -31,6 +34,7 @@ from repro.sets.dataset import SetDataset
 from repro.sets.linear import LinearSetSearcher
 from repro.sets.pkwise import PkwiseSearcher
 from repro.sets.ring import RingSetSearcher
+from repro.sets.columnar import ColumnarSetSearcher
 from repro.sets.adaptsearch import AdaptSearchSearcher
 from repro.sets.partalloc import PartAllocSearcher
 
@@ -44,6 +48,7 @@ __all__ = [
     "LinearSetSearcher",
     "PkwiseSearcher",
     "RingSetSearcher",
+    "ColumnarSetSearcher",
     "AdaptSearchSearcher",
     "PartAllocSearcher",
 ]

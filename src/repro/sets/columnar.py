@@ -1,0 +1,255 @@
+"""Columnar (batch-at-a-time) pigeonring set similarity search.
+
+:class:`ColumnarSetSearcher` answers exactly the same queries as
+:class:`repro.sets.ring.RingSetSearcher` -- same prefix postings, same
+per-class counters, same prefix-viable chain condition, same suffix-box
+fallback -- but evaluates every stage over flat numpy arrays instead of one
+Python object at a time:
+
+* the dataset is read in CSR form (one flat token array plus offsets, from
+  :meth:`repro.sets.dataset.SetDataset.columns`);
+* the prefix inverted index is CSR postings probed with one
+  ``searchsorted`` per query prefix, and the per-(object, class) counters
+  come out of a single grouped ``bincount`` over the gathered postings;
+* the length filter, the chain condition and the suffix-box bound are
+  evaluated over the whole surviving candidate array at once; and
+* verification counts overlaps for *all* candidates with one
+  ``searchsorted`` sweep over the gathered CSR rows -- no per-pair merge.
+
+The candidate set is identical to the scalar searcher's; only the emission
+order changes (ascending by id, the order the sharded and mutated engines
+already normalise to).  Scratch buffers are reused across the queries of a
+batch (thread-local, so the engine's pooled ``search_batch`` stays safe).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.scratch import (
+    PerThread,
+    Scratch,
+    csr_gather_indices,
+    grouped_counts,
+    segment_sums,
+    sorted_member_mask,
+)
+from repro.common.stats import SearchResult, Timer
+from repro.sets.dataset import SetDataset
+from repro.sets.ring import RingSetSearcher
+
+
+class ColumnarSetSearcher(RingSetSearcher):
+    """Array-kernel pigeonring searcher for set similarity.
+
+    Args:
+        dataset: the indexed collection.
+        predicate: an overlap or Jaccard predicate (as for the Ring searcher).
+        chain_length: chain length ``l``; the paper finds ``l = 2`` best.
+    """
+
+    def __init__(self, dataset: SetDataset, predicate, chain_length: int = 2):
+        super().__init__(dataset, predicate, chain_length=chain_length)
+        columns = dataset.columns()
+        self._col_tokens = columns.tokens
+        self._col_offsets = columns.offsets
+        self._col_sizes = columns.sizes
+        self._build_columns()
+        self._scratch: PerThread = PerThread(Scratch)
+
+    def _build_columns(self) -> None:
+        """Convert the dict postings built by the scalar base into CSR."""
+        items = sorted(self._postings.items())
+        keys = np.asarray([token for token, _ in items], dtype=np.int64)
+        offsets = np.zeros(len(items) + 1, dtype=np.int64)
+        np.cumsum([len(postings) for _, postings in items], out=offsets[1:])
+        objs = np.fromiter(
+            (obj_id for _, postings in items for obj_id in postings),
+            dtype=np.int64,
+            count=int(offsets[-1]),
+        )
+        self._post_keys = keys
+        self._post_offsets = offsets
+        self._post_objs = objs
+        # The dict postings were only scaffolding for the CSR conversion;
+        # keeping them would double the index memory of the served path.
+        del self._postings
+        self._col_always = np.asarray(sorted(self._always_candidates), dtype=np.int64)
+        self._col_prefix_lengths = np.asarray(self._prefix_lengths, dtype=np.int64)
+        encoded = self._dataset.encoded
+        self._col_last_prefix = np.asarray(
+            [
+                encoded[obj_id][length - 1] if length else -1
+                for obj_id, length in enumerate(self._prefix_lengths)
+            ],
+            dtype=np.int64,
+        )
+
+    # -- candidate generation ----------------------------------------------
+
+    def candidates(self, query: Sequence[int]) -> list[int]:
+        encoded_query = self._dataset.encode_query(query)
+        cands, _generated = self._candidates_columnar(encoded_query)
+        return cands.tolist()
+
+    def _candidates_columnar(self, encoded_query: list[int]) -> tuple[np.ndarray, int]:
+        """Candidate ids (ascending) plus the pre-chain candidate count."""
+        plan = self._query_plan(encoded_query)
+        if plan is None:
+            return np.empty(0, dtype=np.int64), 0
+        prefix_length, _classes, _counts, thresholds, fallback = plan
+        low, high = self._predicate.length_bounds(len(encoded_query))
+        scratch = self._scratch.get()
+
+        always = self._col_always
+        if always.size:
+            always_sizes = self._col_sizes[always]
+            always = always[(always_sizes >= low) & (always_sizes <= high)]
+
+        # Step 1: probe the CSR postings with the query prefix and gather the
+        # (object, class) pairs that survive the length filter.
+        prefix_tokens = np.asarray(encoded_query[:prefix_length], dtype=np.int64)
+        if prefix_tokens.size and self._post_keys.size:
+            slots = np.searchsorted(self._post_keys, prefix_tokens)
+            in_range = slots < self._post_keys.size
+            slots = slots[in_range]
+            tokens = prefix_tokens[in_range]
+            hits = self._post_keys[slots] == tokens
+            slots = slots[hits]
+            tokens = tokens[hits]
+            starts = self._post_offsets[slots]
+            ends = self._post_offsets[slots + 1]
+            gather = csr_gather_indices(starts, ends, scratch)
+            objs = self._post_objs[gather]
+            classes = np.repeat(tokens % self._num_classes + 1, ends - starts)
+            sizes = self._col_sizes[objs]
+            keep = (sizes >= low) & (sizes <= high)
+            objs = objs[keep]
+            classes = classes[keep]
+        else:
+            objs = np.empty(0, dtype=np.int64)
+            classes = objs
+
+        if fallback:
+            # Degenerate query: plain prefix filter (share one prefix token).
+            touched = np.unique(objs)
+            generated = int(touched.size + always.size)
+            return _sorted_union(always, touched), generated
+
+        # Step 2: per-(object, class) counters for every touched object, then
+        # the chain condition over the whole candidate array at once.
+        touched, counters = grouped_counts(objs, classes, self._m)
+        generated = int(touched.size + always.size)
+        if touched.size:
+            passing = self._chain_check_columnar(
+                touched, counters, thresholds, encoded_query, prefix_length
+            )
+            touched = touched[passing]
+        return _sorted_union(always, touched), generated
+
+    def _chain_check_columnar(
+        self,
+        touched: np.ndarray,
+        counters: np.ndarray,
+        thresholds: list[int],
+        encoded_query: list[int],
+        prefix_length: int,
+    ) -> np.ndarray:
+        """Vectorised :meth:`RingSetSearcher._passes_chain_check`.
+
+        ``counters`` is the ``(num_touched, m)`` per-class counter matrix;
+        the return value is a boolean mask over ``touched``.
+        """
+        m = self._m
+        length = self._chain_length
+        thresholds_arr = np.asarray(thresholds, dtype=np.int64)
+        passed = np.zeros(touched.size, dtype=bool)
+        witness = np.zeros(touched.size, dtype=bool)
+        for start in range(1, self._num_classes + 1):
+            alive = counters[:, start] >= thresholds_arr[start]
+            witness |= alive
+            if not alive.any():
+                continue
+            alive = alive.copy()
+            running = np.zeros(touched.size, dtype=np.int64)
+            bound = 0
+            for offset in range(length):
+                box = (start + offset) % m
+                if box == 0:
+                    # Suffix box reached: every still-alive candidate passes
+                    # (the paper verifies directly instead of computing the
+                    # suffix overlap).
+                    break
+                running += counters[:, box]
+                bound += int(thresholds_arr[box])
+                alive &= running >= bound - offset
+                if not alive.any():
+                    break
+            passed |= alive
+        if length == 1 or not witness.any():
+            # Every result has a witness class; with l = 1 the witness itself
+            # is the complete pkwise condition.
+            return passed
+        remaining = np.flatnonzero(witness & ~passed)
+        if not remaining.size:
+            return passed
+        # A prefix-viable chain might still start at the suffix box b_0:
+        # bound b_0 from above without touching the suffix (see the scalar
+        # searcher for the derivation) and keep candidates conservatively.
+        query_last_prefix = encoded_query[prefix_length - 1] if prefix_length else -1
+        query_suffix_size = len(encoded_query) - prefix_length
+        ids = touched[remaining]
+        data_prefix = self._col_prefix_lengths[ids]
+        suffix_bound = np.where(
+            self._col_last_prefix[ids] <= query_last_prefix,
+            self._col_sizes[ids] - data_prefix,
+            query_suffix_size,
+        )
+        shared_total = counters[remaining, 1:].sum(axis=1)
+        np.minimum(suffix_bound, len(encoded_query) - shared_total, out=suffix_bound)
+        passed[remaining] |= suffix_bound >= thresholds_arr[0]
+        return passed
+
+    # -- search -------------------------------------------------------------
+
+    def search(self, query: Sequence[int]) -> SearchResult:
+        timer = Timer()
+        encoded_query = self._dataset.encode_query(query)
+        cands, generated = self._candidates_columnar(encoded_query)
+        candidate_time = timer.restart()
+        query_arr = np.asarray(encoded_query, dtype=np.int64)
+        if cands.size:
+            starts = self._col_offsets[cands]
+            ends = self._col_offsets[cands + 1]
+            gather = csr_gather_indices(starts, ends, self._scratch.get())
+            flat = self._col_tokens[gather]
+            hits = sorted_member_mask(query_arr, flat)
+            boundaries = np.zeros(cands.size + 1, dtype=np.int64)
+            np.cumsum(ends - starts, out=boundaries[1:])
+            overlaps = segment_sums(hits, boundaries)
+            required = self._predicate.pair_required_overlap_array(
+                self._col_sizes[cands], len(encoded_query)
+            )
+            results = cands[overlaps >= required]
+        else:
+            results = cands
+        verify_time = timer.elapsed()
+        return SearchResult(
+            results=results.tolist(),
+            candidates=cands.tolist(),
+            candidate_time=candidate_time,
+            verify_time=verify_time,
+            extra={"generated": generated, "verified": int(cands.size)},
+        )
+
+
+def _sorted_union(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Ascending union of two disjoint id arrays (always-candidates are
+    never indexed, so probe hits cannot repeat them)."""
+    if not a.size:
+        return b
+    if not b.size:
+        return a
+    return np.sort(np.concatenate([a, b]))

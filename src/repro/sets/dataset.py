@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.sets.tokens import TokenOrder
+
+
+@dataclass(frozen=True)
+class SetColumns:
+    """The CSR form of an encoded set collection.
+
+    Attributes:
+        tokens: every record's sorted token ranks, concatenated (int64).
+        offsets: record ``i`` owns ``tokens[offsets[i]:offsets[i + 1]]``.
+        sizes: ``offsets[i + 1] - offsets[i]``, materialised because the
+            length filters index it with fancy candidate arrays.
+    """
+
+    tokens: np.ndarray
+    offsets: np.ndarray
+    sizes: np.ndarray
 
 
 class SetDataset:
@@ -25,6 +44,7 @@ class SetDataset:
         self._raw = [list(record) for record in records]
         self._order = TokenOrder(self._raw, num_classes=num_classes)
         self._encoded = [self._order.encode(record) for record in self._raw]
+        self._columns: SetColumns | None = None
 
     @property
     def raw_records(self) -> list[list[int]]:
@@ -54,6 +74,20 @@ class SetDataset:
     def encode_query(self, query: Sequence[int]) -> list[int]:
         """Encode a query with the dataset's global order."""
         return self._order.encode(query)
+
+    def columns(self) -> SetColumns:
+        """The records in CSR form (built lazily, cached on the dataset)."""
+        if self._columns is None:
+            sizes = np.asarray([len(record) for record in self._encoded], dtype=np.int64)
+            offsets = np.zeros(len(self._encoded) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offsets[1:])
+            tokens = np.fromiter(
+                (token for record in self._encoded for token in record),
+                dtype=np.int64,
+                count=int(offsets[-1]),
+            )
+            self._columns = SetColumns(tokens=tokens, offsets=offsets, sizes=sizes)
+        return self._columns
 
     def __len__(self) -> int:
         return len(self._encoded)

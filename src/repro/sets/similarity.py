@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 
 def overlap(x: Sequence[int], q: Sequence[int]) -> int:
     """``|x & q|`` for two token collections (duplicates ignored)."""
@@ -58,6 +60,10 @@ class OverlapPredicate:
         """Required overlap for a specific pair of set sizes."""
         return self.tau
 
+    def pair_required_overlap_array(self, len_x: np.ndarray, len_q: int) -> np.ndarray:
+        """Vectorised :meth:`pair_required_overlap` over data-set sizes."""
+        return np.full(len_x.shape, self.tau, dtype=np.int64)
+
     def index_required_overlap(self, len_x: int) -> int:
         """Smallest required overlap over all admissible partners of a data set."""
         return self.tau
@@ -90,6 +96,15 @@ class JaccardPredicate:
     def pair_required_overlap(self, len_x: int, len_q: int) -> int:
         """Equivalent overlap threshold for the given pair of set sizes."""
         return _ceil(self.tau / (1.0 + self.tau) * (len_x + len_q))
+
+    def pair_required_overlap_array(self, len_x: np.ndarray, len_q: int) -> np.ndarray:
+        """Vectorised :meth:`pair_required_overlap` over data-set sizes.
+
+        Evaluates the same float64 expression in the same association order
+        as the scalar method, so the two agree bit for bit.
+        """
+        ratio = self.tau / (1.0 + self.tau)
+        return np.ceil(ratio * (len_x + len_q) - 1e-9).astype(np.int64)
 
     def index_required_overlap(self, len_x: int) -> int:
         """Loosest equivalent overlap over admissible query sizes (``|q| = tau |x|``)."""

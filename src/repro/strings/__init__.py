@@ -17,6 +17,9 @@ Public API:
 * :class:`repro.strings.pivotal.PivotalSearcher` -- the pigeonhole baseline
   (reports Cand-1 and Cand-2 like the paper's Figure 11).
 * :class:`repro.strings.ring.RingStringSearcher` -- the pigeonring searcher.
+* :class:`repro.strings.columnar.ColumnarStringSearcher` -- the columnar
+  candidate pipeline (CSR postings, bulk chain checks, bit-parallel
+  verification; byte-identical results).
 * :class:`repro.strings.linear.LinearStringSearcher` -- brute force.
 """
 
@@ -26,6 +29,7 @@ from repro.strings.dataset import StringDataset
 from repro.strings.linear import LinearStringSearcher
 from repro.strings.pivotal import PivotalSearcher
 from repro.strings.ring import RingStringSearcher
+from repro.strings.columnar import ColumnarStringSearcher
 
 __all__ = [
     "edit_distance",
@@ -36,4 +40,5 @@ __all__ = [
     "LinearStringSearcher",
     "PivotalSearcher",
     "RingStringSearcher",
+    "ColumnarStringSearcher",
 ]

@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
-from repro.strings.qgrams import QGramExtractor
+import numpy as np
+
+from repro.strings.qgrams import QGramExtractor, character_mask
+
+
+@dataclass(frozen=True)
+class StringColumns:
+    """Flat per-record columns of a string collection.
+
+    Attributes:
+        lengths: record lengths (int64), for vectorised length filters.
+        masks: per-record character masks (uint64), for the vectorised
+            content-bound prefilter (``ed(x, q) <= t`` implies the masks
+            differ in at most ``2 t`` bits).
+    """
+
+    lengths: np.ndarray
+    masks: np.ndarray
 
 
 class StringDataset:
@@ -21,6 +39,7 @@ class StringDataset:
             raise ValueError("the dataset needs at least one string")
         self._records = list(records)
         self._extractor = QGramExtractor(kappa, self._records)
+        self._columns: StringColumns | None = None
 
     @property
     def records(self) -> list[str]:
@@ -36,6 +55,17 @@ class StringDataset:
 
     def record(self, obj_id: int) -> str:
         return self._records[obj_id]
+
+    def columns(self) -> StringColumns:
+        """Per-record length and character-mask columns (built lazily)."""
+        if self._columns is None:
+            self._columns = StringColumns(
+                lengths=np.asarray([len(record) for record in self._records], dtype=np.int64),
+                masks=np.asarray(
+                    [character_mask(record) for record in self._records], dtype=np.uint64
+                ),
+            )
+        return self._columns
 
     def __len__(self) -> int:
         return len(self._records)

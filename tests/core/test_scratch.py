@@ -1,0 +1,70 @@
+"""Tests for the shared columnar scratch kernels."""
+
+import threading
+
+import numpy as np
+
+from repro.common.scratch import (
+    PerThread,
+    Scratch,
+    csr_gather_indices,
+    grouped_counts,
+    segment_sums,
+)
+
+
+def test_scratch_buffers_grow_and_are_reused():
+    scratch = Scratch()
+    first = scratch.take("a", 10, np.int64)
+    assert first.size == 10
+    second = scratch.take("a", 5, np.int64)
+    assert second.base is first.base  # same backing buffer, no reallocation
+    bigger = scratch.take("a", 1000, np.int64)
+    assert bigger.size == 1000
+    other_dtype = scratch.take("a", 10, np.uint64)
+    assert other_dtype.dtype == np.uint64
+
+
+def test_csr_gather_indices():
+    starts = np.asarray([3, 10, 0], dtype=np.int64)
+    ends = np.asarray([6, 10, 2], dtype=np.int64)
+    expected = [3, 4, 5, 0, 1]
+    assert csr_gather_indices(starts, ends).tolist() == expected
+    assert csr_gather_indices(starts, ends, Scratch()).tolist() == expected
+    empty = csr_gather_indices(np.asarray([4]), np.asarray([4]))
+    assert empty.size == 0
+
+
+def test_grouped_counts_matches_naive():
+    rng = np.random.default_rng(5)
+    objs = rng.integers(0, 40, size=300)
+    cols = rng.integers(0, 5, size=300)
+    touched, counts = grouped_counts(objs, cols, 5)
+    assert touched.tolist() == sorted(set(objs.tolist()))
+    for row, obj in enumerate(touched.tolist()):
+        for col in range(5):
+            expected = int(np.count_nonzero((objs == obj) & (cols == col)))
+            assert counts[row, col] == expected
+    empty_touched, empty_counts = grouped_counts(np.empty(0, np.int64), np.empty(0, np.int64), 3)
+    assert empty_touched.size == 0 and empty_counts.shape == (0, 3)
+
+
+def test_segment_sums_handles_empty_segments():
+    flags = np.asarray([1, 0, 1, 1, 0], dtype=bool)
+    boundaries = np.asarray([0, 2, 2, 5], dtype=np.int64)
+    assert segment_sums(flags, boundaries).tolist() == [1, 0, 2]
+
+
+def test_per_thread_gives_each_thread_its_own_instance():
+    holder = PerThread(Scratch)
+    main_instance = holder.get()
+    assert holder.get() is main_instance
+    seen = {}
+
+    def worker():
+        seen["other"] = holder.get()
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert seen["other"] is not main_instance

@@ -1,0 +1,32 @@
+"""The numpy fast path of the set verifiers must agree with the merge."""
+
+import random
+
+import numpy as np
+
+from repro.sets.verify import NUMPY_CROSSOVER, merge_overlap, overlap_at_least
+
+
+def test_numpy_path_agrees_with_scalar_merge():
+    rng = random.Random(9)
+    for _ in range(300):
+        x = sorted(rng.sample(range(200), rng.randint(0, 80)))
+        q = sorted(rng.sample(range(200), rng.randint(0, 80)))
+        expected = len(set(x) & set(q))
+        arrays = (np.asarray(x, dtype=np.int64), np.asarray(q, dtype=np.int64))
+        assert merge_overlap(x, q) == expected
+        assert merge_overlap(*arrays) == expected
+        for required in (0, 1, expected, expected + 1, 200):
+            assert overlap_at_least(x, q, required) == (expected >= required)
+            assert overlap_at_least(*arrays, required) == (expected >= required)
+
+
+def test_short_arrays_stay_on_the_scalar_merge():
+    # Below the crossover the scalar merge runs even for ndarray inputs;
+    # both paths must of course agree.
+    x = np.asarray(range(0, NUMPY_CROSSOVER - 2), dtype=np.int64)
+    q = np.asarray(range(5, NUMPY_CROSSOVER + 3), dtype=np.int64)
+    expected = len(set(x.tolist()) & set(q.tolist()))
+    assert merge_overlap(x, q) == expected
+    assert overlap_at_least(x, q, expected)
+    assert not overlap_at_least(x, q, expected + 1)

@@ -1,0 +1,56 @@
+"""Tests for the bit-parallel (Myers) query matcher and the trimmed DPs."""
+
+import random
+
+from repro.strings.edit_distance import QueryMatcher, edit_distance, edit_distance_within
+
+
+def reference_edit_distance(x: str, y: str) -> int:
+    previous = list(range(len(y) + 1))
+    for i, cx in enumerate(x, start=1):
+        current = [i] + [0] * len(y)
+        for j, cy in enumerate(y, start=1):
+            current[j] = min(
+                previous[j] + 1, current[j - 1] + 1, previous[j - 1] + (cx != cy)
+            )
+        previous = current
+    return previous[-1]
+
+
+def test_edit_distance_matches_reference_dp():
+    rng = random.Random(3)
+    alphabet = "abcd"
+    for _ in range(500):
+        x = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 14)))
+        y = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 14)))
+        expected = reference_edit_distance(x, y)
+        assert edit_distance(x, y) == expected
+        for tau in range(0, 6):
+            assert edit_distance_within(x, y, tau) == (expected <= tau)
+
+
+def test_query_matcher_matches_reference_dp():
+    rng = random.Random(4)
+    alphabet = "abcde"
+    for _ in range(400):
+        query = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+        text = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+        expected = reference_edit_distance(query, text)
+        matcher = QueryMatcher(query)
+        assert matcher.distance(text) == expected
+        for tau in range(0, 6):
+            assert matcher.within(text, tau) == (expected <= tau)
+
+
+def test_query_matcher_long_query_fallback():
+    matcher = QueryMatcher("x" * 80)
+    assert matcher.distance("x" * 70) == 10
+    assert matcher.within("x" * 70, 10)
+    assert not matcher.within("x" * 70, 9)
+
+
+def test_query_matcher_edge_cases():
+    assert QueryMatcher("").distance("abc") == 3
+    assert QueryMatcher("abc").distance("") == 3
+    assert QueryMatcher("").within("", 0)
+    assert not QueryMatcher("abc").within("x", -1)
