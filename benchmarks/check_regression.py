@@ -19,7 +19,15 @@ against the candidate report produced by ``benchmarks/run_all.py``:
   rewrite -- must keep the same-hardware columnar-vs-scalar speedup above
   ``--speedup-floor`` (a scalar-loop regression in the kernels drags that
   ratio towards 1x and fails the build even when absolute throughput
-  noise would mask it).
+  noise would mask it), and
+* the ``observability`` profile: traced answers must equal untraced ones,
+  and -- gated *within the candidate report*, so it is hardware-
+  independent -- the tracing-disabled throughput must stay within
+  ``--observability-tolerance`` (default 5%) of the pipeline-ring
+  reference measured back to back in the same section: the span
+  instrumentation's disabled path is supposed to be a guard check, not a
+  cost.  Tracing-off throughput is additionally gated against the
+  baseline at ``--tolerance`` when both reports carry the section.
 
 ``--pipeline-only`` gates just the ``pipeline`` section and only its
 hardware-independent checks (agreement + speedup ratio, not absolute
@@ -58,6 +66,7 @@ def compare(
     tolerance: float,
     speedup_floor: float = 0.0,
     pipeline_only: bool = False,
+    observability_tolerance: float = 0.05,
 ) -> list[str]:
     """All gate violations, as human-readable messages (empty means pass)."""
     failures: list[str] = []
@@ -104,6 +113,9 @@ def compare(
     failures.extend(compare_served(baseline, candidate, tolerance))
     failures.extend(compare_mutation(baseline, candidate, tolerance))
     failures.extend(compare_pipeline(baseline, candidate, tolerance, speedup_floor))
+    failures.extend(
+        compare_observability(baseline, candidate, tolerance, observability_tolerance)
+    )
     return failures
 
 
@@ -156,6 +168,54 @@ def compare_pipeline(
                     f"{speedup:.2f}x (floor {speedup_floor:.2f}x) -- a scalar-loop "
                     f"regression in the kernels"
                 )
+    return failures
+
+
+def compare_observability(
+    baseline: dict, candidate: dict, tolerance: float, observability_tolerance: float
+) -> list[str]:
+    """Gate the observability profile: traced answers + disabled-path cost.
+
+    The disabled-path check is candidate-internal: tracing-off throughput
+    vs ``pipeline_ring_qps``, the pipeline-profile workload re-measured
+    back to back in the same section (same engine, seconds apart), so the
+    5% floor gates on any hardware instead of inheriting the load drift
+    between report sections.  The baseline comparison follows the usual
+    skip-when-absent pattern.
+    """
+    failures: list[str] = []
+    cand_obs = candidate.get("observability", {}).get("domains", {})
+    for domain, entry in cand_obs.items():
+        if not entry.get("traced_results_agree", False):
+            failures.append(
+                f"observability {domain}: traced answers diverged from untraced ones"
+            )
+        pipeline_qps = entry.get("pipeline_ring_qps", 0.0)
+        off_qps = entry.get("tracing_off_qps", 0.0)
+        floor = pipeline_qps * (1.0 - observability_tolerance)
+        if pipeline_qps and off_qps < floor:
+            drop = 1.0 - off_qps / pipeline_qps
+            failures.append(
+                f"observability {domain}: tracing-disabled throughput is {drop:.1%} "
+                f"below the in-section pipeline-ring reference ({pipeline_qps:.1f} -> "
+                f"{off_qps:.1f} q/s, floor {floor:.1f}) -- the untraced serving path "
+                f"got more expensive"
+            )
+    base_obs = baseline.get("observability", {}).get("domains", {})
+    for domain, base_entry in base_obs.items():
+        cand_entry = cand_obs.get(domain)
+        if cand_entry is None:
+            failures.append(f"observability {domain}: missing from the candidate report")
+            continue
+        base_qps = base_entry.get("tracing_off_qps", 0.0)
+        cand_qps = cand_entry.get("tracing_off_qps", 0.0)
+        floor = base_qps * (1.0 - tolerance)
+        if cand_qps < floor:
+            drop = 1.0 - cand_qps / base_qps if base_qps else 1.0
+            failures.append(
+                f"observability {domain}: tracing-off throughput dropped {drop:.0%} "
+                f"({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
+            )
     return failures
 
 
@@ -242,11 +302,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="gate only the pipeline section (CI kernel micro-bench smoke)",
     )
+    parser.add_argument(
+        "--observability-tolerance",
+        type=float,
+        default=0.05,
+        help=(
+            "maximum tolerated drop of tracing-disabled throughput below the "
+            "candidate's own pipeline throughput (default 0.05)"
+        ),
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be within [0, 1)")
     if args.speedup_floor < 0.0:
         parser.error("--speedup-floor must be non-negative")
+    if not 0.0 <= args.observability_tolerance < 1.0:
+        parser.error("--observability-tolerance must be within [0, 1)")
 
     baseline = load_report(args.baseline)
     candidate = load_report(args.candidate)
@@ -256,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
         args.tolerance,
         speedup_floor=args.speedup_floor,
         pipeline_only=args.pipeline_only,
+        observability_tolerance=args.observability_tolerance,
     )
 
     base_cpus = baseline.get("hardware", {}).get("cpu_count")
@@ -322,6 +394,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{ring.get('avg_verified_candidates', 0.0):.1f} -> "
             f"{ring.get('avg_results', 0.0):.1f}  "
             f"agree={entry.get('results_agree')}"
+        )
+    for domain, entry in sorted(
+        candidate.get("observability", {}).get("domains", {}).items()
+    ):
+        base = baseline.get("observability", {}).get("domains", {}).get(domain, {})
+        base_qps = base.get("tracing_off_qps")
+        delta = (
+            f"{entry['tracing_off_qps'] / base_qps - 1.0:+.0%} vs baseline"
+            if base_qps
+            else "no baseline"
+        )
+        print(
+            f"[{domain:>8} obs] tracing off {entry.get('tracing_off_qps', 0.0):>8.1f} q/s "
+            f"({delta})  on {entry.get('tracing_on_qps', 0.0):>8.1f} q/s  "
+            f"overhead {entry.get('tracing_overhead_pct', 0.0):+.1f}%  "
+            f"agree={entry.get('traced_results_agree')}"
         )
     for domain, entry in sorted(candidate.get("mutation", {}).get("domains", {}).items()):
         base = baseline.get("mutation", {}).get("domains", {}).get(domain, {})

@@ -2,9 +2,12 @@
 # CI server smoke: build an index, start the HTTP serving layer for real,
 # drive it with the load generator, mutate the live index over HTTP
 # (upsert -> query it back -> delete -> verify it is gone -> compact), and
-# require non-zero QPS plus a clean graceful shutdown on SIGTERM.  Run from
-# the repo root with the package importable (PYTHONPATH=src or an
-# installed checkout):
+# require non-zero QPS plus a clean graceful shutdown on SIGTERM.  The
+# server runs with a 1 ms slow-query threshold, so the smoke also asserts
+# that /metrics parses as Prometheus text with monotone counters and that
+# the served queries landed in the slow-query log with their span
+# timelines.  Run from the repo root with the package importable
+# (PYTHONPATH=src or an installed checkout):
 #
 #   PYTHONPATH=src timeout 300 bash benchmarks/server_smoke.sh
 set -euo pipefail
@@ -23,7 +26,8 @@ python -m repro.engine build-index --backend sets --out "$workdir/idx" \
     --size 4000 --queries 12 --seed 42
 
 python -m repro.engine serve --index "$workdir/idx" --port 0 \
-    --ready-file "$workdir/ready" &
+    --ready-file "$workdir/ready" \
+    --slow-query-ms 1 --slow-query-log "$workdir/slow.jsonl" &
 server_pid=$!
 
 for _ in $(seq 1 100); do
@@ -50,6 +54,53 @@ assert all(value > 0 for value in qps.values()), f"zero QPS: {qps}"
 print("smoke QPS:", {level: round(value, 1) for level, value in qps.items()})
 EOF
 
+# /metrics must parse as Prometheus text (0.0.4: HELP/TYPE metadata,
+# name{label="value"} samples) and its counters must only ever go up.
+python - "$url" <<'EOF'
+import re
+import sys
+import urllib.request
+
+url = sys.argv[1]
+
+SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" -?([0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+)
+META = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+
+
+def scrape():
+    text = urllib.request.urlopen(f"{url}/metrics").read().decode("utf-8")
+    samples = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert META.match(line), f"bad metadata line: {line!r}"
+            continue
+        assert SAMPLE.match(line), f"bad sample line: {line!r}"
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+before = scrape()
+for family in ("server_queries_total", "engine_query_seconds_bucket", "http_requests_total"):
+    assert any(key.startswith(family) for key in before), f"no {family} samples"
+urllib.request.urlopen(f"{url}/healthz").read()  # traffic between scrapes
+after = scrape()
+monotone = 0
+for key, value in before.items():
+    if "_total" in key or "_count" in key or "_bucket" in key:
+        assert key in after and after[key] >= value, f"{key} went backwards"
+        monotone += 1
+assert monotone > 0
+print(f"metrics smoke: {len(before)} samples parsed, {monotone} monotone counters OK")
+EOF
+
 # Mutate the live index over HTTP: a fresh record must be servable
 # immediately, and must vanish the moment it is deleted.
 python - "$url" <<'EOF'
@@ -74,6 +125,24 @@ with EngineClient(url) as client:
     hits = client.search("sets", keeper, tau=1.0)
     assert keeper_id in hits.ids, f"id {keeper_id} lost by compaction: {hits.ids}"
     print(f"mutation smoke: upsert/delete/compact OK (ids {doomed_id}/{keeper_id})")
+EOF
+
+# Every served query took over the 1 ms threshold (the micro-batch window
+# alone is 2 ms), so the slow-query log must hold them with span timelines.
+python - "$workdir/slow.jsonl" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    entries = [json.loads(line) for line in handle]
+assert entries, "slow-query log is empty"
+entry = entries[0]
+assert entry["e2e_ms"] >= 1.0, entry
+assert entry["trace_id"], entry
+names = [span["name"] for span in entry["trace"]["spans"]]
+assert names == ["coalesce_wait", "batch_exec"], names
+assert entry["backend"] == "sets" and entry["route"].startswith("/search"), entry
+print(f"slow-query log: {len(entries)} entries, first {entry['e2e_ms']:.2f} ms OK")
 EOF
 
 kill -TERM "$server_pid"

@@ -12,6 +12,16 @@ The protocol lives here so the experiment harness can drive any searcher
 uniformly.
 """
 
+from repro.common.obs import MetricsRegistry, SlowQueryLog, Trace, TraceBuffer, span
 from repro.common.stats import QueryStats, SearchResult, Timer
 
-__all__ = ["QueryStats", "SearchResult", "Timer"]
+__all__ = [
+    "MetricsRegistry",
+    "QueryStats",
+    "SearchResult",
+    "SlowQueryLog",
+    "Timer",
+    "Trace",
+    "TraceBuffer",
+    "span",
+]

@@ -50,6 +50,9 @@ class Query:
             and graphs backends additionally accept ``ring-scalar`` (the
             retained scalar pigeonring reference); sets also accepts
             ``adapt`` and ``partalloc``.
+        trace_id: when set, the engine records a span timeline for this
+            query and attaches it as ``Response.trace``.  Excluded from
+            equality/hashing so tracing never perturbs the result cache.
     """
 
     backend: str
@@ -58,6 +61,7 @@ class Query:
     k: int | None = None
     chain_length: int | None = None
     algorithm: str = "ring"
+    trace_id: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.tau is None and self.k is None:
@@ -105,6 +109,9 @@ class Response:
         engine_time: wall-clock seconds spent inside the engine for this
             query, including searcher construction and cache bookkeeping.
         cached: True when the response was served from the result cache.
+        trace: span timeline recorded for this query (see
+            :mod:`repro.common.obs`); ``None`` unless the query carried a
+            ``trace_id``.
     """
 
     query: Query
@@ -117,6 +124,7 @@ class Response:
     verify_time: float = 0.0
     engine_time: float = 0.0
     cached: bool = False
+    trace: dict | None = None
 
     @property
     def num_results(self) -> int:

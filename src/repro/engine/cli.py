@@ -25,6 +25,10 @@ Ten subcommands make the engine drivable end-to-end without writing code:
   container or sharded directory): records land in the delta store, deletes
   tombstone, and ``compact`` folds the overlay into a rebuilt main index.
   Records are given in the backend's JSON wire form.
+* ``stats`` -- dump a running server's stats snapshot, or its Prometheus
+  text exposition with ``--metrics``.
+* ``trace`` -- fetch a running server's recent request traces
+  (``/debug/traces``) and pretty-print each span timeline as a tree.
 """
 
 from __future__ import annotations
@@ -342,6 +346,9 @@ def _serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
+        trace=args.trace,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
     )
     server = EngineServer(engine, config, own_engine=True)
     asyncio.run(_serve_until_signalled(server, args.ready_file))
@@ -442,6 +449,48 @@ def _load_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _print_span(node: dict, depth: int, total_ms: float) -> None:
+    share = 100.0 * node.get("duration_ms", 0.0) / total_ms if total_ms else 0.0
+    print(
+        f"  {'  ' * depth}{node.get('name', '?'):<{32 - 2 * depth}}"
+        f"{node.get('duration_ms', 0.0):>10.3f} ms  {share:5.1f}%"
+        f"  @{node.get('start_ms', 0.0):.3f}"
+    )
+    for child in node.get("children", ()):
+        _print_span(child, depth + 1, total_ms)
+
+
+def _stats(args: argparse.Namespace) -> int:
+    from repro.engine.client import EngineClient
+
+    with EngineClient(args.url, timeout=args.timeout) as client:
+        if args.metrics:
+            sys.stdout.write(client.metrics())
+            return 0
+        print(json.dumps(client.stats(), indent=2))
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    from repro.engine.client import EngineClient
+
+    with EngineClient(args.url, timeout=args.timeout) as client:
+        traces = client.traces().get("traces", [])
+    if not traces:
+        print(
+            "the server recorded no traces yet; query it with the X-Trace: 1 "
+            "header, or restart it with --trace / --slow-query-ms",
+            file=sys.stderr,
+        )
+        return 1
+    for doc in traces[: args.last]:
+        total_ms = doc.get("duration_ms", 0.0)
+        print(f"trace {doc.get('trace_id', '?')}  {doc.get('name', '?')}  {total_ms:.3f} ms")
+        for node in doc.get("spans", ()):
+            _print_span(node, 0, total_ms)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.engine",
@@ -527,6 +576,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write 'host port' here once listening (for scripted startup)",
     )
+    http_serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span timeline for every query (see /debug/traces)",
+    )
+    http_serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="log queries slower than this many ms end-to-end (0 logs all)",
+    )
+    http_serve.add_argument(
+        "--slow-query-log",
+        default=None,
+        help="append slow-query JSON lines to this file (default: in-memory ring only)",
+    )
     http_serve.set_defaults(func=_serve)
 
     load = commands.add_parser(
@@ -586,6 +651,24 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--index", required=True, help="container or sharded directory")
     compact.add_argument("--mp-context", default=None, choices=["fork", "spawn", "forkserver"])
     compact.set_defaults(func=_mutate)
+
+    stats = commands.add_parser("stats", help="dump a running server's stats or metrics")
+    stats.add_argument("--url", required=True, help="server base URL")
+    stats.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the Prometheus text exposition (/metrics) instead of /stats JSON",
+    )
+    stats.add_argument("--timeout", type=float, default=10.0)
+    stats.set_defaults(func=_stats)
+
+    trace = commands.add_parser(
+        "trace", help="pretty-print a running server's recent request traces"
+    )
+    trace.add_argument("--url", required=True, help="server base URL")
+    trace.add_argument("--last", type=int, default=1, help="number of traces to show")
+    trace.add_argument("--timeout", type=float, default=10.0)
+    trace.set_defaults(func=_trace)
     return parser
 
 

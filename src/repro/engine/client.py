@@ -79,6 +79,9 @@ class WireResponse:
     #: pre-chain-filter candidate count (None when the searcher does not
     #: report the funnel; see Response.num_generated)
     num_generated: int | None = None
+    #: span timeline for the request (only present when tracing was asked
+    #: for via ``trace=True`` / ``trace_id=`` or forced server-side)
+    trace: dict | None = None
 
     @property
     def num_results(self) -> int:
@@ -95,6 +98,7 @@ class WireResponse:
             engine_time_ms=body.get("engine_time_ms", 0.0),
             cached=body.get("cached", False),
             batch_size=body.get("batch_size", 1),
+            trace=body.get("trace"),
             raw=body,
         )
 
@@ -164,15 +168,23 @@ class EngineClient:
 
     # -- plumbing ----------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _raw_request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, float | None]:
         if self._connection is None:
             self._connection = http.client.HTTPConnection(
                 self._host, self._port, timeout=self._timeout
             )
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if body else {}
+        request_headers = dict(headers) if headers else {}
+        if body:
+            request_headers["Content-Type"] = "application/json"
         try:
-            self._connection.request(method, path, body=body, headers=headers)
+            self._connection.request(method, path, body=body, headers=request_headers)
             response = self._connection.getresponse()
             data = response.read()
         except (ConnectionError, socket.timeout, http.client.HTTPException):
@@ -180,11 +192,28 @@ class EngineClient:
             # dropped); throw it away so the next call reconnects.
             self.close()
             raise
-        retry_after = parse_retry_after(response.getheader("Retry-After"))
+        return response.status, data, parse_retry_after(response.getheader("Retry-After"))
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict:
+        status, data, retry_after = self._raw_request(method, path, payload, headers)
         decoded = json.loads(data.decode("utf-8")) if data else {}
-        if response.status != 200:
-            _raise_for_status(response.status, decoded, retry_after)
+        if status != 200:
+            _raise_for_status(status, decoded, retry_after)
         return decoded
+
+    @staticmethod
+    def _trace_headers(trace: bool, trace_id: str | None) -> dict[str, str] | None:
+        if trace_id is not None:
+            return {"X-Trace-Id": trace_id}
+        if trace:
+            return {"X-Trace": "1"}
+        return None
 
     # -- API ---------------------------------------------------------------
 
@@ -195,8 +224,16 @@ class EngineClient:
         tau: float | int | None = None,
         chain_length: int | None = None,
         algorithm: str = "ring",
+        trace: bool = False,
+        trace_id: str | None = None,
     ) -> WireResponse:
-        """Thresholded selection over the wire (``POST /search``)."""
+        """Thresholded selection over the wire (``POST /search``).
+
+        ``trace=True`` asks the server to record a span timeline for this
+        query (returned as ``WireResponse.trace``); ``trace_id`` does the
+        same under a caller-chosen id, so one id can thread through logs
+        on both sides of the wire.
+        """
         query = Query(
             backend=backend,
             payload=payload,
@@ -204,7 +241,14 @@ class EngineClient:
             chain_length=chain_length,
             algorithm=algorithm,
         )
-        return WireResponse.from_wire(self._request("POST", "/search", encode_query(query)))
+        return WireResponse.from_wire(
+            self._request(
+                "POST",
+                "/search",
+                encode_query(query),
+                headers=self._trace_headers(trace, trace_id),
+            )
+        )
 
     def search_topk(
         self,
@@ -214,6 +258,8 @@ class EngineClient:
         tau: float | int | None = None,
         chain_length: int | None = None,
         algorithm: str = "ring",
+        trace: bool = False,
+        trace_id: str | None = None,
     ) -> WireResponse:
         """Top-k search over the wire (``POST /search/topk``)."""
         query = Query(
@@ -225,13 +271,20 @@ class EngineClient:
             algorithm=algorithm,
         )
         return WireResponse.from_wire(
-            self._request("POST", "/search/topk", encode_query(query))
+            self._request(
+                "POST",
+                "/search/topk",
+                encode_query(query),
+                headers=self._trace_headers(trace, trace_id),
+            )
         )
 
-    def search_wire(self, body: dict, topk: bool = False) -> WireResponse:
+    def search_wire(self, body: dict, topk: bool = False, trace: bool = False) -> WireResponse:
         """Send an already-encoded wire query (used by the load generator)."""
         path = "/search/topk" if topk else "/search"
-        return WireResponse.from_wire(self._request("POST", path, body))
+        return WireResponse.from_wire(
+            self._request("POST", path, body, headers=self._trace_headers(trace, None))
+        )
 
     def upsert(self, backend: str, record: Any, obj_id: int | None = None) -> int:
         """Insert or overwrite one record (``POST /upsert``); returns its id."""
@@ -258,6 +311,22 @@ class EngineClient:
 
     def manifest(self) -> dict:
         return self._request("GET", "/manifest")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``GET /metrics``)."""
+        status, data, retry_after = self._raw_request("GET", "/metrics")
+        text = data.decode("utf-8")
+        if status != 200:
+            try:
+                decoded = json.loads(text) if text else {}
+            except json.JSONDecodeError:
+                decoded = {"error": text}
+            _raise_for_status(status, decoded, retry_after)
+        return text
+
+    def traces(self) -> dict:
+        """Recently recorded request traces (``GET /debug/traces``)."""
+        return self._request("GET", "/debug/traces")
 
 
 # ---------------------------------------------------------------------------

@@ -16,8 +16,9 @@ adds the serving-layer machinery the per-domain searchers do not have:
   main index;
 * **batched and thread-pooled parallel execution** with order-preserving
   results;
-* **latency statistics** per backend, aggregated with
-  :class:`repro.common.stats.QueryStats`; and
+* **latency statistics** per backend, served as views over the
+  :class:`repro.common.obs.MetricsRegistry` (one code path feeds
+  ``/stats``, ``/metrics`` and the funnel aggregates); and
 * **top-k search** delegated to :mod:`repro.engine.topk`.
 
 The engine is thread-safe: shared state is touched only under an internal
@@ -32,12 +33,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from typing import Any, Hashable, Sequence
 
 import numpy as np
 
-from repro.common.stats import QueryStats, Timer
+from repro.common import obs
+from repro.common.obs import MetricsRegistry, TraceBuffer, span
+from repro.common.stats import Timer
 from repro.engine import backends as _backends  # noqa: F401 - populate registry
 from repro.engine.api import Query, Response
 from repro.engine.backend import Backend, get_backend
@@ -46,7 +49,89 @@ from repro.engine.persistence import Container, load_container, save_container
 from repro.engine.topk import run_topk
 
 
-@dataclass
+class BackendStats:
+    """Read-only funnel view of one backend, derived from the registry.
+
+    Mirrors the attribute surface the old per-backend ``QueryStats``
+    aggregates exposed, but every number is read straight from the metrics
+    registry -- there is exactly one bookkeeping code path.
+    """
+
+    __slots__ = ("_registry", "_backend")
+
+    def __init__(self, registry: MetricsRegistry, backend: str) -> None:
+        self._registry = registry
+        self._backend = backend
+
+    def _value(self, name: str) -> float:
+        instrument = self._registry.get(name, backend=self._backend)
+        return instrument.value if instrument is not None else 0.0
+
+    @property
+    def num_queries(self) -> int:
+        return int(self._value("engine_backend_queries_total"))
+
+    @property
+    def total_generated(self) -> int:
+        return int(self._value("engine_candidates_generated_total"))
+
+    @property
+    def total_candidates(self) -> int:
+        return int(self._value("engine_candidates_verified_total"))
+
+    @property
+    def total_results(self) -> int:
+        return int(self._value("engine_results_total"))
+
+    def _stage_time(self, stage: str) -> float:
+        instrument = self._registry.get(
+            "engine_stage_seconds_total", backend=self._backend, stage=stage
+        )
+        return instrument.value if instrument is not None else 0.0
+
+    @property
+    def total_candidate_time(self) -> float:
+        return self._stage_time("candidates")
+
+    @property
+    def total_verify_time(self) -> float:
+        return self._stage_time("verify")
+
+    @property
+    def avg_generated(self) -> float:
+        n = self.num_queries
+        return self.total_generated / n if n else 0.0
+
+    @property
+    def avg_candidates(self) -> float:
+        n = self.num_queries
+        return self.total_candidates / n if n else 0.0
+
+    @property
+    def avg_results(self) -> float:
+        n = self.num_queries
+        return self.total_results / n if n else 0.0
+
+    @property
+    def avg_candidate_time(self) -> float:
+        n = self.num_queries
+        return self.total_candidate_time / n if n else 0.0
+
+    @property
+    def avg_verify_time(self) -> float:
+        n = self.num_queries
+        return self.total_verify_time / n if n else 0.0
+
+    @property
+    def avg_total_time(self) -> float:
+        n = self.num_queries
+        return (self.total_candidate_time + self.total_verify_time) / n if n else 0.0
+
+    def latency_quantile_ms(self, q: float) -> float:
+        hist = self._registry.get("engine_query_seconds", backend=self._backend)
+        return hist.quantile(q) * 1000.0 if hist is not None else 0.0
+
+
 class EngineStats:
     """Aggregate serving statistics of one :class:`SearchEngine`.
 
@@ -54,13 +139,96 @@ class EngineStats:
     escalation rungs (each an ordinary engine search) rather than being
     counted again as an aggregate; cache hit/miss counters cover every
     request, including top-k aggregates.
+
+    All numbers live in a :class:`repro.common.obs.MetricsRegistry`; the
+    attributes and :meth:`snapshot` below are views over it, so ``/stats``,
+    ``/metrics`` and the funnel averages can never disagree.
     """
 
-    num_queries: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    engine_time: float = 0.0
-    per_backend: dict[str, QueryStats] = field(default_factory=dict)
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._queries = r.counter(
+            "engine_queries_total", "tau-selections served (top-k rungs count individually)"
+        )
+        self._hits = r.counter("engine_cache_hits_total", "result-cache hits")
+        self._misses = r.counter("engine_cache_misses_total", "result-cache misses")
+        self._time = r.counter(
+            "engine_time_seconds_total", "wall seconds spent inside the engine"
+        )
+        self._backends: set[str] = set()
+
+    # -- write path (called by the engine under its lock) -------------------
+
+    def observe_hit(self) -> None:
+        self._hits.inc()
+
+    def observe_miss(self) -> None:
+        self._misses.inc()
+
+    def observe_query(self, backend: str, response: Response) -> None:
+        """Fold one answered tau-selection into the registry."""
+        self._backends.add(backend)
+        r = self.registry
+        generated = response.num_generated
+        if generated is None:
+            # Searchers that do not track a pre-chain count (the scalar
+            # baselines) fall back to the candidate count, making the filter
+            # look free rather than wrong.
+            generated = response.num_candidates
+        self._queries.inc()
+        self._time.inc(response.engine_time)
+        r.counter("engine_backend_queries_total", "queries answered", backend=backend).inc()
+        r.counter(
+            "engine_candidates_generated_total",
+            "objects that entered the filter pipeline (pre-chain)",
+            backend=backend,
+        ).inc(int(generated))
+        r.counter(
+            "engine_candidates_verified_total",
+            "objects that reached verification (filter output)",
+            backend=backend,
+        ).inc(response.num_candidates)
+        r.counter(
+            "engine_results_total", "objects that matched", backend=backend
+        ).inc(response.num_results)
+        r.counter(
+            "engine_stage_seconds_total",
+            "searcher-reported seconds per pipeline stage",
+            backend=backend,
+            stage="candidates",
+        ).inc(response.candidate_time)
+        r.counter(
+            "engine_stage_seconds_total",
+            "searcher-reported seconds per pipeline stage",
+            backend=backend,
+            stage="verify",
+        ).inc(response.verify_time)
+        r.histogram(
+            "engine_query_seconds", "per-query engine latency", backend=backend
+        ).observe(response.engine_time)
+
+    # -- read path -----------------------------------------------------------
+
+    @property
+    def num_queries(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def engine_time(self) -> float:
+        return self._time.value
+
+    @property
+    def per_backend(self) -> dict[str, BackendStats]:
+        return {name: BackendStats(self.registry, name) for name in sorted(self._backends)}
 
     @property
     def avg_engine_time(self) -> float:
@@ -86,6 +254,9 @@ class EngineStats:
                     "avg_candidate_time_ms": stats.avg_candidate_time * 1000.0,
                     "avg_verify_time_ms": stats.avg_verify_time * 1000.0,
                     "avg_total_time_ms": stats.avg_total_time * 1000.0,
+                    "p50_ms": stats.latency_quantile_ms(0.50),
+                    "p95_ms": stats.latency_quantile_ms(0.95),
+                    "p99_ms": stats.latency_quantile_ms(0.99),
                 }
                 for name, stats in self.per_backend.items()
             },
@@ -133,6 +304,7 @@ class SearchEngine:
         self._max_workers = max_workers
         self._lock = threading.Lock()
         self._stats = EngineStats()
+        self._traces = TraceBuffer(128)
 
     # -- dataset management ------------------------------------------------
 
@@ -146,6 +318,7 @@ class SearchEngine:
             self._deltas[backend_name] = delta
             self._epochs[backend_name] = self._epochs.get(backend_name, 0) + 1
             self._evict_backend_state(backend_name)
+            self._observe_backend_state(backend_name)
         return store
 
     def backend(self, backend_name: str) -> Backend:
@@ -183,6 +356,24 @@ class SearchEngine:
         for key in [key for key in self._cache if key[0] == backend_name]:
             del self._cache[key]
 
+    def _observe_backend_state(self, backend_name: str) -> None:
+        """Refresh the epoch / delta-store gauges after a state change."""
+        r = self._stats.registry
+        r.gauge("engine_store_epoch", "main-store rebuild epoch", backend=backend_name).set(
+            self._epochs.get(backend_name, 0)
+        )
+        r.gauge("engine_mutation_epoch", "upsert/delete epoch", backend=backend_name).set(
+            self._mutation_epochs.get(backend_name, 0)
+        )
+        delta = self._deltas.get(backend_name)
+        if delta is not None:
+            r.gauge(
+                "engine_delta_records", "records in the delta store", backend=backend_name
+            ).set(len(delta.records))
+            r.gauge(
+                "engine_delta_tombstones", "tombstoned main ids", backend=backend_name
+            ).set(len(delta.tombstones))
+
     # -- persistence -------------------------------------------------------
 
     def save_index(
@@ -212,6 +403,7 @@ class SearchEngine:
             self._deltas[name] = delta
             self._epochs[name] = self._epochs.get(name, 0) + 1
             self._evict_backend_state(name)
+            self._observe_backend_state(name)
         return container
 
     # -- mutation ----------------------------------------------------------
@@ -244,6 +436,7 @@ class SearchEngine:
             delta, assigned = self._deltas[backend_name].with_upsert(record, obj_id)
             self._deltas[backend_name] = delta
             self._invalidate_results(backend_name)
+            self._observe_backend_state(backend_name)
         return assigned
 
     def delete(self, backend_name: str, obj_id: int) -> bool:
@@ -254,6 +447,7 @@ class SearchEngine:
             if deleted:
                 self._deltas[backend_name] = delta
                 self._invalidate_results(backend_name)
+                self._observe_backend_state(backend_name)
         return deleted
 
     def compact(self, backend_name: str) -> dict:
@@ -278,6 +472,7 @@ class SearchEngine:
             self._deltas[backend_name] = new_delta
             self._epochs[backend_name] = self._epochs.get(backend_name, 0) + 1
             self._evict_backend_state(backend_name)
+            self._observe_backend_state(backend_name)
         return {
             "backend": backend_name,
             "compacted": True,
@@ -359,7 +554,8 @@ class SearchEngine:
         """One tau-selection: main index answer merged with the delta scan."""
         store, delta, epoch = self._snapshot(query.backend)
         searcher = self._searcher(query, backend, store, epoch)
-        outcome = searcher(query.payload)
+        with span("searcher"):
+            outcome = searcher(query.payload)
         ids = list(outcome.results)
         num_candidates = outcome.num_candidates
         num_generated = outcome.extra.get("generated")
@@ -368,23 +564,24 @@ class SearchEngine:
             # scan the whole delta through the backend's batched kernel, and
             # return the union sorted by id -- the answer an index rebuilt
             # from the live records would give.
-            ids = [
-                delta.ids[position]
-                for position in ids
-                if delta.ids[position] not in delta.tombstones
-            ]
-            if delta.records:
-                delta_ids = list(delta.records)
-                matches = backend.scan_records(
-                    store, query.payload, [delta.records[i] for i in delta_ids], query.tau
-                )
-                ids.extend(obj_id for obj_id, hit in zip(delta_ids, matches) if hit)
-            num_candidates += len(delta.records)
-            if num_generated is not None:
-                # Delta records enter the pipeline unfiltered, so they count
-                # on both sides of the filter-vs-verify funnel.
-                num_generated += len(delta.records)
-            ids.sort()
+            with span("delta_scan"):
+                ids = [
+                    delta.ids[position]
+                    for position in ids
+                    if delta.ids[position] not in delta.tombstones
+                ]
+                if delta.records:
+                    delta_ids = list(delta.records)
+                    matches = backend.scan_records(
+                        store, query.payload, [delta.records[i] for i in delta_ids], query.tau
+                    )
+                    ids.extend(obj_id for obj_id, hit in zip(delta_ids, matches) if hit)
+                num_candidates += len(delta.records)
+                if num_generated is not None:
+                    # Delta records enter the pipeline unfiltered, so they
+                    # count on both sides of the filter-vs-verify funnel.
+                    num_generated += len(delta.records)
+                ids.sort()
         return Response(
             query=query,
             ids=ids,
@@ -453,6 +650,14 @@ class SearchEngine:
             backend.tau_ladder(store, payload, start, max_size=max(sizes, default=1))
         )
 
+    def metrics_wire(self) -> dict:
+        """The engine's metrics registry as a JSON-safe wire dump."""
+        return self._stats.registry.to_wire()
+
+    def recent_traces(self, last: int | None = None) -> list[dict]:
+        """Most recent trace documents, newest first."""
+        return self._traces.snapshot(last)
+
     def search(self, query: Query) -> Response:
         """Answer one query (thresholded selection, or top-k when ``k`` is set)."""
         backend = self.backend(query.backend)
@@ -460,13 +665,30 @@ class SearchEngine:
         if query.tau is not None:
             backend.validate_tau(query.tau)
         self.store(query.backend)  # fail fast when nothing is attached
+        trace = token = None
+        if query.trace_id is not None and obs.current_trace() is None:
+            trace = obs.Trace(query.trace_id, name="engine")
+            token = obs.activate(trace)
+        try:
+            response = self._search_impl(query, backend)
+        finally:
+            if trace is not None:
+                obs.deactivate(token)
+        if trace is not None:
+            trace.finish()
+            response.trace = trace.to_dict()
+            self._traces.add(response.trace)
+        return response
+
+    def _search_impl(self, query: Query, backend: Backend) -> Response:
         key = self._cache_key(query, backend)
         with self._lock:
             hit = self._cache.get(key)
             if hit is not None:
                 self._cache.move_to_end(key)
-                self._stats.cache_hits += 1
-                return replace(hit, query=query, cached=True)
+                self._stats.observe_hit()
+                with span("cache_hit"):
+                    return replace(hit, query=query, cached=True)
         timer = Timer()
         if query.k is not None:
             response = run_topk(self, query)
@@ -474,16 +696,16 @@ class SearchEngine:
             response = self._search_threshold(query, backend)
         response.engine_time = timer.elapsed()
         with self._lock:
-            self._stats.cache_misses += 1
+            self._stats.observe_miss()
             if query.k is None:
                 # Top-k queries are accounted through their escalation rungs
                 # (each an ordinary engine search); counting the aggregate
                 # response too would double every rung's time and candidates.
-                self._stats.num_queries += 1
-                self._stats.engine_time += response.engine_time
-                self._stats.per_backend.setdefault(query.backend, QueryStats()).add(response)
+                self._stats.observe_query(query.backend, response)
             if self._cache_size:
-                self._cache[key] = response
+                # Store a trace-free copy: a later hit must not serve this
+                # request's timeline.
+                self._cache[key] = replace(response, trace=None)
                 self._cache.move_to_end(key)
                 while len(self._cache) > self._cache_size:
                     self._cache.popitem(last=False)

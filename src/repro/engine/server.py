@@ -40,11 +40,19 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Any
 
+from repro.common.obs import (
+    BATCH_SIZE_BUCKETS,
+    MetricsRegistry,
+    SlowQueryLog,
+    TraceBuffer,
+    new_trace_id,
+)
 from repro.engine.api import Query
 from repro.engine.sharding import ShardedEngine, ShardWorkerError
 from repro.engine.wire import (
@@ -83,6 +91,8 @@ _ENDPOINTS = (
     "/healthz",
     "/stats",
     "/manifest",
+    "/metrics",
+    "/debug/traces",
 )
 
 
@@ -103,6 +113,15 @@ class ServerConfig:
         max_body_bytes: largest accepted request body (413 above it).
         drain_timeout_s: longest :meth:`EngineServer.stop` waits for
             admitted queries before shutting the batcher down regardless.
+        trace: record a span timeline for every search request (clients can
+            also opt in per request with an ``X-Trace: 1`` header, or pin
+            the id with ``X-Trace-Id``).
+        slow_query_ms: when set, queries at or above this end-to-end latency
+            are appended to the slow-query log (JSON lines; implies
+            tracing so every slow entry carries its span timeline).
+        slow_query_log: file path for the slow-query log; ``None`` keeps
+            slow entries only in the in-memory ring.
+        trace_buffer: capacity of the recent-traces ring (``/debug/traces``).
     """
 
     host: str = "127.0.0.1"
@@ -113,6 +132,10 @@ class ServerConfig:
     retry_after_s: float = 1.0
     max_body_bytes: int = 8 * 1024 * 1024
     drain_timeout_s: float = 30.0
+    trace: bool = False
+    slow_query_ms: float | None = None
+    slow_query_log: str | None = None
+    trace_buffer: int = 128
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -121,34 +144,145 @@ class ServerConfig:
             raise ValueError("max_wait_ms must be non-negative")
         if self.max_pending < 1:
             raise ValueError("max_pending must be at least 1")
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise ValueError("slow_query_ms must be non-negative")
+        if self.trace_buffer < 1:
+            raise ValueError("trace_buffer must be at least 1")
 
 
-@dataclass
 class ServerStats:
-    """Serving counters of one :class:`EngineServer`."""
+    """Serving counters of one :class:`EngineServer`.
 
-    num_requests: int = 0
-    num_queries: int = 0
-    num_batches: int = 0
-    sum_batch_size: int = 0
-    max_batch_size: int = 0
-    rejected_busy: int = 0
-    rejected_invalid: int = 0
-    errors_unavailable: int = 0
-    errors_internal: int = 0
-    num_upserts: int = 0
-    num_deletes: int = 0
-    num_compactions: int = 0
-    per_endpoint: dict[str, int] = field(default_factory=dict)
+    Registry-backed: the attributes and :meth:`snapshot` are views over a
+    :class:`repro.common.obs.MetricsRegistry`, the same one ``GET /metrics``
+    renders, so the two surfaces can never disagree.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._queries = r.counter("server_queries_total", "search queries answered 200")
+        self._batches = r.counter("server_batches_total", "coalesced micro-batches executed")
+        self._batch_queries = r.counter(
+            "server_batch_queries_total", "queries summed over executed batches"
+        )
+        self._batch_max = r.gauge("server_batch_size_max", "largest batch so far")
+        self._batch_hist = r.histogram(
+            "server_batch_size", "micro-batch size", buckets=BATCH_SIZE_BUCKETS
+        )
+        self._wait_hist = r.histogram(
+            "server_coalesce_wait_seconds", "per-query wait for batch companions"
+        )
+        self._routes: set[str] = set()
+
+    # -- write path (single-threaded: everything runs on the event loop) ----
+
+    def observe_request(self, route: str) -> None:
+        self._routes.add(route)
+        self.registry.counter("http_requests_total", "requests by route", route=route).inc()
+
+    def observe_response(self, route: str, status: int, seconds: float) -> None:
+        self.registry.counter(
+            "http_responses_total", "responses by route and status", route=route, code=str(status)
+        ).inc()
+        self.registry.histogram(
+            "http_request_seconds", "request handling latency", route=route
+        ).observe(seconds)
 
     def observe_batch(self, size: int) -> None:
-        self.num_batches += 1
-        self.sum_batch_size += size
-        self.max_batch_size = max(self.max_batch_size, size)
+        self._batches.inc()
+        self._batch_queries.inc(size)
+        self._batch_hist.observe(size)
+        if size > self._batch_max.value:
+            self._batch_max.set(size)
+
+    def observe_wait(self, seconds: float) -> None:
+        self._wait_hist.observe(seconds)
+
+    def observe_query(self) -> None:
+        self._queries.inc()
+
+    def observe_rejected(self, reason: str) -> None:
+        self.registry.counter(
+            "server_rejected_total", "rejected requests by reason", reason=reason
+        ).inc()
+
+    def observe_error(self, kind: str) -> None:
+        self.registry.counter(
+            "server_errors_total", "failed requests by kind", kind=kind
+        ).inc()
+
+    def observe_mutation(self, kind: str) -> None:
+        self.registry.counter(
+            "server_mutations_total", "applied mutations by kind", kind=kind
+        ).inc()
+
+    # -- read path -----------------------------------------------------------
+
+    def _counter_value(self, name: str, **labels: str) -> float:
+        instrument = self.registry.get(name, **labels)
+        return instrument.value if instrument is not None else 0.0
+
+    @property
+    def num_requests(self) -> int:
+        return int(
+            sum(self._counter_value("http_requests_total", route=route) for route in self._routes)
+        )
+
+    @property
+    def num_queries(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def num_batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def sum_batch_size(self) -> int:
+        return int(self._batch_queries.value)
+
+    @property
+    def max_batch_size(self) -> int:
+        return int(self._batch_max.value)
 
     @property
     def avg_batch_size(self) -> float:
         return self.sum_batch_size / self.num_batches if self.num_batches else 0.0
+
+    @property
+    def rejected_busy(self) -> int:
+        return int(self._counter_value("server_rejected_total", reason="busy"))
+
+    @property
+    def rejected_invalid(self) -> int:
+        return int(self._counter_value("server_rejected_total", reason="invalid"))
+
+    @property
+    def errors_unavailable(self) -> int:
+        return int(self._counter_value("server_errors_total", kind="unavailable"))
+
+    @property
+    def errors_internal(self) -> int:
+        return int(self._counter_value("server_errors_total", kind="internal"))
+
+    @property
+    def num_upserts(self) -> int:
+        return int(self._counter_value("server_mutations_total", kind="upsert"))
+
+    @property
+    def num_deletes(self) -> int:
+        return int(self._counter_value("server_mutations_total", kind="delete"))
+
+    @property
+    def num_compactions(self) -> int:
+        return int(self._counter_value("server_mutations_total", kind="compact"))
+
+    @property
+    def per_endpoint(self) -> dict[str, int]:
+        return {
+            route: int(self._counter_value("http_requests_total", route=route))
+            for route in sorted(self._routes)
+        }
 
     def snapshot(self) -> dict:
         return {
@@ -164,7 +298,7 @@ class ServerStats:
             "num_upserts": self.num_upserts,
             "num_deletes": self.num_deletes,
             "num_compactions": self.num_compactions,
-            "per_endpoint": dict(self.per_endpoint),
+            "per_endpoint": self.per_endpoint,
         }
 
 
@@ -188,8 +322,16 @@ class EngineServer:
         self.engine = engine
         self.config = config or ServerConfig()
         self.stats = ServerStats()
+        self.traces = TraceBuffer(self.config.trace_buffer)
+        self.slow_log = (
+            SlowQueryLog(self.config.slow_query_ms, self.config.slow_query_log)
+            if self.config.slow_query_ms is not None
+            else None
+        )
         self._own_engine = own_engine
-        self._queue: deque[tuple[Query, asyncio.Future]] = deque()
+        # Queue entries carry their enqueue time (loop clock) so the batcher
+        # can report each query's coalesce wait.
+        self._queue: deque[tuple[Query, asyncio.Future, float]] = deque()
         self._arrival: asyncio.Event | None = None
         self._in_flight = 0
         # Requests being handled right now (parse -> dispatch -> response
@@ -290,28 +432,36 @@ class EngineServer:
             ]
             if not batch:
                 continue
-            queries = [query for query, _future in batch]
+            queries = [query for query, _future, _enqueued in batch]
             self.stats.observe_batch(len(batch))
+            batch_start = loop.time()
+            for _query, _future, enqueued in batch:
+                self.stats.observe_wait(batch_start - enqueued)
             try:
                 responses = await loop.run_in_executor(
                     self._executor, self._run_batch, queries
                 )
             except Exception as exc:  # engine failure: fail the batch, live on
-                for _query, future in batch:
+                for _query, future, _enqueued in batch:
                     if not future.done():
                         future.set_exception(exc)
                 continue
-            for (_query, future), response in zip(batch, responses):
+            exec_time = loop.time() - batch_start
+            for (_query, future, enqueued), response in zip(batch, responses):
                 if not future.done():
-                    future.set_result((response, len(batch)))
+                    future.set_result(
+                        (response, len(batch), batch_start - enqueued, exec_time)
+                    )
 
     def _run_batch(self, queries: list[Query]) -> list:
         return self.engine.search_batch(queries)
 
-    async def _admit(self, query: Query) -> tuple[Any, int]:
-        """Queue one query for the batcher and await its response."""
-        future = asyncio.get_running_loop().create_future()
-        self._queue.append((query, future))
+    async def _admit(self, query: Query) -> tuple[Any, int, float, float]:
+        """Queue one query for the batcher; returns ``(response, batch_size,
+        coalesce_wait_s, batch_exec_s)``."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._queue.append((query, future, loop.time()))
         self._in_flight += 1
         self._arrival.set()
         try:
@@ -353,9 +503,12 @@ class EngineServer:
             method, path, headers, body = request
             self._active_requests += 1
             try:
-                self.stats.num_requests += 1
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                status, payload, extra = await self._dispatch(method, path, body)
+                route = path if path in _ENDPOINTS else "other"
+                self.stats.observe_request(route)
+                started = time.perf_counter()
+                status, payload, extra = await self._dispatch(method, path, headers, body)
+                self.stats.observe_response(route, status, time.perf_counter() - started)
                 await self._write_response(writer, status, payload, keep_alive, extra)
             finally:
                 self._active_requests -= 1
@@ -419,14 +572,20 @@ class EngineServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         keep_alive: bool,
         extra_headers: dict[str, str],
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Prometheus text exposition (/metrics); everything else is JSON.
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -437,14 +596,12 @@ class EngineServer:
     # -- endpoints ---------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict, dict[str, str]]:
-        endpoint = path if path in _ENDPOINTS else "other"
-        self.stats.per_endpoint[endpoint] = self.stats.per_endpoint.get(endpoint, 0) + 1
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict | str, dict[str, str]]:
         if path in ("/search", "/search/topk"):
             if method != "POST":
                 return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
-            return await self._handle_search(path, body)
+            return await self._handle_search(path, headers, body)
         if path in ("/upsert", "/delete", "/compact"):
             if method != "POST":
                 return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
@@ -457,16 +614,34 @@ class EngineServer:
             return 200, self._stats_payload(), {}
         if path == "/manifest":
             return 200, self._manifest_payload(), {}
-        self.stats.rejected_invalid += 1
+        if path == "/metrics":
+            return 200, self._metrics_text(), {}
+        if path == "/debug/traces":
+            return 200, self._traces_payload(), {}
+        self.stats.observe_rejected("invalid")
         return 404, {"error": f"unknown path {path!r}"}, {}
 
-    async def _handle_search(self, path: str, body: bytes) -> tuple[int, dict, dict[str, str]]:
+    def _trace_id_for(self, headers: dict[str, str]) -> str | None:
+        """Resolve this request's trace id (explicit, requested, or policy)."""
+        explicit = headers.get("x-trace-id")
+        if explicit:
+            return explicit[:64]
+        requested = headers.get("x-trace")
+        if requested is not None and requested.strip().lower() not in ("", "0", "false", "no"):
+            return new_trace_id()
+        if self.config.trace or self.slow_log is not None:
+            return new_trace_id()
+        return None
+
+    async def _handle_search(
+        self, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict, dict[str, str]]:
         retry = {"Retry-After": f"{self.config.retry_after_s:g}"}
         if self._draining:
-            self.stats.errors_unavailable += 1
+            self.stats.observe_error("unavailable")
             return 503, {"error": "the server is draining"}, retry
         if self._in_flight >= self.config.max_pending:
-            self.stats.rejected_busy += 1
+            self.stats.observe_rejected("busy")
             return (
                 429,
                 {"error": f"{self._in_flight} queries in flight (limit {self.config.max_pending})"},
@@ -475,7 +650,7 @@ class EngineServer:
         try:
             parsed = json.loads(body.decode("utf-8")) if body else None
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self.stats.rejected_invalid += 1
+            self.stats.observe_rejected("invalid")
             return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
         try:
             query = decode_query(parsed)
@@ -487,25 +662,99 @@ class EngineServer:
                     "/search answers thresholded queries; use /search/topk for 'k'"
                 )
         except WireFormatError as exc:
-            self.stats.rejected_invalid += 1
+            self.stats.observe_rejected("invalid")
             return 400, {"error": str(exc)}, {}
+        trace_id = self._trace_id_for(headers)
+        if trace_id is not None:
+            query = replace(query, trace_id=trace_id)
+        started = time.perf_counter()
         try:
-            response, batch_size = await self._admit(query)
+            response, batch_size, wait_s, exec_s = await self._admit(query)
         except (ShardWorkerError, RuntimeError) as exc:
             # A dead shard worker or a closed engine: the query is lost but
             # the batcher keeps serving; clients may retry elsewhere/later.
-            self.stats.errors_unavailable += 1
-            return 503, {"error": str(exc)}, retry
+            # The trace id rides along so the failure is correlatable.
+            self.stats.observe_error("unavailable")
+            payload = {"error": str(exc)}
+            if trace_id is not None:
+                payload["trace_id"] = trace_id
+            return 503, payload, retry
         except (ValueError, KeyError) as exc:
             # Engine-level validation the wire decoder cannot see (backend
             # not attached, algorithm/backend mismatch against this index).
-            self.stats.rejected_invalid += 1
+            self.stats.observe_rejected("invalid")
             return 400, {"error": str(exc)}, {}
         except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a crash
-            self.stats.errors_internal += 1
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
-        self.stats.num_queries += 1
-        return 200, encode_response(response, batch_size), {}
+            self.stats.observe_error("internal")
+            payload = {"error": f"{type(exc).__name__}: {exc}"}
+            if trace_id is not None:
+                payload["trace_id"] = trace_id
+            return 500, payload, {}
+        e2e_ms = (time.perf_counter() - started) * 1000.0
+        self.stats.observe_query()
+        payload = encode_response(response, batch_size)
+        if trace_id is not None:
+            trace_doc = self._request_trace(trace_id, response, wait_s, exec_s, e2e_ms)
+            payload["trace"] = trace_doc
+            self.traces.add(trace_doc)
+            if self.slow_log is not None:
+                self.slow_log.maybe_log(
+                    e2e_ms,
+                    {
+                        "ts": time.time(),
+                        "trace_id": trace_id,
+                        "route": path,
+                        "backend": query.backend,
+                        "tau": query.tau,
+                        "k": query.k,
+                        "algorithm": query.algorithm,
+                        "batch_size": batch_size,
+                        "num_results": response.num_results,
+                        "num_candidates": response.num_candidates,
+                        "num_generated": response.num_generated,
+                        "cached": response.cached,
+                        "trace": trace_doc,
+                    },
+                )
+        return 200, payload, {}
+
+    def _request_trace(
+        self, trace_id: str, response: Any, wait_s: float, exec_s: float, e2e_ms: float
+    ) -> dict:
+        """The request timeline: coalesce wait, then the batch execution with
+        the engine's own span tree (which for a sharded engine holds the
+        per-shard candidate/verify spans and the merge) embedded."""
+        wait_ms = wait_s * 1000.0
+        children = []
+        engine_trace = getattr(response, "trace", None)
+        if engine_trace:
+            children.append(
+                {
+                    "name": engine_trace.get("name", "engine"),
+                    "start_ms": 0.0,
+                    "duration_ms": engine_trace.get("duration_ms", 0.0),
+                    "children": engine_trace.get("spans", []),
+                }
+            )
+        return {
+            "trace_id": trace_id,
+            "name": "request",
+            "duration_ms": round(e2e_ms, 4),
+            "spans": [
+                {
+                    "name": "coalesce_wait",
+                    "start_ms": 0.0,
+                    "duration_ms": round(wait_ms, 4),
+                    "children": [],
+                },
+                {
+                    "name": "batch_exec",
+                    "start_ms": round(wait_ms, 4),
+                    "duration_ms": round(exec_s * 1000.0, 4),
+                    "children": children,
+                },
+            ],
+        }
 
     async def _handle_mutation(self, path: str, body: bytes) -> tuple[int, dict, dict[str, str]]:
         """Apply one upsert/delete/compact through the batch executor.
@@ -517,10 +766,10 @@ class EngineServer:
         """
         retry = {"Retry-After": f"{self.config.retry_after_s:g}"}
         if self._draining:
-            self.stats.errors_unavailable += 1
+            self.stats.observe_error("unavailable")
             return 503, {"error": "the server is draining"}, retry
         if self._in_flight >= self.config.max_pending:
-            self.stats.rejected_busy += 1
+            self.stats.observe_rejected("busy")
             return (
                 429,
                 {"error": f"{self._in_flight} queries in flight (limit {self.config.max_pending})"},
@@ -529,25 +778,25 @@ class EngineServer:
         try:
             parsed = json.loads(body.decode("utf-8")) if body else None
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self.stats.rejected_invalid += 1
+            self.stats.observe_rejected("invalid")
             return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
         try:
             apply = self._decode_mutation(path, parsed)
         except WireFormatError as exc:
-            self.stats.rejected_invalid += 1
+            self.stats.observe_rejected("invalid")
             return 400, {"error": str(exc)}, {}
         loop = asyncio.get_running_loop()
         self._in_flight += 1
         try:
             payload = await loop.run_in_executor(self._executor, apply)
         except (ShardWorkerError, RuntimeError) as exc:
-            self.stats.errors_unavailable += 1
+            self.stats.observe_error("unavailable")
             return 503, {"error": str(exc)}, retry
         except (ValueError, KeyError, NotImplementedError) as exc:
-            self.stats.rejected_invalid += 1
+            self.stats.observe_rejected("invalid")
             return 400, {"error": str(exc)}, {}
         except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a crash
-            self.stats.errors_internal += 1
+            self.stats.observe_error("internal")
             return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
         finally:
             self._in_flight -= 1
@@ -562,7 +811,7 @@ class EngineServer:
 
             def apply() -> dict:
                 assigned = engine.upsert(backend_name, record, obj_id)
-                self.stats.num_upserts += 1
+                self.stats.observe_mutation("upsert")
                 return {"backend": backend_name, "id": int(assigned)}
 
         elif path == "/delete":
@@ -570,7 +819,7 @@ class EngineServer:
 
             def apply() -> dict:
                 deleted = engine.delete(backend_name, obj_id)
-                self.stats.num_deletes += 1
+                self.stats.observe_mutation("delete")
                 return {"backend": backend_name, "id": obj_id, "deleted": bool(deleted)}
 
         else:
@@ -586,7 +835,7 @@ class EngineServer:
 
             def apply() -> dict:
                 summary = engine.compact(backend_name)
-                self.stats.num_compactions += 1
+                self.stats.observe_mutation("compact")
                 if isinstance(summary, list):  # per-shard summaries
                     return {"backend": engine.backend_name, "shards": summary}
                 return summary
@@ -615,6 +864,26 @@ class EngineServer:
         if stats is not None and hasattr(stats, "snapshot"):
             payload["engine"] = stats.snapshot()
         return payload
+
+    def _metrics_text(self) -> str:
+        registry = self.stats.registry
+        registry.gauge("server_queue_depth", "queries waiting for a batch").set(len(self._queue))
+        registry.gauge("server_in_flight", "admitted queries in flight").set(self._in_flight)
+        merged = MetricsRegistry()
+        merged.merge_wire(registry.to_wire())
+        engine_wire = getattr(self.engine, "metrics_wire", None)
+        if engine_wire is not None:
+            try:
+                merged.merge_wire(engine_wire())
+            except Exception:  # noqa: BLE001 - a dead worker must not take /metrics down
+                pass
+        return merged.render_prometheus()
+
+    def _traces_payload(self) -> dict:
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "traces": self.traces.snapshot(32),
+        }
 
     def _manifest_payload(self) -> dict:
         if isinstance(self.engine, ShardedEngine):

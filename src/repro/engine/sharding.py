@@ -36,10 +36,10 @@ import json
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Iterator, Sequence
 
+from repro.common.obs import MetricsRegistry, TraceBuffer
 from repro.common.stats import Timer
 from repro.engine.api import Query, Response
 from repro.engine.backend import get_backend
@@ -231,6 +231,10 @@ def _worker_search(query: Query) -> dict:
         "candidate_time": response.candidate_time,
         "verify_time": response.verify_time,
         "engine_time": response.engine_time,
+        # Span timeline recorded by the worker engine (None when the query
+        # carried no trace id).  Offsets are relative to the worker's own
+        # clock; the parent embeds them under its per-shard span.
+        "trace": response.trace,
     }
 
 
@@ -242,6 +246,11 @@ def _worker_search_many(queries: Sequence[Query]) -> list[dict]:
 def _worker_stats() -> dict:
     """Snapshot of the worker engine's own EngineStats."""
     return _WORKER["engine"].stats.snapshot()
+
+
+def _worker_metrics() -> dict:
+    """The worker engine's metrics registry as a wire dump (mergeable)."""
+    return _WORKER["engine"].metrics_wire()
 
 
 def _worker_upsert(record: Any, local_id: int) -> int:
@@ -278,21 +287,36 @@ def _worker_flush(shard_dir: str) -> dict:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
 class ShardStats:
-    """Parent-observed serving totals for one shard."""
+    """Parent-observed serving totals for one shard (a registry view)."""
 
-    num_queries: int = 0
-    worker_time: float = 0.0
-    max_worker_time: float = 0.0
+    __slots__ = ("_registry", "_shard")
 
-    def add(self, seconds: float) -> None:
-        self.num_queries += 1
-        self.worker_time += seconds
-        self.max_worker_time = max(self.max_worker_time, seconds)
+    def __init__(self, registry: MetricsRegistry, shard_id: int) -> None:
+        self._registry = registry
+        self._shard = str(shard_id)
+
+    def _value(self, name: str) -> float:
+        instrument = self._registry.get(name, shard=self._shard)
+        return instrument.value if instrument is not None else 0.0
+
+    @property
+    def num_queries(self) -> int:
+        return int(self._value("sharded_shard_queries_total"))
+
+    @property
+    def worker_time(self) -> float:
+        return self._value("sharded_shard_seconds_total")
+
+    @property
+    def max_worker_time(self) -> float:
+        return self._value("sharded_shard_max_seconds")
+
+    @property
+    def worker_errors(self) -> int:
+        return int(self._value("sharded_worker_errors_total"))
 
 
-@dataclass
 class ShardedStats:
     """Aggregate fan-out/merge statistics of one :class:`ShardedEngine`.
 
@@ -303,12 +327,73 @@ class ShardedStats:
     :meth:`ShardedEngine.search_batch` each chunk's incremental wall time is
     amortised over the chunk's queries, so the total equals the batch wall
     time and ``avg_fanout_time_ms`` is the inverse of batch throughput.
+
+    Every number lives in a :class:`repro.common.obs.MetricsRegistry` (the
+    parent's half of ``/metrics``; the workers' registries are merged in by
+    :meth:`ShardedEngine.metrics_wire`).
     """
 
-    num_queries: int = 0
-    fanout_time: float = 0.0
-    merge_time: float = 0.0
-    per_shard: list[ShardStats] = field(default_factory=list)
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._queries = r.counter("sharded_queries_total", "queries fanned out to the shards")
+        self._fanout = r.counter(
+            "sharded_fanout_seconds_total", "wall seconds attributed to fan-out"
+        )
+        self._merge = r.counter(
+            "sharded_merge_seconds_total", "wall seconds combining shard answers"
+        )
+        self._num_shards = 0
+
+    def add_shard(self) -> int:
+        shard_id = self._num_shards
+        self._num_shards += 1
+        shard = str(shard_id)
+        r = self.registry
+        r.counter("sharded_shard_queries_total", "queries answered by this shard", shard=shard)
+        r.counter("sharded_shard_seconds_total", "worker seconds on this shard", shard=shard)
+        r.gauge("sharded_shard_max_seconds", "slowest query on this shard", shard=shard)
+        r.counter(
+            "sharded_worker_errors_total", "worker process failures on this shard", shard=shard
+        )
+        return shard_id
+
+    def observe_query(self, fanout_s: float, merge_s: float, parts: Sequence[dict]) -> None:
+        r = self.registry
+        self._queries.inc()
+        self._fanout.inc(fanout_s)
+        self._merge.inc(merge_s)
+        r.histogram("sharded_merge_seconds", "per-query merge latency").observe(merge_s)
+        for shard_id, part in enumerate(parts):
+            shard = str(shard_id)
+            seconds = part["engine_time"]
+            r.counter("sharded_shard_queries_total", shard=shard).inc()
+            r.counter("sharded_shard_seconds_total", shard=shard).inc(seconds)
+            gauge = r.gauge("sharded_shard_max_seconds", shard=shard)
+            if seconds > gauge.value:
+                gauge.set(seconds)
+            r.histogram(
+                "sharded_shard_seconds", "per-query worker latency", shard=shard
+            ).observe(seconds)
+
+    def observe_worker_error(self, shard_id: int) -> None:
+        self.registry.counter("sharded_worker_errors_total", shard=str(shard_id)).inc()
+
+    @property
+    def num_queries(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def fanout_time(self) -> float:
+        return self._fanout.value
+
+    @property
+    def merge_time(self) -> float:
+        return self._merge.value
+
+    @property
+    def per_shard(self) -> list[ShardStats]:
+        return [ShardStats(self.registry, shard_id) for shard_id in range(self._num_shards)]
 
     def snapshot(self) -> dict:
         queries = self.num_queries
@@ -329,6 +414,7 @@ class ShardedStats:
                         else 0.0
                     ),
                     "max_worker_time_ms": 1000.0 * stats.max_worker_time,
+                    "worker_errors": stats.worker_errors,
                 }
                 for shard_id, stats in enumerate(self.per_shard)
             ],
@@ -366,6 +452,7 @@ class ShardedEngine:
         context = multiprocessing.get_context(mp_context) if mp_context is not None else None
         self._pools: list[ProcessPoolExecutor] = []
         self._stats = ShardedStats()
+        self._traces = TraceBuffer(128)
         try:
             for shard in self._manifest["shards"]:
                 pool = ProcessPoolExecutor(
@@ -379,7 +466,7 @@ class ShardedEngine:
                     ),
                 )
                 self._pools.append(pool)
-                self._stats.per_shard.append(ShardStats())
+                self._stats.add_shard()
             # Readiness barrier: every worker has loaded its shard.
             for pool in self._pools:
                 pool.submit(_worker_ready).result()
@@ -425,7 +512,8 @@ class ShardedEngine:
 
     def reset_stats(self) -> None:
         self._stats = ShardedStats()
-        self._stats.per_shard.extend(ShardStats() for _pool in self._pools)
+        for _pool in self._pools:
+            self._stats.add_shard()
 
     def load_queries(self) -> list[Any] | None:
         """The workload persisted next to the shards, if any."""
@@ -437,6 +525,26 @@ class ShardedEngine:
             self._shard_result(shard_id, self._submit_to_shard(shard_id, _worker_stats))
             for shard_id in range(len(self._pools))
         ]
+
+    def metrics_wire(self) -> dict:
+        """Parent registry plus every worker's registry, merged into one dump.
+
+        Worker histograms share bucket ladders, so the merged histogram
+        answers quantile queries exactly as one that observed every shard's
+        samples itself.
+        """
+        merged = MetricsRegistry()
+        merged.merge_wire(self._stats.registry.to_wire())
+        for shard_id in range(len(self._pools)):
+            wire = self._shard_result(
+                shard_id, self._submit_to_shard(shard_id, _worker_metrics)
+            )
+            merged.merge_wire(wire)
+        return merged.to_wire()
+
+    def recent_traces(self, last: int | None = None) -> list[dict]:
+        """Most recent merged trace documents, newest first."""
+        return self._traces.snapshot(last)
 
     # -- mutation ----------------------------------------------------------
 
@@ -572,13 +680,14 @@ class ShardedEngine:
         try:
             return self._pools[shard_id].submit(fn, *args)
         except BrokenProcessPool as exc:
+            self._stats.observe_worker_error(shard_id)
             raise ShardWorkerError(shard_id, f"worker process is gone ({exc})") from exc
 
-    @staticmethod
-    def _shard_result(shard_id: int, future: Future) -> Any:
+    def _shard_result(self, shard_id: int, future: Future) -> Any:
         try:
             return future.result()
         except BrokenProcessPool as exc:
+            self._stats.observe_worker_error(shard_id)
             raise ShardWorkerError(shard_id, f"worker process died mid-query ({exc})") from exc
 
     def _submit(self, query: Query) -> list[Future]:
@@ -620,12 +729,52 @@ class ShardedEngine:
             verify_time=sum(part["verify_time"] for part in parts),
             engine_time=elapsed + merge_time,
         )
-        self._stats.num_queries += 1
-        self._stats.fanout_time += response.engine_time
-        self._stats.merge_time += merge_time
-        for stats, part in zip(self._stats.per_shard, parts):
-            stats.add(part["engine_time"])
+        self._stats.observe_query(response.engine_time, merge_time, parts)
+        if query.trace_id is not None:
+            response.trace = self._build_trace(query, parts, elapsed, merge_time)
+            self._traces.add(response.trace)
         return response
+
+    def _build_trace(
+        self, query: Query, parts: list[dict], fanout_s: float, merge_s: float
+    ) -> dict:
+        """Assemble the fan-out timeline, embedding the worker span trees.
+
+        Worker clocks are not comparable with the parent's, so each worker's
+        spans keep their worker-relative offsets and sit under a per-shard
+        span whose duration is the worker-reported engine time.
+        """
+        shard_spans = []
+        for shard_id, part in enumerate(parts):
+            worker_trace = part.get("trace") or {}
+            shard_spans.append(
+                {
+                    "name": f"shard[{shard_id}]",
+                    "start_ms": 0.0,
+                    "duration_ms": round(part["engine_time"] * 1000.0, 4),
+                    "children": worker_trace.get("spans", []),
+                }
+            )
+        fanout_ms = fanout_s * 1000.0
+        return {
+            "trace_id": query.trace_id,
+            "name": "sharded",
+            "duration_ms": round((fanout_s + merge_s) * 1000.0, 4),
+            "spans": [
+                {
+                    "name": "fanout",
+                    "start_ms": 0.0,
+                    "duration_ms": round(fanout_ms, 4),
+                    "children": shard_spans,
+                },
+                {
+                    "name": "merge",
+                    "start_ms": round(fanout_ms, 4),
+                    "duration_ms": round(merge_s * 1000.0, 4),
+                    "children": [],
+                },
+            ],
+        }
 
     def search(self, query: Query) -> Response:
         """Fan one query out to every shard and merge the partial answers."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import TYPE_CHECKING
 
+from repro.common.obs import span
 from repro.engine.api import Query, Response
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -40,23 +41,28 @@ def run_topk(engine: "SearchEngine", query: Query) -> Response:
     verify_time = 0.0
     for position, tau in enumerate(ladder):
         exhaustive = position == len(ladder) - 1
+        # Rungs inherit the ambient trace through the context variable, so
+        # they carry no trace_id of their own (and produce no nested trace).
         rung = replace(
             query,
             tau=tau,
             k=None,
             algorithm="linear" if exhaustive else query.algorithm,
+            trace_id=None,
         )
-        response = engine.search(rung)
+        with span(f"rung[tau={tau}]"):
+            response = engine.search(rung)
         num_candidates += response.num_candidates
         candidate_time += response.candidate_time
         verify_time += response.verify_time
         if response.num_results >= query.k:
             break
 
-    scores = engine.rank_scores(
-        query.backend, query.payload, response.ids, response.tau_effective
-    )
-    scored = sorted(zip(scores, response.ids))[: query.k]
+    with span("rank"):
+        scores = engine.rank_scores(
+            query.backend, query.payload, response.ids, response.tau_effective
+        )
+        scored = sorted(zip(scores, response.ids))[: query.k]
     return Response(
         query=query,
         ids=[obj_id for _score, obj_id in scored],

@@ -213,8 +213,10 @@ def encode_response(response: Response, batch_size: int = 1) -> dict:
 
     ``batch_size`` is the size of the micro-batch the query was coalesced
     into -- serving metadata the in-process :class:`Response` does not have.
+    A span timeline is attached under ``"trace"`` only when the query was
+    traced, keeping untraced responses byte-identical to schema v1.
     """
-    return {
+    doc = {
         "schema_version": WIRE_SCHEMA_VERSION,
         "ids": [int(obj_id) for obj_id in response.ids],
         "scores": (
@@ -230,3 +232,6 @@ def encode_response(response: Response, batch_size: int = 1) -> dict:
         "cached": response.cached,
         "batch_size": batch_size,
     }
+    if response.trace is not None:
+        doc["trace"] = response.trace
+    return doc

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common.obs import span
 from repro.common.stats import SearchResult, Timer
 from repro.graphs.dataset import GraphDataset
 from repro.graphs.ged import ged_within
@@ -112,13 +113,15 @@ class ColumnarGraphSearcher(RingGraphSearcher):
 
     def search(self, query: Graph) -> SearchResult:
         timer = Timer()
-        candidates, generated = self._candidates_columnar(query)
+        with span("candidates"):
+            candidates, generated = self._candidates_columnar(query)
         candidate_time = timer.restart()
-        results = [
-            obj_id
-            for obj_id in candidates
-            if ged_within(self._dataset.graph(obj_id), query, self._tau)
-        ]
+        with span("verify"):
+            results = [
+                obj_id
+                for obj_id in candidates
+                if ged_within(self._dataset.graph(obj_id), query, self._tau)
+            ]
         verify_time = timer.elapsed()
         return SearchResult(
             results=results,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common.obs import span
 from repro.common.stats import SearchResult, Timer
 from repro.hamming.cost_model import allocate_thresholds, even_thresholds
 from repro.hamming.dataset import BinaryVectorDataset
@@ -131,14 +132,16 @@ class RingHammingSearcher:
 
     def search(self, query: np.ndarray, tau: int) -> SearchResult:
         timer = Timer()
-        candidates = self.candidates(query, tau)
+        with span("candidates"):
+            candidates = self.candidates(query, tau)
         candidate_time = timer.restart()
-        if candidates:
-            ids = np.asarray(candidates, dtype=np.int64)
-            distances = self._dataset.distances_to_subset(query, ids)
-            results = ids[distances <= tau].tolist()
-        else:
-            results = []
+        with span("verify"):
+            if candidates:
+                ids = np.asarray(candidates, dtype=np.int64)
+                distances = self._dataset.distances_to_subset(query, ids)
+                results = ids[distances <= tau].tolist()
+            else:
+                results = []
         verify_time = timer.elapsed()
         return SearchResult(
             results=results,

@@ -36,6 +36,7 @@ from repro.common.scratch import (
     segment_sums,
     sorted_member_mask,
 )
+from repro.common.obs import span
 from repro.common.stats import SearchResult, Timer
 from repro.sets.dataset import SetDataset
 from repro.sets.ring import RingSetSearcher
@@ -216,25 +217,27 @@ class ColumnarSetSearcher(RingSetSearcher):
 
     def search(self, query: Sequence[int]) -> SearchResult:
         timer = Timer()
-        encoded_query = self._dataset.encode_query(query)
-        cands, generated = self._candidates_columnar(encoded_query)
+        with span("candidates"):
+            encoded_query = self._dataset.encode_query(query)
+            cands, generated = self._candidates_columnar(encoded_query)
         candidate_time = timer.restart()
-        query_arr = np.asarray(encoded_query, dtype=np.int64)
-        if cands.size:
-            starts = self._col_offsets[cands]
-            ends = self._col_offsets[cands + 1]
-            gather = csr_gather_indices(starts, ends, self._scratch.get())
-            flat = self._col_tokens[gather]
-            hits = sorted_member_mask(query_arr, flat)
-            boundaries = np.zeros(cands.size + 1, dtype=np.int64)
-            np.cumsum(ends - starts, out=boundaries[1:])
-            overlaps = segment_sums(hits, boundaries)
-            required = self._predicate.pair_required_overlap_array(
-                self._col_sizes[cands], len(encoded_query)
-            )
-            results = cands[overlaps >= required]
-        else:
-            results = cands
+        with span("verify"):
+            query_arr = np.asarray(encoded_query, dtype=np.int64)
+            if cands.size:
+                starts = self._col_offsets[cands]
+                ends = self._col_offsets[cands + 1]
+                gather = csr_gather_indices(starts, ends, self._scratch.get())
+                flat = self._col_tokens[gather]
+                hits = sorted_member_mask(query_arr, flat)
+                boundaries = np.zeros(cands.size + 1, dtype=np.int64)
+                np.cumsum(ends - starts, out=boundaries[1:])
+                overlaps = segment_sums(hits, boundaries)
+                required = self._predicate.pair_required_overlap_array(
+                    self._col_sizes[cands], len(encoded_query)
+                )
+                results = cands[overlaps >= required]
+            else:
+                results = cands
         verify_time = timer.elapsed()
         return SearchResult(
             results=results.tolist(),

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common.obs import span
 from repro.common.scratch import PerThread, Scratch, csr_gather_indices
 from repro.common.stats import SearchResult, Timer
 from repro.strings.dataset import StringDataset
@@ -427,16 +428,18 @@ class ColumnarStringSearcher(RingStringSearcher):
 
     def search(self, query: str) -> SearchResult:
         timer = Timer()
-        cands, generated = self._candidates_columnar(query)
+        with span("candidates"):
+            cands, generated = self._candidates_columnar(query)
         candidate_time = timer.restart()
-        records = self._dataset.records
-        # One Myers matcher per query: the query bit masks are built once and
-        # every candidate costs O(len(record)) word operations.
-        matcher = QueryMatcher(query)
-        tau = self._tau
-        results = [
-            obj_id for obj_id in cands.tolist() if matcher.within(records[obj_id], tau)
-        ]
+        with span("verify"):
+            records = self._dataset.records
+            # One Myers matcher per query: the query bit masks are built once
+            # and every candidate costs O(len(record)) word operations.
+            matcher = QueryMatcher(query)
+            tau = self._tau
+            results = [
+                obj_id for obj_id in cands.tolist() if matcher.within(records[obj_id], tau)
+            ]
         verify_time = timer.elapsed()
         return SearchResult(
             results=results,
