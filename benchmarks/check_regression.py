@@ -20,6 +20,13 @@ against the candidate report produced by ``benchmarks/run_all.py``:
   ``--speedup-floor`` (a scalar-loop regression in the kernels drags that
   ratio towards 1x and fails the build even when absolute throughput
   noise would mask it), and
+* the ``durability`` profile (checked *within the candidate report*, so
+  it is hardware-independent): batched ``/mutate`` ingest at ``wal``
+  durability must at least match the single-op upsert rate measured
+  seconds earlier on the same server (group commit cannot be slower than
+  one fsync per op), and background auto-compaction must have completed
+  without error; batched-wal ops/s is additionally gated against the
+  baseline at ``--tolerance`` when both reports carry the section, and
 * the ``observability`` profile: traced answers must equal untraced ones,
   and -- gated *within the candidate report*, so it is hardware-
   independent -- the tracing-disabled throughput must stay within
@@ -112,6 +119,7 @@ def compare(
                 )
     failures.extend(compare_served(baseline, candidate, tolerance))
     failures.extend(compare_mutation(baseline, candidate, tolerance))
+    failures.extend(compare_durability(baseline, candidate, tolerance))
     failures.extend(compare_pipeline(baseline, candidate, tolerance, speedup_floor))
     failures.extend(
         compare_observability(baseline, candidate, tolerance, observability_tolerance)
@@ -241,6 +249,49 @@ def compare_mutation(baseline: dict, candidate: dict, tolerance: float) -> list[
             failures.append(
                 f"mutation {domain}: query throughput under writes dropped "
                 f"{drop:.0%} ({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
+            )
+    return failures
+
+
+def compare_durability(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
+    """Gate the durable-ingest profile: group commit + clean auto-compaction.
+
+    The batched-vs-single-op check is candidate-internal (both rates come
+    from the same server seconds apart), so it gates on any hardware; the
+    baseline comparison follows the usual skip-when-absent pattern.
+    """
+    failures: list[str] = []
+    cand_durability = candidate.get("durability", {}).get("domains", {})
+    for domain, entry in cand_durability.items():
+        single = entry.get("single_op_wal_qps", 0.0)
+        batched = entry.get("levels", {}).get("wal", {}).get("batched_ops_per_s", 0.0)
+        if single and batched < single:
+            failures.append(
+                f"durability {domain}: batched /mutate at wal durability moves "
+                f"{batched:.1f} op/s, below the single-op upsert rate "
+                f"({single:.1f} op/s) -- group commit stopped amortising the fsync"
+            )
+        compaction = entry.get("auto_compaction", {})
+        if not compaction.get("completed_cleanly", False):
+            failures.append(
+                f"durability {domain}: background auto-compaction did not "
+                f"complete cleanly (ran {compaction.get('compactions', 0)} "
+                f"fold(s))"
+            )
+    base_durability = baseline.get("durability", {}).get("domains", {})
+    for domain, base_entry in base_durability.items():
+        cand_entry = cand_durability.get(domain)
+        if cand_entry is None:
+            failures.append(f"durability {domain}: missing from the candidate report")
+            continue
+        base_qps = base_entry.get("levels", {}).get("wal", {}).get("batched_ops_per_s", 0.0)
+        cand_qps = cand_entry.get("levels", {}).get("wal", {}).get("batched_ops_per_s", 0.0)
+        floor = base_qps * (1.0 - tolerance)
+        if cand_qps < floor:
+            drop = 1.0 - cand_qps / base_qps if base_qps else 1.0
+            failures.append(
+                f"durability {domain}: batched wal ingest dropped {drop:.0%} "
+                f"({base_qps:.1f} -> {cand_qps:.1f} op/s, floor {floor:.1f})"
             )
     return failures
 
@@ -424,6 +475,24 @@ def main(argv: list[str] | None = None) -> int:
             f"under {entry.get('writes_per_s', 0.0):.1f} w/s ({delta})  "
             f"compact {entry.get('compact_seconds', 0.0):.2f}s  "
             f"stable={entry.get('compact_preserves_answers')}"
+        )
+    for domain, entry in sorted(candidate.get("durability", {}).get("domains", {}).items()):
+        base = baseline.get("durability", {}).get("domains", {}).get(domain, {})
+        wal_level = entry.get("levels", {}).get("wal", {})
+        base_qps = base.get("levels", {}).get("wal", {}).get("batched_ops_per_s")
+        delta = (
+            f"{wal_level.get('batched_ops_per_s', 0.0) / base_qps - 1.0:+.0%} vs baseline"
+            if base_qps
+            else "no baseline"
+        )
+        compaction = entry.get("auto_compaction", {})
+        print(
+            f"[{domain:>8} durable] batched wal "
+            f"{wal_level.get('batched_ops_per_s', 0.0):>8.1f} op/s ({delta})  "
+            f"{entry.get('batched_vs_single_op', 0.0):.2f}x vs single-op  "
+            f"compactions {compaction.get('compactions', 0)} "
+            f"(query p99 {compaction.get('query_p99_ms', 0.0):.2f} ms)  "
+            f"clean={compaction.get('completed_cleanly')}"
         )
     print(
         f"hardware: baseline {base_cpus} cpu(s), candidate {cand_cpus} cpu(s); "

@@ -26,7 +26,14 @@ For every domain (Hamming, sets, strings, graphs) this runner
    funnel and per-stage timings under a ``pipeline`` section -- asserting
    the two return identical ids.  ``--pipeline-only`` runs just this
    section (the CI kernel micro-bench smoke), and
-8. (unless ``--no-observability``) replays the threshold workload once
+8. (unless ``--no-durability``) serves each domain with a write-ahead log
+   attached and measures durable ingest over HTTP: single-op ``/upsert``
+   at ``wal`` durability (one fsync per op) against ``/mutate`` batches at
+   ``memory`` and ``wal`` (one fsync per batch), plus query p99 while
+   background auto-compaction folds the delta store, under a
+   ``durability`` section -- ``check_regression.py`` holds the batched
+   ``wal`` path at or above the single-op rate, and
+9. (unless ``--no-observability``) replays the threshold workload once
    with tracing off and once with a trace id threaded through every
    query, plus the latency of a ``GET /metrics`` scrape against a live
    server, under an ``observability`` section --
@@ -95,6 +102,11 @@ MUTATION_ROUNDS = {"ci": 24, "full": 80}
 #: Algorithms compared by the ``pipeline`` section; domains that retain no
 #: scalar ring (Hamming was always vectorised) report only ``ring``.
 PIPELINE_ALGORITHMS = ("ring", "ring-scalar")
+
+#: Write volume of the ``durability`` section, per profile: single-op
+#: upserts and ``/mutate`` batches both push this many ops per ack level.
+DURABILITY_OPS = {"ci": 96, "full": 480}
+DURABILITY_BATCH_SIZE = 16
 
 
 def bench_pipeline(name: str, config: dict) -> dict:
@@ -359,6 +371,96 @@ def bench_mutation(name: str, config: dict, rounds: int) -> dict:
     }
 
 
+def bench_durability(name: str, config: dict, num_ops: int, workdir: str) -> dict:
+    """Durable ingest throughput and auto-compaction pauses for one domain.
+
+    A live HTTP server (in-process ``ServerThread``, real wire format) over
+    a WAL-attached engine answers three write profiles with the same op
+    volume: single-op ``/upsert`` shims at ``wal`` durability (one fsync
+    per op -- the naive path), then ``/mutate`` batches of
+    ``DURABILITY_BATCH_SIZE`` at ``memory`` and at ``wal`` (one fsync per
+    *batch* -- the group-commit claim; ``check_regression.py`` holds
+    batched-wal ops/s at or above the single-op rate).  A final phase arms
+    auto-compaction and interleaves writes with the query workload,
+    recording query p99 *including* any compaction swap pauses, and
+    verifies the background folds completed cleanly.
+    """
+    from repro.engine import EngineClient, ServerConfig, ServerThread
+    from repro.engine.bench import percentile
+    from repro.engine.wal import AutoCompactionPolicy
+
+    backend = get_backend(name)
+    dataset, payloads = backend.make_workload(config["size"], config["num_queries"], config["seed"])
+    engine = SearchEngine(cache_size=0)
+    store = engine.add_dataset(name, dataset)
+    tau = backend.default_tau(store)
+    engine.attach_wal(name, os.path.join(workdir, f"{name}-durability.wal"))
+    recycled = list(backend.store_records(store))
+    num_batches = -(-num_ops // DURABILITY_BATCH_SIZE)
+
+    section: dict = {
+        "tau": tau,
+        "num_ops": num_ops,
+        "batch_size": DURABILITY_BATCH_SIZE,
+        "levels": {},
+    }
+    with ServerThread(engine, ServerConfig(max_wait_ms=1.0)) as handle:
+        with EngineClient(handle.url) as client:
+            timer = Timer()
+            for index in range(num_ops):
+                client.upsert(name, recycled[index % len(recycled)], durability="wal")
+            wall = timer.elapsed()
+            section["single_op_wal_qps"] = num_ops / wall if wall else 0.0
+            for level in ("memory", "wal"):
+                timer = Timer()
+                for index in range(num_batches):
+                    ops = [
+                        {"op": "upsert", "record": recycled[(index + offset) % len(recycled)]}
+                        for offset in range(DURABILITY_BATCH_SIZE)
+                    ]
+                    client.mutate(name, ops, durability=level)
+                wall = timer.elapsed()
+                total = num_batches * DURABILITY_BATCH_SIZE
+                section["levels"][level] = {
+                    "batched_ops_per_s": total / wall if wall else 0.0,
+                    "batches_per_s": num_batches / wall if wall else 0.0,
+                }
+            # Auto-compaction phase: queries ride along with the writes, so
+            # their p99 absorbs every container-swap pause.
+            engine.enable_auto_compaction(
+                name,
+                AutoCompactionPolicy(
+                    min_delta_records=16, cost_ratio=0.05, max_delta_records=512
+                ),
+            )
+            latencies_ms: list[float] = []
+            for index in range(num_batches):
+                client.mutate(
+                    name,
+                    [
+                        {"op": "upsert", "record": recycled[(index + offset) % len(recycled)]}
+                        for offset in range(DURABILITY_BATCH_SIZE)
+                    ],
+                    durability="wal",
+                )
+                for payload in payloads:
+                    query_timer = Timer()
+                    client.search(name, payload, tau=tau)
+                    latencies_ms.append(query_timer.elapsed() * 1000.0)
+            engine.wait_for_compaction(name, timeout=120.0)
+            info = engine.durability_info(name)["auto_compaction"]
+    section["auto_compaction"] = {
+        "compactions": info["compactions"],
+        "completed_cleanly": bool(info["compactions"]) and info["last_error"] is None,
+        "query_p50_ms": percentile(latencies_ms, 0.50),
+        "query_p99_ms": percentile(latencies_ms, 0.99),
+    }
+    single = section["single_op_wal_qps"]
+    batched = section["levels"]["wal"]["batched_ops_per_s"]
+    section["batched_vs_single_op"] = batched / single if single else 0.0
+    return section
+
+
 def _spawn_server(index_dir: str, ready_file: str) -> subprocess.Popen:
     """Start ``python -m repro.engine serve`` with this checkout importable."""
     src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -466,6 +568,11 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the columnar-vs-scalar pipeline benchmarks",
     )
     parser.add_argument(
+        "--no-durability",
+        action="store_true",
+        help="skip the WAL ingest-throughput + auto-compaction benchmarks",
+    )
+    parser.add_argument(
         "--no-observability",
         action="store_true",
         help="skip the tracing-overhead + /metrics scrape benchmarks",
@@ -546,6 +653,27 @@ def main(argv: list[str] | None = None) -> int:
                     f"p95 {section['query_p95_ms']:>7.2f} ms  "
                     f"compact {section['compact_seconds']:.2f}s  "
                     f"stable={section['compact_preserves_answers']}"
+                )
+        if not args.no_durability and not args.pipeline_only:
+            report["durability"] = {
+                "ops": DURABILITY_OPS[args.profile],
+                "batch_size": DURABILITY_BATCH_SIZE,
+                "domains": {},
+            }
+            for name in domains:
+                section = bench_durability(
+                    name, profile[name], DURABILITY_OPS[args.profile], workdir
+                )
+                report["durability"]["domains"][name] = section
+                ok = ok and section["auto_compaction"]["completed_cleanly"]
+                print(
+                    f"[{name:>8} durability] single-op wal "
+                    f"{section['single_op_wal_qps']:>7.1f} op/s  "
+                    f"batched wal {section['levels']['wal']['batched_ops_per_s']:>8.1f} op/s "
+                    f"({section['batched_vs_single_op']:.1f}x)  "
+                    f"memory {section['levels']['memory']['batched_ops_per_s']:>8.1f} op/s  "
+                    f"compactions {section['auto_compaction']['compactions']}  "
+                    f"q p99 {section['auto_compaction']['query_p99_ms']:.2f} ms"
                 )
         if not args.no_observability and not args.pipeline_only:
             report["observability"] = {"domains": {}}

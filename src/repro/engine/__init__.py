@@ -14,7 +14,12 @@ searcher classes; this subsystem puts one serving layer on top of them:
 * :mod:`repro.engine.topk` -- top-k search via adaptive threshold escalation.
 * :mod:`repro.engine.mutation` -- :class:`DeltaStore`: the delta/tombstone
   overlay behind online ``upsert`` / ``delete`` / ``compact``.
-* :mod:`repro.engine.persistence` -- build-once/save/load index containers.
+* :mod:`repro.engine.persistence` -- build-once/save/load index containers;
+  every write is atomic (temp + fsync + rename).
+* :mod:`repro.engine.wal` -- :class:`WriteAheadLog`: checksummed,
+  length-prefixed batch records with prefix-validity recovery, plus
+  :class:`AutoCompactionPolicy`, the delta-vs-index cost crossover behind
+  background auto-compaction.
 * :mod:`repro.engine.sharding` -- :class:`ShardedEngine`: id-range shards
   served by one worker process each, with exact threshold/top-k merging.
 * :mod:`repro.engine.bench` -- the latency/throughput harness behind the
@@ -29,7 +34,14 @@ searcher classes; this subsystem puts one serving layer on top of them:
   :func:`asearch` coroutine.
 * :mod:`repro.engine.cli` -- ``python -m repro.engine`` with ``build-index``,
   ``query``, ``bench``, ``build-shards``, ``serve-bench``, ``serve``,
-  ``load-bench``, ``upsert``, ``delete`` and ``compact`` subcommands.
+  ``load-bench``, ``upsert``, ``delete``, ``compact`` and ``wal-inspect``
+  subcommands.
+
+Mutations flow through the batched ``mutate(backend, ops)`` entry point
+(``upsert``/``delete`` are one-op shims) on the engine, the sharded
+engine, ``POST /mutate`` and the client alike; attach a write-ahead log
+(``attach_wal`` / ``serve --wal-dir``) and each batch is fsync'd before
+it is acknowledged, then replayed on the next load.
 
 See ENGINE.md at the repository root for the architecture walkthrough.
 """
@@ -59,7 +71,12 @@ from repro.engine.client import (
 )
 from repro.engine.executor import EngineStats, SearchEngine
 from repro.engine.mutation import DeltaStore
-from repro.engine.persistence import Container, load_container, save_container
+from repro.engine.persistence import (
+    Container,
+    atomic_write_json,
+    load_container,
+    save_container,
+)
 from repro.engine.server import EngineServer, ServerConfig, ServerThread
 from repro.engine.sharding import (
     ShardedEngine,
@@ -68,12 +85,22 @@ from repro.engine.sharding import (
     build_shards,
 )
 from repro.engine.topk import run_topk
+from repro.engine.wal import (
+    DURABILITY_LEVELS,
+    AutoCompactionPolicy,
+    WalBatch,
+    WalCorruptionError,
+    WriteAheadLog,
+    wal_summary,
+)
 from repro.engine.wire import WIRE_SCHEMA_VERSION, WireFormatError
 
 __all__ = [
+    "AutoCompactionPolicy",
     "Backend",
     "BenchReport",
     "Container",
+    "DURABILITY_LEVELS",
     "DeltaStore",
     "EngineClient",
     "EngineClientError",
@@ -92,9 +119,13 @@ __all__ = [
     "ShardedEngine",
     "ShardedStats",
     "WIRE_SCHEMA_VERSION",
+    "WalBatch",
+    "WalCorruptionError",
     "WireFormatError",
     "WireResponse",
+    "WriteAheadLog",
     "asearch",
+    "atomic_write_json",
     "available_backends",
     "build_shards",
     "get_backend",
@@ -104,5 +135,6 @@ __all__ = [
     "run_load_bench",
     "run_topk",
     "save_container",
+    "wal_summary",
     "wire_requests",
 ]

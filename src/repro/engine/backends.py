@@ -22,6 +22,7 @@ from repro.datasets.molecules import aids_like
 from repro.datasets.text import imdb_like
 from repro.datasets.tokens import dblp_like
 from repro.engine.backend import Backend, register_backend
+from repro.engine.persistence import atomic_write, atomic_write_json
 from repro.graphs.columnar import ColumnarGraphSearcher
 from repro.graphs.dataset import GraphDataset
 from repro.graphs.ged import ged_within, graph_edit_distance
@@ -51,8 +52,13 @@ from repro.strings.ring import RingStringSearcher
 
 
 def _write_json(directory: str, filename: str, payload: dict) -> None:
-    with open(os.path.join(directory, filename), "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    atomic_write_json(os.path.join(directory, filename), payload)
+
+
+def _write_npz(directory: str, filename: str, arrays: dict) -> None:
+    # np.savez appends ".npz" to plain string paths, so the atomic temp file
+    # goes through a file object instead of a name.
+    atomic_write(os.path.join(directory, filename), lambda handle: np.savez(handle, **arrays))
 
 
 def _read_json(directory: str, filename: str) -> dict | None:
@@ -216,7 +222,7 @@ class HammingBackend(Backend):
         }
         for key, value in store.index.state().items():
             arrays[f"idx_{key}"] = value
-        np.savez(os.path.join(directory, "data.npz"), **arrays)
+        _write_npz(directory, "data.npz", arrays)
 
     def load_store(self, directory: str) -> HammingStore:
         with np.load(os.path.join(directory, "data.npz")) as data:
@@ -231,7 +237,7 @@ class HammingBackend(Backend):
 
     def save_queries(self, queries: Sequence[Any], directory: str) -> None:
         matrix = np.asarray([np.asarray(q).reshape(-1) for q in queries], dtype=np.uint8)
-        np.savez(os.path.join(directory, "queries.npz"), queries=matrix)
+        _write_npz(directory, "queries.npz", {"queries": matrix})
 
     def load_queries(self, directory: str) -> list[Any] | None:
         path = os.path.join(directory, "queries.npz")

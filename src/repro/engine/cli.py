@@ -305,11 +305,39 @@ def _mutate(args: argparse.Namespace) -> int:
 
 
 def _open_served_engine(args: argparse.Namespace):
-    """A ShardedEngine for a sharded directory, a SearchEngine otherwise."""
+    """A ShardedEngine for a sharded directory, a SearchEngine otherwise.
+
+    With ``--wal-dir`` the opened engine is made durable before serving: a
+    sharded index attaches one write-ahead log per shard worker, a plain
+    container attaches a single ``<backend>.wal`` -- either way, existing
+    logs are replayed (recovering acknowledged writes from a crash) and
+    ``--auto-compact`` arms the background delta-folding policy.
+    """
+    wal_dir = getattr(args, "wal_dir", None)
+    auto_compact = getattr(args, "auto_compact", False)
     if os.path.exists(os.path.join(args.index, SHARDS_MANIFEST_NAME)):
-        return ShardedEngine(args.index, mp_context=args.mp_context)
+        return ShardedEngine(
+            args.index,
+            mp_context=args.mp_context,
+            wal_dir=wal_dir,
+            auto_compact=auto_compact,
+        )
     engine = SearchEngine(cache_size=args.cache_size)
-    engine.load_index(args.index)
+    container = engine.load_index(args.index)
+    if wal_dir is not None:
+        backend_name = container.backend.name
+        os.makedirs(wal_dir, exist_ok=True)
+        replayed = engine.attach_wal(
+            backend_name, os.path.join(wal_dir, f"{backend_name}.wal")
+        )
+        if replayed["replayed_batches"]:
+            print(
+                f"[{backend_name}] replayed {replayed['replayed_batches']} WAL "
+                f"batch(es) up to seq {replayed['last_seq']}",
+                flush=True,
+            )
+        if auto_compact:
+            engine.enable_auto_compaction(backend_name)
     return engine
 
 
@@ -349,10 +377,50 @@ def _serve(args: argparse.Namespace) -> int:
         trace=args.trace,
         slow_query_ms=args.slow_query_ms,
         slow_query_log=args.slow_query_log,
+        durability=args.durability,
     )
     server = EngineServer(engine, config, own_engine=True)
     asyncio.run(_serve_until_signalled(server, args.ready_file))
     return 0
+
+
+def _wal_inspect(args: argparse.Namespace) -> int:
+    """Summarise WAL files: batches, sequence numbers, torn-tail status."""
+    from repro.engine.wal import WalCorruptionError, wal_summary
+
+    status = 0
+    for path in args.wal:
+        try:
+            summary = wal_summary(path)
+        except FileNotFoundError:
+            print(f"{path}: no such file", file=sys.stderr)
+            status = 2
+            continue
+        except WalCorruptionError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        if args.json:
+            print(json.dumps(summary, indent=2))
+            continue
+        print(
+            f"{summary['path']}: {summary['num_batches']} batch(es), "
+            f"last seq {summary['last_seq']}, "
+            f"{summary['valid_bytes']}/{summary['size_bytes']} bytes valid"
+        )
+        if summary["tail_error"] is not None:
+            print(
+                f"  tail: {summary['tail_error']} "
+                f"({summary['discarded_bytes']} byte(s) would be discarded)"
+            )
+        for batch in summary["batches"]:
+            print(
+                f"  seq {batch['seq']:>6}  [{batch['backend']}] "
+                f"{batch['num_ops']} op(s) "
+                f"({batch['upserts']} upsert / {batch['deletes']} delete)  "
+                f"at byte {batch['offset']} (+{batch['num_bytes']})"
+            )
+    return status
 
 
 def _load_workload(args: argparse.Namespace) -> tuple[str, list, float | int]:
@@ -592,7 +660,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append slow-query JSON lines to this file (default: in-memory ring only)",
     )
+    http_serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="attach (and replay) write-ahead logs in this directory; mutations "
+        "are fsync'd before they are acknowledged",
+    )
+    http_serve.add_argument(
+        "--durability",
+        choices=["memory", "wal"],
+        default=None,
+        help="ack level for mutations that do not name one "
+        "(default: 'wal' when a WAL is attached)",
+    )
+    http_serve.add_argument(
+        "--auto-compact",
+        action="store_true",
+        help="fold the delta store into a rebuilt index in the background "
+        "once scan cost crosses over (checkpoints + truncates the WAL)",
+    )
     http_serve.set_defaults(func=_serve)
+
+    wal_inspect = commands.add_parser(
+        "wal-inspect", help="summarise write-ahead log files without replaying them"
+    )
+    wal_inspect.add_argument("wal", nargs="+", help="WAL file path(s)")
+    wal_inspect.add_argument(
+        "--json", action="store_true", help="print the raw JSON summaries"
+    )
+    wal_inspect.set_defaults(func=_wal_inspect)
 
     load = commands.add_parser(
         "load-bench", help="drive a running server and record QPS + latency percentiles"

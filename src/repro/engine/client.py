@@ -28,7 +28,7 @@ from typing import Any
 from urllib.parse import urlsplit
 
 from repro.engine.api import Query
-from repro.engine.wire import encode_delete, encode_query, encode_upsert
+from repro.engine.wire import encode_mutate, encode_query
 
 
 class EngineClientError(Exception):
@@ -286,15 +286,47 @@ class EngineClient:
             self._request("POST", path, body, headers=self._trace_headers(trace, None))
         )
 
-    def upsert(self, backend: str, record: Any, obj_id: int | None = None) -> int:
-        """Insert or overwrite one record (``POST /upsert``); returns its id."""
-        body = self._request("POST", "/upsert", encode_upsert(backend, record, obj_id))
-        return int(body["id"])
+    def mutate(
+        self,
+        backend: str,
+        ops: list[dict],
+        durability: str | None = None,
+    ) -> dict:
+        """Apply one batch of mixed upserts/deletes (``POST /mutate``).
 
-    def delete(self, backend: str, obj_id: int) -> bool:
-        """Remove one id (``POST /delete``); True when it named a live object."""
-        body = self._request("POST", "/delete", encode_delete(backend, obj_id))
-        return bool(body["deleted"])
+        Each op is ``{"op": "upsert", "record": <domain record>, "id":
+        optional}`` or ``{"op": "delete", "id": int}``.  ``durability`` asks
+        for an ack level (``"memory"`` or ``"wal"``); the response carries
+        per-op ``results`` plus the effective ``durability`` and the WAL
+        sequence number the batch was acknowledged at.
+        """
+        return self._request("POST", "/mutate", encode_mutate(backend, ops, durability))
+
+    def upsert(
+        self,
+        backend: str,
+        record: Any,
+        obj_id: int | None = None,
+        durability: str | None = None,
+    ) -> int:
+        """Insert or overwrite one record; returns its id.
+
+        One-op shim over :meth:`mutate` (the legacy ``POST /upsert``
+        endpoint remains available to older clients).
+        """
+        body = self.mutate(
+            backend, [{"op": "upsert", "record": record, "id": obj_id}], durability
+        )
+        return int(body["results"][0]["id"])
+
+    def delete(self, backend: str, obj_id: int, durability: str | None = None) -> bool:
+        """Remove one id; True when it named a live object.
+
+        One-op shim over :meth:`mutate` (the legacy ``POST /delete``
+        endpoint remains available to older clients).
+        """
+        body = self.mutate(backend, [{"op": "delete", "id": obj_id}], durability)
+        return bool(body["results"][0]["deleted"])
 
     def compact(self, backend: str | None = None) -> dict:
         """Fold the server's delta store(s) into rebuilt indexes."""

@@ -9,11 +9,19 @@ adds the serving-layer machinery the per-domain searchers do not have:
 * an **LRU result cache** keyed on ``(backend, query, tau, chain_length,
   algorithm, k)`` plus the store and mutation epochs, so a mutation can
   never serve a stale answer;
-* **online mutation** -- :meth:`SearchEngine.upsert` / :meth:`SearchEngine.
-  delete` maintain a per-backend :class:`repro.engine.mutation.DeltaStore`
+* **online mutation** -- :meth:`SearchEngine.mutate` applies a batch of
+  upserts/deletes to a per-backend :class:`repro.engine.mutation.DeltaStore`
   (delta records answered by exact linear scan, tombstones filtered from
-  main answers) and :meth:`SearchEngine.compact` folds it into a rebuilt
-  main index;
+  main answers); :meth:`SearchEngine.upsert` / :meth:`SearchEngine.delete`
+  are one-op shims over it, and :meth:`SearchEngine.compact` folds the
+  overlay into a rebuilt main index;
+* **durability** -- :meth:`SearchEngine.attach_wal` puts a write-ahead log
+  (:mod:`repro.engine.wal`) under the mutation path: batches are appended
+  and fsynced before the caller is acknowledged (``durability="wal"``),
+  replayed into the overlay on attach, and truncated at every checkpoint
+  (:meth:`SearchEngine.save_index` or a compaction swap);
+  :meth:`SearchEngine.enable_auto_compaction` arms a background
+  delta-size/scan-cost crossover policy that compacts off the write path;
 * **batched and thread-pooled parallel execution** with order-preserving
   results;
 * **latency statistics** per backend, served as views over the
@@ -23,9 +31,11 @@ adds the serving-layer machinery the per-domain searchers do not have:
 
 The engine is thread-safe: shared state is touched only under an internal
 lock, which is never held while a searcher runs.  Mutations are atomic
-(copy-on-write overlays swapped under the lock); a compaction that races
-in-flight mutations may lose them, so serialise writers with compactions
-(the HTTP serving layer runs both on one executor thread).
+(copy-on-write overlays swapped under the lock) and writers are serialised
+per backend by a dedicated writer lock, so WAL order always matches apply
+order.  Compaction rebuilds off the write path: mutations that land during
+the rebuild are buffered and replayed onto the compacted overlay at the
+swap, so no acknowledged write is ever lost to a racing compaction.
 """
 
 from __future__ import annotations
@@ -47,6 +57,14 @@ from repro.engine.backend import Backend, get_backend
 from repro.engine.mutation import DeltaStore
 from repro.engine.persistence import Container, load_container, save_container
 from repro.engine.topk import run_topk
+from repro.engine.wal import (
+    DURABILITY_LEVELS,
+    AutoCompactionPolicy,
+    WriteAheadLog,
+    apply_op,
+    op_from_wire,
+    op_to_wire,
+)
 
 
 class BackendStats:
@@ -305,6 +323,23 @@ class SearchEngine:
         self._lock = threading.Lock()
         self._stats = EngineStats()
         self._traces = TraceBuffer(128)
+        # Durability state.  Writers are serialised per backend by a writer
+        # lock (always taken OUTSIDE self._lock), so the WAL append order is
+        # the overlay apply order -- the invariant replay depends on.
+        self._writer_locks: dict[str, threading.Lock] = {}
+        self._wals: dict[str, WriteAheadLog] = {}
+        # WAL seq already folded into the last persisted container; replay
+        # after a crash skips batches at or below it.
+        self._checkpoint_seqs: dict[str, int] = {}
+        self._container_dirs: dict[str, str] = {}
+        # Compaction-in-flight bookkeeping: ops that land during a rebuild
+        # are buffered here and replayed onto the compacted overlay at swap.
+        self._compacting: dict[str, bool] = {}
+        self._pending_ops: dict[str, list[dict]] = {}
+        self._auto_policies: dict[str, AutoCompactionPolicy] = {}
+        self._compaction_threads: dict[str, threading.Thread] = {}
+        self._compaction_counts: dict[str, int] = {}
+        self._compaction_errors: dict[str, str | None] = {}
 
     # -- dataset management ------------------------------------------------
 
@@ -317,8 +352,16 @@ class SearchEngine:
             self._stores[backend_name] = store
             self._deltas[backend_name] = delta
             self._epochs[backend_name] = self._epochs.get(backend_name, 0) + 1
+            # A fresh dataset invalidates any WAL history: detach the log
+            # (the caller re-attaches one against the new state) and reset
+            # the checkpoint bookkeeping.
+            stale_wal = self._wals.pop(backend_name, None)
+            self._checkpoint_seqs[backend_name] = 0
+            self._container_dirs.pop(backend_name, None)
             self._evict_backend_state(backend_name)
             self._observe_backend_state(backend_name)
+        if stale_wal is not None:
+            stale_wal.close()
         return store
 
     def backend(self, backend_name: str) -> Backend:
@@ -383,12 +426,31 @@ class SearchEngine:
 
         A live delta/tombstone overlay is persisted alongside the main store,
         so upserts and deletes survive a save/load round trip without forcing
-        a compaction first.
+        a compaction first.  With a WAL attached this is a **checkpoint**:
+        the manifest records the WAL sequence number the saved state folds
+        in, and the log is truncated up to it afterwards, keeping replay
+        bounded.  The writer lock is held across the save so the (store,
+        overlay, seq) triple on disk is always consistent.
         """
-        with self._lock:
-            store = self.store(backend_name)
-            delta = self._deltas.get(backend_name)
-        return save_container(self.backend(backend_name), store, directory, queries, delta=delta)
+        with self._writer_lock(backend_name):
+            with self._lock:
+                store = self.store(backend_name)
+                delta = self._deltas.get(backend_name)
+                wal = self._wals.get(backend_name)
+                if wal is not None:
+                    seq = wal.last_seq
+                else:
+                    seq = self._checkpoint_seqs.get(backend_name, 0)
+            manifest = save_container(
+                self.backend(backend_name), store, directory, queries, delta=delta, wal_seq=seq
+            )
+            with self._lock:
+                self._container_dirs[backend_name] = directory
+                if wal is not None:
+                    self._checkpoint_seqs[backend_name] = seq
+            if wal is not None:
+                wal.truncate_upto(seq)
+        return manifest
 
     def load_index(self, directory: str) -> Container:
         """Load a container and attach its store; returns the container."""
@@ -402,8 +464,13 @@ class SearchEngine:
             self._stores[name] = container.store
             self._deltas[name] = delta
             self._epochs[name] = self._epochs.get(name, 0) + 1
+            stale_wal = self._wals.pop(name, None)
+            self._checkpoint_seqs[name] = container.wal_seq
+            self._container_dirs[name] = directory
             self._evict_backend_state(name)
             self._observe_backend_state(name)
+        if stale_wal is not None:
+            stale_wal.close()
         return container
 
     # -- mutation ----------------------------------------------------------
@@ -423,61 +490,194 @@ class SearchEngine:
             )
         return backend, store
 
-    def upsert(self, backend_name: str, record: Any, obj_id: int | None = None) -> int:
-        """Insert a new record (``obj_id=None``) or overwrite an existing id.
+    def _writer_lock(self, backend_name: str) -> threading.Lock:
+        """The per-backend writer lock (always acquired OUTSIDE ``_lock``)."""
+        with self._lock:
+            lock = self._writer_locks.get(backend_name)
+            if lock is None:
+                lock = threading.Lock()
+                self._writer_locks[backend_name] = lock
+            return lock
 
-        The record lands in the backend's delta store and is servable
-        immediately; cached responses for the backend are invalidated.
-        Returns the record's external id.
+    def mutate(
+        self, backend_name: str, ops: Sequence[dict], durability: str | None = None
+    ) -> dict:
+        """Apply one batch of mixed upserts and deletes atomically.
+
+        Each op is ``{"op": "upsert", "record": ..., "id": optional}`` or
+        ``{"op": "delete", "id": ...}``.  The whole batch is validated before
+        any state changes (an invalid record rejects the batch without
+        partial application), applied under the writer lock, and -- when a
+        WAL is attached -- written as **one** WAL record, fsynced before
+        returning when ``durability`` is ``"wal"`` (the default with a WAL).
+        ``durability="memory"`` appends without the fsync: the batch rides
+        to disk with the next synced batch or checkpoint (group commit).
+
+        Returns ``{"backend", "results", "durability", "wal_seq"}`` with one
+        result per op in order: upserts report their assigned ``id``,
+        deletes report ``deleted``.
         """
         backend, store = self._require_mutable(backend_name)
-        record = backend.check_record(store, record)
-        with self._lock:
-            delta, assigned = self._deltas[backend_name].with_upsert(record, obj_id)
-            self._deltas[backend_name] = delta
-            self._invalidate_results(backend_name)
-            self._observe_backend_state(backend_name)
-        return assigned
-
-    def delete(self, backend_name: str, obj_id: int) -> bool:
-        """Remove one id (tombstoning its main copy); True if it was live."""
-        self._require_mutable(backend_name)
-        with self._lock:
-            delta, deleted = self._deltas[backend_name].with_delete(obj_id)
-            if deleted:
+        ops = list(ops)
+        if not ops:
+            raise ValueError("mutation batch is empty")
+        checked: list[dict] = []
+        for op in ops:
+            kind = op.get("op") if isinstance(op, dict) else None
+            if kind == "upsert":
+                record = backend.check_record(store, op.get("record"))
+                obj_id = op.get("id")
+                if obj_id is not None:
+                    obj_id = int(obj_id)
+                    if obj_id < 0:
+                        raise ValueError(f"object ids are non-negative, got {obj_id}")
+                checked.append({"op": "upsert", "record": record, "id": obj_id})
+            elif kind == "delete":
+                if op.get("id") is None:
+                    raise ValueError("delete ops require an id")
+                checked.append({"op": "delete", "id": int(op["id"])})
+            else:
+                raise ValueError(f"unknown mutation op {kind!r}")
+        with self._writer_lock(backend_name):
+            wal = self._wals.get(backend_name)
+            level = durability if durability is not None else ("wal" if wal else "memory")
+            if level not in DURABILITY_LEVELS:
+                accepted = ", ".join(DURABILITY_LEVELS)
+                raise ValueError(f"unknown durability {level!r} (accepted: {accepted})")
+            if level == "wal" and wal is None:
+                raise ValueError(
+                    f"durability 'wal' requires a WAL attached to backend {backend_name!r}"
+                )
+            results: list[dict] = []
+            applied: list[dict] = []
+            with self._lock:
+                delta = self._deltas[backend_name]
+                for op in checked:
+                    if op["op"] == "upsert":
+                        delta, assigned = delta.with_upsert(op["record"], op["id"])
+                        applied.append({"op": "upsert", "record": op["record"], "id": assigned})
+                        results.append({"op": "upsert", "id": assigned})
+                    else:
+                        delta, deleted = delta.with_delete(op["id"])
+                        applied.append({"op": "delete", "id": op["id"]})
+                        results.append({"op": "delete", "id": op["id"], "deleted": deleted})
                 self._deltas[backend_name] = delta
+                if self._compacting.get(backend_name):
+                    # A rebuild is in flight against an older overlay
+                    # snapshot; buffer the ops (with their assigned ids) so
+                    # the swap can replay them onto the compacted overlay.
+                    self._pending_ops[backend_name].extend(applied)
                 self._invalidate_results(backend_name)
                 self._observe_backend_state(backend_name)
-        return deleted
+            seq = None
+            if wal is not None:
+                wire_ops = [op_to_wire(backend, op) for op in applied]
+                seq = wal.append(backend_name, wire_ops, sync=level == "wal")
+            r = self._stats.registry
+            r.counter(
+                "engine_mutation_batches_total", "mutation batches applied", backend=backend_name
+            ).inc()
+            for op, result in zip(applied, results):
+                r.counter(
+                    "engine_mutation_ops_total",
+                    "mutation ops applied",
+                    backend=backend_name,
+                    op=op["op"],
+                ).inc()
+            if seq is not None:
+                r.gauge(
+                    "engine_wal_last_seq", "last appended WAL batch", backend=backend_name
+                ).set(seq)
+        self._maybe_auto_compact(backend_name)
+        return {"backend": backend_name, "results": results, "durability": level, "wal_seq": seq}
+
+    def upsert(
+        self,
+        backend_name: str,
+        record: Any,
+        obj_id: int | None = None,
+        durability: str | None = None,
+    ) -> int:
+        """Insert a new record (``obj_id=None``) or overwrite an existing id.
+
+        One-op shim over :meth:`mutate`; returns the record's external id.
+        """
+        outcome = self.mutate(
+            backend_name, [{"op": "upsert", "record": record, "id": obj_id}], durability
+        )
+        return outcome["results"][0]["id"]
+
+    def delete(self, backend_name: str, obj_id: int, durability: str | None = None) -> bool:
+        """Remove one id (tombstoning its main copy); True if it was live.
+
+        One-op shim over :meth:`mutate`.
+        """
+        outcome = self.mutate(backend_name, [{"op": "delete", "id": obj_id}], durability)
+        return outcome["results"][0]["deleted"]
 
     def compact(self, backend_name: str) -> dict:
-        """Fold the delta store into a rebuilt main index.
+        """Fold the delta store into a rebuilt main index, off the write path.
 
         Rebuilding costs one full index construction over the live records
-        -- the same price as the original build -- which is why it is an
-        explicit operation rather than something every upsert pays.  Returns
-        a summary of what was folded.  Searches may run concurrently (they
-        serve the old store until the swap); concurrent *mutations* may be
-        lost, so serialise writers with compactions.
+        -- the same price as the original build.  Searches run concurrently
+        against the old store until the swap, and so do *writers*: mutations
+        that land during the rebuild apply to the served overlay as usual
+        and are buffered, then replayed onto the compacted overlay at the
+        swap, so none are lost.  With a WAL attached (and a known container
+        directory) the swap also checkpoints: the compacted container is
+        saved atomically and the WAL truncated at the swap-point sequence
+        number.  Returns a summary of what was folded.
         """
-        backend, store = self._require_mutable(backend_name)
+        backend, _ = self._require_mutable(backend_name)
         with self._lock:
+            if self._compacting.get(backend_name):
+                raise RuntimeError(f"compaction already in progress for {backend_name!r}")
+            store = self.store(backend_name)
             delta = self._deltas[backend_name]
-        before = delta.summary()
-        if delta.is_identity:
-            return {"backend": backend_name, "compacted": False, **before}
-        new_store, new_delta = backend.apply_mutations(store, delta)
-        with self._lock:
-            self._stores[backend_name] = new_store
-            self._deltas[backend_name] = new_delta
-            self._epochs[backend_name] = self._epochs.get(backend_name, 0) + 1
-            self._evict_backend_state(backend_name)
-            self._observe_backend_state(backend_name)
+            before = delta.summary()
+            if delta.is_identity:
+                return {"backend": backend_name, "compacted": False, **before}
+            self._compacting[backend_name] = True
+            self._pending_ops[backend_name] = []
+        try:
+            new_store, new_delta = backend.apply_mutations(store, delta)
+        except BaseException:
+            with self._lock:
+                self._compacting[backend_name] = False
+                self._pending_ops.pop(backend_name, None)
+            raise
+        with self._writer_lock(backend_name):
+            with self._lock:
+                for op in self._pending_ops.pop(backend_name, []):
+                    new_delta = apply_op(new_delta, op)
+                self._stores[backend_name] = new_store
+                self._deltas[backend_name] = new_delta
+                self._epochs[backend_name] = self._epochs.get(backend_name, 0) + 1
+                self._evict_backend_state(backend_name)
+                self._observe_backend_state(backend_name)
+                self._compacting[backend_name] = False
+                wal = self._wals.get(backend_name)
+                directory = self._container_dirs.get(backend_name)
+                if wal is not None:
+                    seq = wal.last_seq
+                else:
+                    seq = self._checkpoint_seqs.get(backend_name, 0)
+            checkpointed = False
+            if wal is not None and directory is not None:
+                # The writer lock is still held: the saved (store, overlay,
+                # seq) triple cannot be raced by another writer, and the
+                # truncation drops exactly the batches the save folded in.
+                save_container(backend, new_store, directory, delta=new_delta, wal_seq=seq)
+                with self._lock:
+                    self._checkpoint_seqs[backend_name] = seq
+                wal.truncate_upto(seq)
+                checkpointed = True
         return {
             "backend": backend_name,
             "compacted": True,
             "folded_records": before["delta_records"],
             "dropped_tombstones": before["num_tombstones"],
+            "checkpointed": checkpointed,
             **new_delta.summary(),
         }
 
@@ -490,6 +690,167 @@ class SearchEngine:
         with self._lock:
             delta = self._deltas[backend_name]
         return {"backend": backend_name, "mutable": True, **delta.summary()}
+
+    # -- durability --------------------------------------------------------
+
+    def attach_wal(self, backend_name: str, path: str, replay: bool = True) -> dict:
+        """Attach a write-ahead log to one backend, replaying its history.
+
+        Opening the log discards any torn or corrupted tail, then every
+        batch with a sequence number past the loaded container's checkpoint
+        is replayed into the delta store -- after this call the served
+        state is exactly the acknowledged mutation history.  Once attached,
+        every :meth:`mutate` batch is appended to the log (and fsynced
+        before acknowledgment at the default ``"wal"`` durability).
+
+        Returns a summary of the attach (including ``replayed_batches``).
+        """
+        backend, _ = self._require_mutable(backend_name)
+        with self._writer_lock(backend_name):
+            if self._wals.get(backend_name) is not None:
+                raise RuntimeError(f"backend {backend_name!r} already has a WAL attached")
+            wal = WriteAheadLog(path)
+            checkpoint = self._checkpoint_seqs.get(backend_name, 0)
+            replayed = 0
+            with self._lock:
+                delta = self._deltas[backend_name]
+                if replay:
+                    for batch in wal.batches():
+                        if batch.seq <= checkpoint:
+                            continue
+                        if batch.backend and batch.backend != backend_name:
+                            wal.close()
+                            raise ValueError(
+                                f"WAL {path!r} belongs to backend {batch.backend!r}, "
+                                f"not {backend_name!r}"
+                            )
+                        for doc in batch.ops:
+                            delta = apply_op(delta, op_from_wire(backend, doc))
+                        replayed += 1
+                self._deltas[backend_name] = delta
+                self._invalidate_results(backend_name)
+                self._observe_backend_state(backend_name)
+                wal.resume_from(checkpoint)
+                self._wals[backend_name] = wal
+        return {
+            "backend": backend_name,
+            "checkpoint_seq": checkpoint,
+            "replayed_batches": replayed,
+            **wal.describe(),
+        }
+
+    def detach_wal(self, backend_name: str) -> None:
+        """Close and detach the backend's WAL (later mutates are memory-only)."""
+        with self._writer_lock(backend_name):
+            with self._lock:
+                wal = self._wals.pop(backend_name, None)
+            if wal is not None:
+                wal.close()
+
+    def enable_auto_compaction(
+        self, backend_name: str, policy: AutoCompactionPolicy | None = None
+    ) -> AutoCompactionPolicy:
+        """Arm background compaction for one backend.
+
+        After every mutation batch the policy's delta-size / scan-cost
+        crossover (:meth:`repro.engine.wal.AutoCompactionPolicy.
+        should_compact`, fed by the funnel's average generated-candidates
+        stat) is evaluated; when it fires, :meth:`compact` runs on a
+        background thread -- rebuild off the write path, buffered-op replay
+        at the swap, and a WAL checkpoint when one is attached.
+        """
+        self._require_mutable(backend_name)
+        policy = policy if policy is not None else AutoCompactionPolicy()
+        with self._lock:
+            self._auto_policies[backend_name] = policy
+        return policy
+
+    def disable_auto_compaction(self, backend_name: str) -> None:
+        with self._lock:
+            self._auto_policies.pop(backend_name, None)
+
+    def _maybe_auto_compact(self, backend_name: str) -> None:
+        """Fire the auto-compaction policy after a mutation batch, at most once."""
+        policy = self._auto_policies.get(backend_name)
+        if policy is None:
+            return
+        with self._lock:
+            if self._compacting.get(backend_name):
+                return
+            thread = self._compaction_threads.get(backend_name)
+            if thread is not None and thread.is_alive():
+                return
+            delta = self._deltas.get(backend_name)
+            if delta is None:
+                return
+            stats = BackendStats(self._stats.registry, backend_name)
+            if not policy.should_compact(len(delta.records), stats.avg_generated):
+                return
+            thread = threading.Thread(
+                target=self._auto_compact,
+                args=(backend_name,),
+                name=f"auto-compact-{backend_name}",
+                daemon=True,
+            )
+            self._compaction_threads[backend_name] = thread
+        thread.start()
+
+    def _auto_compact(self, backend_name: str) -> None:
+        try:
+            self.compact(backend_name)
+        except Exception as exc:  # surfaced via durability_info, never raised
+            with self._lock:
+                self._compaction_errors[backend_name] = repr(exc)
+            return
+        with self._lock:
+            self._compaction_counts[backend_name] = (
+                self._compaction_counts.get(backend_name, 0) + 1
+            )
+            self._compaction_errors[backend_name] = None
+        self._stats.registry.counter(
+            "engine_auto_compactions_total",
+            "background compactions completed",
+            backend=backend_name,
+        ).inc()
+
+    def wait_for_compaction(self, backend_name: str, timeout: float | None = None) -> bool:
+        """Block until any in-flight background compaction finishes."""
+        with self._lock:
+            thread = self._compaction_threads.get(backend_name)
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    def durability_info(self, backend_name: str) -> dict:
+        """WAL, checkpoint and auto-compaction state of one backend."""
+        backend = self.backend(backend_name)
+        self.store(backend_name)
+        if not backend.mutable:
+            return {"backend": backend_name, "mutable": False}
+        with self._lock:
+            wal = self._wals.get(backend_name)
+            policy = self._auto_policies.get(backend_name)
+            delta = self._deltas[backend_name]
+            info = {
+                "backend": backend_name,
+                "mutable": True,
+                "default_durability": "wal" if wal is not None else "memory",
+                "checkpoint_seq": self._checkpoint_seqs.get(backend_name, 0),
+                "checkpoint_dir": self._container_dirs.get(backend_name),
+                "delta": delta.summary(),
+                "auto_compaction": {"enabled": False},
+            }
+            if policy is not None:
+                info["auto_compaction"] = {
+                    "enabled": True,
+                    **policy.summary(),
+                    "in_flight": bool(self._compacting.get(backend_name)),
+                    "compactions": self._compaction_counts.get(backend_name, 0),
+                    "last_error": self._compaction_errors.get(backend_name),
+                }
+        info["wal"] = {"attached": False} if wal is None else {"attached": True, **wal.describe()}
+        return info
 
     # -- execution ---------------------------------------------------------
 

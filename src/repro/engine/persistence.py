@@ -12,10 +12,18 @@ A container is a directory holding
   survive save/load without forcing a compaction.
 
 Format versioning: version 1 is the original immutable layout; version 2
-adds the overlay.  Containers are written at the *lowest* version that can
-represent them (an unmutated index still writes version 1), and readers
-accept both -- but a version-1 reader refuses a version-2 container
+adds the overlay; version 3 adds ``wal_seq`` -- the write-ahead-log sequence
+number this container checkpoints (every WAL batch with ``seq <= wal_seq``
+is already folded into the stored state, so replay after a crash skips
+them).  Containers are written at the *lowest* version that can represent
+them (an unmutated index with no WAL history still writes version 1), and
+readers accept all three -- but an old reader refuses a newer container
 outright rather than silently serving it without its mutations.
+
+Every file a container write touches goes through :func:`atomic_write`:
+write to a temp file, fsync, then ``os.replace`` over the target.  A crash
+mid-save leaves either the old file or the new one, never a half-written
+manifest that a later load would trust.
 
 Loading resolves the backend through the registry, so a container is
 self-describing: :func:`load_container` needs only the path.
@@ -26,15 +34,56 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, BinaryIO, Callable, Sequence
 
 from repro.engine.backend import Backend, get_backend
 from repro.engine.mutation import DeltaStore, delta_from_json, delta_to_json
 
-FORMAT_VERSION = 2
-SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
+FORMAT_VERSION = 3
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2, 3})
 MANIFEST_NAME = "manifest.json"
 MUTATIONS_NAME = "mutations.json"
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory entry (makes a rename durable)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem refuses dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: str, writer: Callable[[BinaryIO], None]) -> None:
+    """Write a file atomically: temp file + fsync + ``os.replace``.
+
+    ``writer`` receives a binary handle positioned at the start of a temp
+    file next to ``path``; on any failure the temp file is removed and the
+    original is left untouched.
+    """
+    temp_path = path + ".tmp"
+    try:
+        with open(temp_path, "wb") as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.remove(temp_path)
+        raise
+    _fsync_directory(os.path.dirname(path))
+
+
+def atomic_write_json(path: str, payload: Any, indent: int | None = None) -> None:
+    """Serialise ``payload`` as JSON and write it atomically to ``path``."""
+    data = json.dumps(payload, indent=indent).encode("utf-8")
+    atomic_write(path, lambda handle: handle.write(data))
 
 
 @dataclass
@@ -47,6 +96,11 @@ class Container:
     manifest: dict
     delta: DeltaStore | None = None
 
+    @property
+    def wal_seq(self) -> int:
+        """The WAL sequence number this container's state checkpoints."""
+        return int(self.manifest.get("wal_seq", 0))
+
 
 def save_container(
     backend: Backend,
@@ -54,12 +108,23 @@ def save_container(
     directory: str,
     queries: Sequence[Any] | None = None,
     delta: DeltaStore | None = None,
+    wal_seq: int = 0,
 ) -> dict:
-    """Write a store (and optionally a workload and overlay) to ``directory``."""
+    """Write a store (and optionally a workload and overlay) to ``directory``.
+
+    ``wal_seq`` records how much write-ahead-log history the saved state
+    already contains; replay on load applies only batches after it.
+    """
     os.makedirs(directory, exist_ok=True)
     write_delta = delta is not None and delta.mutated
+    if wal_seq > 0:
+        version = 3
+    elif write_delta:
+        version = 2
+    else:
+        version = 1
     manifest = {
-        "format_version": FORMAT_VERSION if write_delta else 1,
+        "format_version": version,
         "backend": backend.name,
         "descriptor": backend.describe(store),
         # Recorded at build time (JSON keeps the int/float distinction, which
@@ -67,12 +132,13 @@ def save_container(
         # generator can pick a threshold without loading the store.
         "default_tau": backend.default_tau(store),
     }
+    if wal_seq > 0:
+        manifest["wal_seq"] = int(wal_seq)
     backend.save_store(store, directory)
     mutations_path = os.path.join(directory, MUTATIONS_NAME)
     if write_delta:
         manifest["mutations"] = delta.summary()
-        with open(mutations_path, "w", encoding="utf-8") as handle:
-            json.dump(delta_to_json(backend, delta), handle)
+        atomic_write_json(mutations_path, delta_to_json(backend, delta))
     elif os.path.exists(mutations_path):
         # Overwriting a mutated container with an unmutated store: a stale
         # overlay must not resurrect on the next load.
@@ -80,8 +146,7 @@ def save_container(
     if queries is not None:
         backend.save_queries(queries, directory)
         manifest["num_queries"] = len(queries)
-    with open(os.path.join(directory, MANIFEST_NAME), "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2)
+    atomic_write_json(os.path.join(directory, MANIFEST_NAME), manifest, indent=2)
     return manifest
 
 

@@ -19,12 +19,15 @@ the package:
   and a ``Retry-After`` hint instead of growing an unbounded queue.
 * **schema-versioned JSON endpoints** (:mod:`repro.engine.wire`):
   ``POST /search`` (thresholded selection), ``POST /search/topk`` (top-k),
-  ``POST /upsert`` / ``POST /delete`` / ``POST /compact`` (online index
-  mutation), ``GET /healthz``, ``GET /stats`` and ``GET /manifest``.
+  ``POST /mutate`` (batched upserts/deletes with explicit durability),
+  ``POST /upsert`` / ``POST /delete`` / ``POST /compact`` (one-op online
+  index mutation), ``GET /healthz``, ``GET /stats`` and ``GET /manifest``.
 * **write serialisation**: mutations run on the same one-thread executor
   as the search batches, so a write is atomic with respect to every
   batch -- no query observes a half-applied mutation -- and admission
-  control covers writes exactly like reads.
+  control covers writes exactly like reads.  With a WAL attached to the
+  engine, a mutation response is written only after the engine's
+  append-and-fsync returns: an acknowledged batch is on disk.
 * **graceful drain**: :meth:`EngineServer.stop` stops accepting work,
   answers everything already admitted, then shuts the batcher down; a
   killed shard worker surfaces as 503 on the affected queries without
@@ -60,6 +63,7 @@ from repro.engine.wire import (
     WireFormatError,
     decode_compact,
     decode_delete,
+    decode_mutate,
     decode_query,
     decode_upsert,
     encode_response,
@@ -85,6 +89,7 @@ _MAX_HEADERS = 100
 _ENDPOINTS = (
     "/search",
     "/search/topk",
+    "/mutate",
     "/upsert",
     "/delete",
     "/compact",
@@ -122,6 +127,9 @@ class ServerConfig:
         slow_query_log: file path for the slow-query log; ``None`` keeps
             slow entries only in the in-memory ring.
         trace_buffer: capacity of the recent-traces ring (``/debug/traces``).
+        durability: default ack level for ``/mutate`` requests that do not
+            ask for one (``"memory"`` or ``"wal"``); ``None`` defers to the
+            engine's default (``"wal"`` whenever a WAL is attached).
     """
 
     host: str = "127.0.0.1"
@@ -136,8 +144,11 @@ class ServerConfig:
     slow_query_ms: float | None = None
     slow_query_log: str | None = None
     trace_buffer: int = 128
+    durability: str | None = None
 
     def __post_init__(self) -> None:
+        if self.durability is not None and self.durability not in ("memory", "wal"):
+            raise ValueError("durability must be 'memory', 'wal' or None")
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if self.max_wait_ms < 0:
@@ -602,7 +613,7 @@ class EngineServer:
             if method != "POST":
                 return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
             return await self._handle_search(path, headers, body)
-        if path in ("/upsert", "/delete", "/compact"):
+        if path in ("/mutate", "/upsert", "/delete", "/compact"):
             if method != "POST":
                 return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
             return await self._handle_mutation(path, body)
@@ -806,7 +817,23 @@ class EngineServer:
     def _decode_mutation(self, path: str, parsed: Any):
         """Decode one mutation body into a thunk run on the batch executor."""
         engine = self.engine
-        if path == "/upsert":
+        if path == "/mutate":
+            backend_name, ops, durability = decode_mutate(parsed)
+            if durability is None:
+                durability = self.config.durability
+
+            def apply() -> dict:
+                # engine.mutate appends the batch to the WAL and fsyncs
+                # before returning (at "wal" durability), and this thunk
+                # completes before the response is written -- so a client
+                # ack always means the batch is on disk.
+                outcome = engine.mutate(backend_name, ops, durability)
+                self.stats.observe_mutation("mutate")
+                for op in ops:
+                    self.stats.observe_mutation(op["op"])
+                return outcome
+
+        elif path == "/upsert":
             backend_name, record, obj_id = decode_upsert(parsed)
 
             def apply() -> dict:

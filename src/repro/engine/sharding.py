@@ -43,7 +43,7 @@ from repro.common.obs import MetricsRegistry, TraceBuffer
 from repro.common.stats import Timer
 from repro.engine.api import Query, Response
 from repro.engine.backend import get_backend
-from repro.engine.persistence import save_container
+from repro.engine.persistence import atomic_write_json, save_container
 
 SHARDS_MANIFEST_NAME = "shards.json"
 #: Version 1 is the original frozen layout; version 2 adds mutation fields
@@ -143,8 +143,7 @@ def build_shards(
     if queries is not None:
         backend.save_queries(queries, directory)
         manifest["num_queries"] = len(queries)
-    with open(os.path.join(directory, SHARDS_MANIFEST_NAME), "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2)
+    atomic_write_json(os.path.join(directory, SHARDS_MANIFEST_NAME), manifest, indent=2)
     return manifest
 
 
@@ -197,15 +196,32 @@ def merge_topk(parts: Sequence[dict], k: int) -> tuple[list[int], list[float]]:
 _WORKER: dict[str, Any] = {}
 
 
-def _init_worker(shard_dir: str, offset: int, cache_size: int) -> None:
-    """Load one shard container into a worker-private engine, once."""
+def _init_worker(
+    shard_dir: str,
+    offset: int,
+    cache_size: int,
+    wal_path: str | None = None,
+    auto_compact: bool = False,
+) -> None:
+    """Load one shard container into a worker-private engine, once.
+
+    With ``wal_path`` set, the shard's write-ahead log is attached -- and
+    **replayed into the overlay** -- before the readiness barrier releases,
+    so a respawned worker serves exactly the acknowledged mutation history
+    from its very first query.
+    """
     from repro.engine.executor import SearchEngine
 
     engine = SearchEngine(cache_size=cache_size)
     container = engine.load_index(shard_dir)
+    backend_name = container.backend.name
+    if wal_path is not None:
+        engine.attach_wal(backend_name, wal_path)
+        if auto_compact:
+            engine.enable_auto_compaction(backend_name)
     _WORKER["engine"] = engine
     _WORKER["offset"] = offset
-    _WORKER["backend"] = container.backend.name
+    _WORKER["backend"] = backend_name
 
 
 def _worker_ready() -> int:
@@ -253,14 +269,23 @@ def _worker_metrics() -> dict:
     return _WORKER["engine"].metrics_wire()
 
 
-def _worker_upsert(record: Any, local_id: int) -> int:
-    """Apply one upsert in the worker's local id space; returns the global id."""
-    assigned = _WORKER["engine"].upsert(_WORKER["backend"], record, local_id)
-    return int(assigned) + _WORKER["offset"]
+def _worker_mutate(ops: Sequence[dict], durability: str | None) -> dict:
+    """Apply one mutation batch in the worker's local id space.
+
+    Every op arrives with an explicit local id (the parent routes and
+    assigns ids), so the worker's WAL -- when attached -- records a
+    deterministic, replayable history.  Results come back with local ids;
+    the parent translates them to global ones.
+    """
+    return _WORKER["engine"].mutate(_WORKER["backend"], list(ops), durability)
 
 
-def _worker_delete(local_id: int) -> bool:
-    return _WORKER["engine"].delete(_WORKER["backend"], local_id)
+def _worker_durability_info() -> dict:
+    return _WORKER["engine"].durability_info(_WORKER["backend"])
+
+
+def _worker_wait_for_compaction(timeout: float | None = None) -> bool:
+    return _WORKER["engine"].wait_for_compaction(_WORKER["backend"], timeout)
 
 
 def _worker_compact() -> dict:
@@ -431,6 +456,11 @@ class ShardedEngine:
         mp_context: optional :mod:`multiprocessing` context name
             (``"fork"`` / ``"spawn"`` / ``"forkserver"``); ``None`` uses the
             platform default.
+        wal_dir: when set, every shard worker attaches (and replays) a
+            write-ahead log at ``<wal_dir>/<shard dir>.wal`` before serving,
+            making acknowledged mutations crash-durable per shard.
+        auto_compact: arm each worker's background auto-compaction policy
+            (only meaningful together with ``wal_dir``).
 
     Workers load their shard once, inside the constructor (a readiness
     barrier), so the first query pays no cold-start cost.  Use as a context
@@ -442,6 +472,8 @@ class ShardedEngine:
         directory: str,
         cache_size: int = 0,
         mp_context: str | None = None,
+        wal_dir: str | None = None,
+        auto_compact: bool = False,
     ):
         import multiprocessing
 
@@ -449,30 +481,76 @@ class ShardedEngine:
         self._directory = directory
         self._backend = get_backend(self._manifest["backend"])
         self._next_id = int(self._manifest.get("next_id", self._manifest["num_objects"]))
-        context = multiprocessing.get_context(mp_context) if mp_context is not None else None
+        self._wal_dir = wal_dir
+        if wal_dir is not None:
+            os.makedirs(wal_dir, exist_ok=True)
+        self._mp_context = (
+            multiprocessing.get_context(mp_context) if mp_context is not None else None
+        )
         self._pools: list[ProcessPoolExecutor] = []
+        self._init_args: list[tuple] = []
         self._stats = ShardedStats()
         self._traces = TraceBuffer(128)
         try:
             for shard in self._manifest["shards"]:
-                pool = ProcessPoolExecutor(
-                    max_workers=1,
-                    mp_context=context,
-                    initializer=_init_worker,
-                    initargs=(
-                        os.path.join(directory, shard["path"]),
-                        shard["lo"],
-                        cache_size,
-                    ),
+                wal_path = (
+                    os.path.join(wal_dir, f"{shard['path']}.wal") if wal_dir is not None else None
                 )
-                self._pools.append(pool)
+                initargs = (
+                    os.path.join(directory, shard["path"]),
+                    shard["lo"],
+                    cache_size,
+                    wal_path,
+                    auto_compact,
+                )
+                self._init_args.append(initargs)
+                self._pools.append(self._spawn_pool(initargs))
                 self._stats.add_shard()
-            # Readiness barrier: every worker has loaded its shard.
+            # Readiness barrier: every worker has loaded its shard (and,
+            # with a WAL, replayed its acknowledged mutation history).
             for pool in self._pools:
                 pool.submit(_worker_ready).result()
+            if wal_dir is not None:
+                # WAL replay may have advanced a shard's local id high-water
+                # mark past what the (possibly stale, crash-survived) shards
+                # manifest recorded.
+                self._refresh_next_id()
         except BaseException:
             self.close()
             raise
+
+    def _spawn_pool(self, initargs: tuple) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._mp_context,
+            initializer=_init_worker,
+            initargs=initargs,
+        )
+
+    def _refresh_next_id(self) -> None:
+        """Raise the global id high-water mark to cover every shard's overlay."""
+        for shard_id, shard in enumerate(self._manifest["shards"]):
+            info = self._shard_result(
+                shard_id, self._submit_to_shard(shard_id, _worker_mutation_info)
+            )
+            self._next_id = max(self._next_id, int(info["next_id"]) + shard["lo"])
+
+    def respawn_shard(self, shard_id: int) -> None:
+        """Replace one shard's worker process with a fresh one.
+
+        The new worker reloads the shard container and -- when serving with
+        a WAL -- replays the shard's log before the readiness barrier
+        releases, so every acknowledged mutation survives the respawn even
+        if the old worker died mid-write (``kill -9`` included).
+        """
+        self._require_open()
+        old = self._pools[shard_id]
+        old.shutdown(wait=False, cancel_futures=True)
+        pool = self._spawn_pool(self._init_args[shard_id])
+        self._pools[shard_id] = pool
+        pool.submit(_worker_ready).result()
+        if self._wal_dir is not None:
+            self._refresh_next_id()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -570,27 +648,118 @@ class ShardedEngine:
                 return shard
         return shards[-1]
 
-    def upsert(self, backend_name: str, record: Any, obj_id: int | None = None) -> int:
-        """Insert or overwrite one record on its owning id-range shard."""
-        self._require_open()
-        self._check_backend(backend_name)
-        if obj_id is None:
-            obj_id = self._next_id
-        shard = self._shard_for_id(obj_id)
-        future = self._submit_to_shard(
-            shard["shard_id"], _worker_upsert, record, obj_id - shard["lo"]
-        )
-        assigned = self._shard_result(shard["shard_id"], future)
-        self._next_id = max(self._next_id, assigned + 1)
-        return assigned
+    def mutate(
+        self,
+        backend_name: str,
+        ops: Sequence[dict],
+        durability: str | None = None,
+    ) -> dict:
+        """Apply one mutation batch, routed to the owning id-range shards.
 
-    def delete(self, backend_name: str, obj_id: int) -> bool:
-        """Remove one external id; True when it named a live object."""
+        The parent assigns every upsert its global id up front (so routing is
+        deterministic and each worker's WAL records explicit, replayable
+        ids), groups the ops per shard preserving batch order, and submits
+        one sub-batch per touched shard in parallel.  Results come back in
+        the original batch order with global ids; ``wal_seq`` maps each
+        touched shard to the sequence number its sub-batch was acknowledged
+        at.  A sub-batch is atomic per shard (one WAL record), but a failure
+        on one shard does not roll back sub-batches already applied on
+        others.
+        """
         self._require_open()
         self._check_backend(backend_name)
-        shard = self._shard_for_id(obj_id)
-        future = self._submit_to_shard(shard["shard_id"], _worker_delete, obj_id - shard["lo"])
-        return self._shard_result(shard["shard_id"], future)
+        ops = list(ops)
+        if not ops:
+            raise ValueError("mutation batch is empty")
+        # Validate the whole batch's structure before assigning any id, so a
+        # malformed op cannot leave the batch half-routed.  Record contents
+        # are validated by each worker engine against its own store (before
+        # the worker applies anything).
+        for op in ops:
+            kind = op.get("op") if isinstance(op, dict) else None
+            if kind == "upsert":
+                if "record" not in op:
+                    raise ValueError("upsert ops require a record")
+                obj_id = op.get("id")
+                if obj_id is not None and (
+                    isinstance(obj_id, bool) or not isinstance(obj_id, int) or obj_id < 0
+                ):
+                    raise ValueError(f"object ids are non-negative, got {obj_id}")
+            elif kind == "delete":
+                obj_id = op.get("id")
+                if obj_id is None:
+                    raise ValueError("delete ops require an id")
+                if isinstance(obj_id, bool) or not isinstance(obj_id, int) or obj_id < 0:
+                    raise ValueError(f"object ids are non-negative, got {obj_id}")
+            else:
+                raise ValueError(f"unknown mutation op {kind!r}")
+        # Assign global ids and route, preserving batch order per shard.
+        routed: dict[int, list[tuple[int, int, dict]]] = {}
+        for position, op in enumerate(ops):
+            if op["op"] == "upsert":
+                obj_id = op.get("id")
+                if obj_id is None:
+                    obj_id = self._next_id
+                self._next_id = max(self._next_id, obj_id + 1)
+                shard = self._shard_for_id(obj_id)
+                local: dict[str, Any] = {
+                    "op": "upsert",
+                    "record": op["record"],
+                    "id": obj_id - shard["lo"],
+                }
+            else:
+                obj_id = op["id"]
+                shard = self._shard_for_id(obj_id)
+                local = {"op": "delete", "id": obj_id - shard["lo"]}
+            routed.setdefault(shard["shard_id"], []).append((position, shard["lo"], local))
+        futures = {
+            shard_id: self._submit_to_shard(
+                shard_id,
+                _worker_mutate,
+                [local for _position, _lo, local in entries],
+                durability,
+            )
+            for shard_id, entries in routed.items()
+        }
+        results: list[dict | None] = [None] * len(ops)
+        wal_seqs: dict[str, int] = {}
+        level = durability
+        for shard_id, entries in routed.items():
+            outcome = self._shard_result(shard_id, futures[shard_id])
+            level = outcome["durability"]
+            wal_seqs[str(shard_id)] = outcome["wal_seq"]
+            for (position, lo, _local), result in zip(entries, outcome["results"]):
+                doc = dict(result)
+                if "id" in doc:
+                    doc["id"] = int(doc["id"]) + lo
+                results[position] = doc
+        return {
+            "backend": self.backend_name,
+            "results": results,
+            "durability": level,
+            "wal_seq": wal_seqs,
+        }
+
+    def upsert(
+        self,
+        backend_name: str,
+        record: Any,
+        obj_id: int | None = None,
+        durability: str | None = None,
+    ) -> int:
+        """Insert or overwrite one record (a one-op :meth:`mutate` batch)."""
+        op: dict[str, Any] = {"op": "upsert", "record": record}
+        if obj_id is not None:
+            op["id"] = obj_id
+        outcome = self.mutate(backend_name, [op], durability)
+        return int(outcome["results"][0]["id"])
+
+    def delete(
+        self, backend_name: str, obj_id: int, durability: str | None = None
+    ) -> bool:
+        """Remove one external id (a one-op :meth:`mutate` batch)."""
+        outcome = self.mutate(backend_name, [{"op": "delete", "id": obj_id}], durability)
+        return bool(outcome["results"][0]["deleted"])
 
     def compact(self, backend_name: str | None = None) -> list[dict]:
         """Fold every shard's delta store into its rebuilt main index.
@@ -638,6 +807,40 @@ class ShardedEngine:
             "per_shard": per_shard,
         }
 
+    def durability_info(self, backend_name: str | None = None) -> dict:
+        """Aggregate durability posture, plus the per-shard breakdown."""
+        self._require_open()
+        if backend_name is not None:
+            self._check_backend(backend_name)
+        per_shard = []
+        for shard_id in range(len(self._pools)):
+            info = dict(
+                self._shard_result(
+                    shard_id, self._submit_to_shard(shard_id, _worker_durability_info)
+                )
+            )
+            info["shard_id"] = shard_id
+            per_shard.append(info)
+        return {
+            "backend": self.backend_name,
+            "sharded": True,
+            "wal_dir": self._wal_dir,
+            "default_durability": per_shard[0]["default_durability"],
+            "per_shard": per_shard,
+        }
+
+    def wait_for_compaction(self, timeout: float | None = None) -> bool:
+        """Block until no shard has a background compaction in flight."""
+        self._require_open()
+        futures = [
+            self._submit_to_shard(shard_id, _worker_wait_for_compaction, timeout)
+            for shard_id in range(len(self._pools))
+        ]
+        settled = True
+        for shard_id, future in enumerate(futures):
+            settled = self._shard_result(shard_id, future) and settled
+        return settled
+
     def flush(self) -> dict:
         """Persist every shard (store + overlay) and the shards manifest.
 
@@ -666,8 +869,7 @@ class ShardedEngine:
         self._manifest["num_objects"] = sum(info["num_live"] for info in infos)
         self._manifest["next_id"] = self._next_id
         path = os.path.join(self._directory, SHARDS_MANIFEST_NAME)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self._manifest, handle, indent=2)
+        atomic_write_json(path, self._manifest, indent=2)
         return self._manifest
 
     # -- serving -----------------------------------------------------------

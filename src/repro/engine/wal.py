@@ -1,0 +1,386 @@
+"""Per-index write-ahead log: crash durability for acknowledged mutations.
+
+The mutation overlay of :mod:`repro.engine.mutation` lives in memory until an
+explicit save writes ``mutations.json`` -- a crash between saves silently
+drops every acknowledged upsert and delete.  This module closes that gap the
+way LSM engines do, with a **write-ahead log** per served index:
+
+* every mutation batch is appended to the WAL *and fsynced* before the
+  caller is acknowledged (``durability="wal"``; ``"memory"`` appends without
+  the fsync and rides on the next synced batch -- group commit);
+* on load, the WAL is replayed into the delta store, so the recovered index
+  contains exactly the acknowledged prefix of the write history;
+* a torn tail (partial record from a crash mid-append) or a
+  checksum-corrupted record is detected and cleanly discarded together with
+  everything after it -- the WAL is trusted only up to its last valid
+  record;
+* after a checkpoint (an explicit save, or the auto-compaction swap) the
+  log is truncated up to the checkpointed sequence number, keeping replay
+  bounded.
+
+File layout (all integers little-endian)::
+
+    8 bytes   magic ``PRWAL001``
+    repeated  <u32 payload length> <u32 crc32(payload)> <payload>
+
+where each payload is one UTF-8 JSON *batch document*::
+
+    {"seq": <int>, "backend": <name>, "ops": [<op>, ...]}
+
+and each op is either ``{"op": "upsert", "id": <int>, "record": <wire>}``
+or ``{"op": "delete", "id": <int>}``.  Records cross through the backend's
+wire codec, and upserts always carry the **explicit** external id the engine
+assigned at accept time, so replay is deterministic and idempotent: the same
+batch applied twice produces the same overlay, and batches whose ``seq`` is
+already covered by the container manifest's checkpoint are skipped.
+
+Sequence numbers are per-WAL, start at 1, and keep increasing across
+truncations (the checkpointed seq is recorded in the container manifest and
+restored at attach time), so "which batches does this container already
+contain" is always a single integer comparison.
+
+The module also hosts :class:`AutoCompactionPolicy` -- the delta-size /
+scan-cost crossover rule that decides when the engine folds the overlay back
+into a rebuilt main store off the write path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.engine.mutation import DeltaStore
+
+WAL_MAGIC = b"PRWAL001"
+_RECORD_HEADER = struct.Struct("<II")
+
+#: Acknowledgment levels for mutation batches.  ``"wal"`` fsyncs the log
+#: before the batch is acknowledged; ``"memory"`` appends without syncing
+#: (the next synced batch or checkpoint makes it durable).
+DURABILITY_LEVELS = ("memory", "wal")
+
+
+class WalCorruptionError(ValueError):
+    """A WAL file does not start with the expected magic bytes."""
+
+
+@dataclass(frozen=True)
+class WalBatch:
+    """One decoded batch record of a WAL file."""
+
+    seq: int
+    backend: str
+    ops: tuple[dict, ...]
+    offset: int
+    num_bytes: int
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory entry (after create/rename)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem refuses dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def read_wal(path: str) -> tuple[list[WalBatch], int, int, str | None]:
+    """Scan a WAL file, stopping at the first invalid byte.
+
+    Returns ``(batches, valid_end, file_size, tail_error)``: the decodable
+    batch prefix, the byte offset where validity ends, the file size, and
+    why scanning stopped (``None`` when the whole file is valid).  The
+    prefix property is the recovery invariant: a record is trusted only if
+    every record before it is intact, so a torn or corrupted record
+    invalidates itself *and everything after it*.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    size = len(data)
+    if size == 0:
+        return [], 0, 0, "empty file (missing magic)"
+    if size < len(WAL_MAGIC) or data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WalCorruptionError(f"{path!r} is not a write-ahead log (bad magic)")
+    offset = len(WAL_MAGIC)
+    batches: list[WalBatch] = []
+    while offset < size:
+        if offset + _RECORD_HEADER.size > size:
+            return batches, offset, size, "torn record header"
+        length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        start = offset + _RECORD_HEADER.size
+        payload = data[start : start + length]
+        if len(payload) < length:
+            return batches, offset, size, "torn record payload"
+        if zlib.crc32(payload) != crc:
+            return batches, offset, size, "record checksum mismatch"
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+            batch = WalBatch(
+                seq=int(doc["seq"]),
+                backend=str(doc.get("backend", "")),
+                ops=tuple(doc["ops"]),
+                offset=offset,
+                num_bytes=_RECORD_HEADER.size + length,
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return batches, offset, size, "undecodable record payload"
+        batches.append(batch)
+        offset += _RECORD_HEADER.size + length
+    return batches, offset, size, None
+
+
+def wal_summary(path: str) -> dict:
+    """JSON-friendly description of a WAL file (the ``wal-inspect`` view)."""
+    batches, valid_end, size, tail_error = read_wal(path)
+    return {
+        "path": path,
+        "size_bytes": size,
+        "valid_bytes": valid_end,
+        "discarded_bytes": size - valid_end,
+        "tail_error": tail_error,
+        "num_batches": len(batches),
+        "last_seq": batches[-1].seq if batches else 0,
+        "batches": [
+            {
+                "seq": batch.seq,
+                "backend": batch.backend,
+                "num_ops": len(batch.ops),
+                "upserts": sum(1 for op in batch.ops if op.get("op") == "upsert"),
+                "deletes": sum(1 for op in batch.ops if op.get("op") == "delete"),
+                "offset": batch.offset,
+                "num_bytes": batch.num_bytes,
+            }
+            for batch in batches
+        ],
+    }
+
+
+class WriteAheadLog:
+    """An append-only, checksummed mutation log for one served index.
+
+    Opening an existing file scans it, **truncates** any torn or corrupted
+    tail in place (recording why in :attr:`tail_discarded`), and resumes
+    sequence numbering after the last valid batch.  Appends and truncations
+    are serialised by an internal lock, so a background compaction can
+    rotate the log while writers keep appending.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.RLock()
+        self.tail_discarded: str | None = None
+        if os.path.exists(path):
+            batches, valid_end, size, tail_error = read_wal(path)
+            self._last_seq = batches[-1].seq if batches else 0
+            self._handle = open(path, "r+b")
+            if tail_error is not None:
+                # Discard the invalid suffix so later appends extend a
+                # clean prefix instead of burying garbage mid-file.  An
+                # empty (0-byte) file -- e.g. created but never synced --
+                # is re-stamped with the magic the same way.
+                if size > 0:
+                    self.tail_discarded = f"{tail_error} ({size - valid_end} bytes)"
+                if valid_end == 0:
+                    self._handle.write(WAL_MAGIC)
+                    valid_end = len(WAL_MAGIC)
+                self._handle.truncate(valid_end)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self._handle.seek(0, os.SEEK_END)
+        else:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "x+b")
+            self._handle.write(WAL_MAGIC)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            _fsync_directory(directory)
+            self._last_seq = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended batch."""
+        with self._lock:
+            return self._last_seq
+
+    def resume_from(self, seq: int) -> None:
+        """Advance sequencing past ``seq`` (the container's checkpoint).
+
+        After a checkpoint truncates the log, the file alone no longer
+        remembers how far numbering got; the engine restores it from the
+        manifest so sequence numbers never repeat.
+        """
+        with self._lock:
+            self._last_seq = max(self._last_seq, int(seq))
+
+    def batches(self) -> list[WalBatch]:
+        """Re-read every valid batch currently on disk (the replay view)."""
+        with self._lock:
+            return read_wal(self.path)[0]
+
+    def describe(self) -> dict:
+        """Cheap JSON-friendly state for ``durability_info()``."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "last_seq": self._last_seq,
+                "size_bytes": os.path.getsize(self.path),
+                "tail_discarded": self.tail_discarded,
+            }
+
+    # -- writes --------------------------------------------------------------
+
+    def append(self, backend_name: str, ops: Sequence[dict], sync: bool = True) -> int:
+        """Append one batch; fsync before returning when ``sync`` is True.
+
+        Returns the sequence number assigned to the batch.  With
+        ``sync=False`` the bytes reach the OS (a process crash keeps them)
+        but not necessarily the disk -- the ``"memory"`` durability level.
+        """
+        with self._lock:
+            seq = self._last_seq + 1
+            doc = {"seq": seq, "backend": backend_name, "ops": list(ops)}
+            payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+            self._handle.write(_RECORD_HEADER.pack(len(payload), zlib.crc32(payload)))
+            self._handle.write(payload)
+            self._handle.flush()
+            if sync:
+                os.fsync(self._handle.fileno())
+            self._last_seq = seq
+            return seq
+
+    def sync(self) -> None:
+        """Fsync pending appends (promotes earlier ``"memory"`` batches)."""
+        with self._lock:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def truncate_upto(self, seq: int) -> None:
+        """Drop every batch with ``seq`` <= the given checkpoint, atomically.
+
+        The surviving suffix (batches appended after the checkpoint was
+        snapshotted) is rewritten to a temp file and renamed over the log,
+        so a crash mid-truncate leaves either the old or the new file --
+        never a half-written one.
+        """
+        with self._lock:
+            survivors = [batch for batch in self.batches() if batch.seq > seq]
+            temp_path = self.path + ".tmp"
+            with open(self.path, "rb") as source, open(temp_path, "wb") as temp:
+                temp.write(WAL_MAGIC)
+                for batch in survivors:
+                    source.seek(batch.offset)
+                    temp.write(source.read(batch.num_bytes))
+                temp.flush()
+                os.fsync(temp.fileno())
+            self._handle.close()
+            os.replace(temp_path, self.path)
+            _fsync_directory(os.path.dirname(self.path))
+            self._handle = open(self.path, "r+b")
+            self._handle.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+# ---------------------------------------------------------------------------
+# Op codec (engine form <-> WAL/wire form)
+# ---------------------------------------------------------------------------
+
+
+def op_to_wire(backend: Any, op: dict) -> dict:
+    """Engine-form op (decoded record, explicit id) -> WAL/wire form."""
+    if op["op"] == "upsert":
+        return {"op": "upsert", "id": int(op["id"]), "record": backend.record_to_wire(op["record"])}
+    if op["op"] == "delete":
+        return {"op": "delete", "id": int(op["id"])}
+    raise ValueError(f"unknown mutation op {op.get('op')!r}")
+
+
+def op_from_wire(backend: Any, doc: dict) -> dict:
+    """WAL/wire-form op -> engine form with the record decoded."""
+    kind = doc.get("op")
+    if kind == "upsert":
+        record = backend.record_from_wire(doc["record"])
+        return {"op": "upsert", "id": int(doc["id"]), "record": record}
+    if kind == "delete":
+        return {"op": "delete", "id": int(doc["id"])}
+    raise ValueError(f"unknown mutation op {kind!r}")
+
+
+def apply_op(delta: DeltaStore, op: dict) -> DeltaStore:
+    """Apply one engine-form op (explicit id) to an overlay; pure replay."""
+    if op["op"] == "upsert":
+        delta, _ = delta.with_upsert(op["record"], op["id"])
+        return delta
+    if op["op"] == "delete":
+        delta, _ = delta.with_delete(op["id"])
+        return delta
+    raise ValueError(f"unknown mutation op {op.get('op')!r}")
+
+
+# ---------------------------------------------------------------------------
+# Auto-compaction policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AutoCompactionPolicy:
+    """When to fold the delta overlay back into a rebuilt main store.
+
+    Every query pays an exact linear scan over the delta records on top of
+    the main pipeline's candidate work, so the natural trigger is the
+    crossover between the two: once the delta holds more records than
+    ``cost_ratio`` x the average candidates the main funnel generates per
+    query (the ``engine_candidates_generated_total`` stat), scanning the
+    delta dominates and compaction pays for itself.  ``min_delta_records``
+    keeps tiny overlays from churning rebuilds, and ``max_delta_records``
+    bounds the overlay (and WAL replay time) even for write-only workloads
+    where no query traffic feeds the funnel stats.
+    """
+
+    min_delta_records: int = 256
+    cost_ratio: float = 0.5
+    max_delta_records: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.min_delta_records < 1:
+            raise ValueError("min_delta_records must be >= 1")
+        if self.cost_ratio <= 0:
+            raise ValueError("cost_ratio must be positive")
+        if self.max_delta_records < self.min_delta_records:
+            raise ValueError("max_delta_records must be >= min_delta_records")
+
+    def should_compact(self, delta_records: int, avg_generated: float) -> bool:
+        """Decide from the overlay size and the funnel's per-query cost."""
+        if delta_records >= self.max_delta_records:
+            return True
+        if delta_records < self.min_delta_records:
+            return False
+        if avg_generated <= 0:
+            # No query traffic yet: the delta is pure replay/memory overhead
+            # with nothing to amortise it, so compact at the floor.
+            return True
+        return delta_records >= self.cost_ratio * avg_generated
+
+    def summary(self) -> dict:
+        return {
+            "min_delta_records": self.min_delta_records,
+            "cost_ratio": self.cost_ratio,
+            "max_delta_records": self.max_delta_records,
+        }

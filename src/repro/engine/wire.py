@@ -22,10 +22,28 @@ vectors become 0/1 integer lists, graphs become ``{vertices, edges}``
 objects.  JSON keeps the int/float distinction for ``tau``, which is
 semantic for the sets backend (int = overlap, float = Jaccard).
 
-Mutations use the same conventions: ``POST /upsert`` carries ``{backend,
-record, id?}`` (the record in the backend's wire form), ``POST /delete``
-carries ``{backend, id}`` and ``POST /compact`` an optional ``{backend}``;
-see :func:`decode_upsert` / :func:`decode_delete` / :func:`decode_compact`.
+Mutations use the same conventions.  The batched ``POST /mutate`` carries::
+
+    {
+      "schema_version": 2,
+      "backend": "sets",
+      "ops": [{"op": "upsert", "record": [...], "id": 7},
+              {"op": "delete", "id": 3}],
+      "durability": "wal"               # optional: "memory" | "wal"
+    }
+
+(see :func:`encode_mutate` / :func:`decode_mutate`); the response reports
+per-op results plus the durability level and WAL sequence number the batch
+was acknowledged at.  The legacy one-op endpoints remain: ``POST /upsert``
+carries ``{backend, record, id?}`` (the record in the backend's wire form),
+``POST /delete`` carries ``{backend, id}`` and ``POST /compact`` an
+optional ``{backend}``; see :func:`decode_upsert` / :func:`decode_delete`
+/ :func:`decode_compact`.
+
+Schema versioning: version 2 added ``/mutate`` and the ``durability``
+field.  Version-1 bodies are a strict subset of version-2 semantics, so
+servers accept both (:data:`SUPPORTED_WIRE_SCHEMA_VERSIONS`) and old
+clients keep working unchanged.
 
 Every malformed input raises :class:`WireFormatError`, which the server
 maps to HTTP 400 with the message in the body -- clients see *why* the
@@ -40,7 +58,13 @@ from repro.engine.api import Query, Response
 from repro.engine.backend import available_backends, get_backend
 
 #: Version of the request/response JSON schema (bump on incompatible changes).
-WIRE_SCHEMA_VERSION = 1
+WIRE_SCHEMA_VERSION = 2
+
+#: Versions this server still decodes (v1 bodies are a subset of v2).
+SUPPORTED_WIRE_SCHEMA_VERSIONS = frozenset({1, 2})
+
+#: Durability levels a mutation request may ask for.
+WIRE_DURABILITY_LEVELS = ("memory", "wal")
 
 
 class WireFormatError(ValueError):
@@ -49,10 +73,10 @@ class WireFormatError(ValueError):
 
 def _check_schema_version(body: dict) -> None:
     version = body.get("schema_version", WIRE_SCHEMA_VERSION)
-    if version != WIRE_SCHEMA_VERSION:
+    if version not in SUPPORTED_WIRE_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_WIRE_SCHEMA_VERSIONS))
         raise WireFormatError(
-            f"unsupported wire schema {version!r} (this server speaks "
-            f"{WIRE_SCHEMA_VERSION})"
+            f"unsupported wire schema {version!r} (this server speaks {supported})"
         )
 
 
@@ -198,6 +222,82 @@ def decode_delete(body: Any) -> tuple[str, int]:
     """Decode a ``/delete`` body into ``(backend, id)`` (server side)."""
     backend = _decode_backend(body)
     return backend.name, _decode_object_id(body, required=True)
+
+
+def encode_mutate(
+    backend_name: str,
+    ops: list[dict],
+    durability: str | None = None,
+) -> dict:
+    """The wire form of one mutation batch (client side).
+
+    Each op is ``{"op": "upsert", "record": <raw record>, "id": optional}``
+    or ``{"op": "delete", "id": int}``; records are converted through the
+    backend's wire codec here so callers pass domain-native objects.
+    """
+    backend = get_backend(backend_name)
+    wire_ops = []
+    for op in ops:
+        kind = op.get("op") if isinstance(op, dict) else None
+        if kind == "upsert":
+            doc: dict[str, Any] = {"op": "upsert", "record": backend.record_to_wire(op["record"])}
+            if op.get("id") is not None:
+                doc["id"] = int(op["id"])
+            wire_ops.append(doc)
+        elif kind == "delete":
+            wire_ops.append({"op": "delete", "id": int(op["id"])})
+        else:
+            raise ValueError(f"unknown mutation op {kind!r}")
+    body: dict[str, Any] = {
+        "schema_version": WIRE_SCHEMA_VERSION,
+        "backend": backend_name,
+        "ops": wire_ops,
+    }
+    if durability is not None:
+        body["durability"] = durability
+    return body
+
+
+def decode_mutate(body: Any) -> tuple[str, list[dict], str | None]:
+    """Decode a ``/mutate`` body into ``(backend, ops, durability)``.
+
+    Ops come back in the engine's form (records decoded, explicit ids as
+    ints); every malformed op raises :class:`WireFormatError` naming its
+    position in the batch.
+    """
+    backend = _decode_backend(body)
+    ops = body.get("ops")
+    if not isinstance(ops, list) or not ops:
+        raise WireFormatError("'ops' must be a non-empty list of mutation ops")
+    decoded: list[dict] = []
+    for position, doc in enumerate(ops):
+        if not isinstance(doc, dict):
+            raise WireFormatError(f"ops[{position}] must be a JSON object")
+        kind = doc.get("op")
+        if kind == "upsert":
+            if "record" not in doc:
+                raise WireFormatError(f"ops[{position}] is missing 'record'")
+            try:
+                record = backend.record_from_wire(doc["record"])
+            except WireFormatError:
+                raise
+            except Exception as exc:
+                raise WireFormatError(
+                    f"ops[{position}]: undecodable {backend.name!r} record: {exc}"
+                ) from exc
+            obj_id = _decode_object_id(doc, required=False)
+            decoded.append({"op": "upsert", "record": record, "id": obj_id})
+        elif kind == "delete":
+            decoded.append({"op": "delete", "id": _decode_object_id(doc, required=True)})
+        else:
+            raise WireFormatError(f"ops[{position}]: unknown mutation op {kind!r}")
+    durability = body.get("durability")
+    if durability is not None and durability not in WIRE_DURABILITY_LEVELS:
+        accepted = ", ".join(WIRE_DURABILITY_LEVELS)
+        raise WireFormatError(
+            f"unknown durability {durability!r} (accepted: {accepted})"
+        )
+    return backend.name, decoded, durability
 
 
 def decode_compact(body: Any) -> str | None:
