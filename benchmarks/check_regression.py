@@ -33,8 +33,12 @@ against the candidate report produced by ``benchmarks/run_all.py``:
   ``--observability-tolerance`` (default 5%) of the pipeline-ring
   reference measured back to back in the same section: the span
   instrumentation's disabled path is supposed to be a guard check, not a
-  cost.  Tracing-off throughput is additionally gated against the
-  baseline at ``--tolerance`` when both reports carry the section.
+  cost.  The same tolerance caps ``diag_overhead_pct`` -- the best
+  pairwise wall ratio of the diagnostics-on pass (continuous profiler +
+  tail sampler + span->metrics bridge) over its interleaved tracing-on
+  twin: always-on diagnostics must stay cheap enough to never turn off.
+  Tracing-off throughput is additionally gated against the baseline at
+  ``--tolerance`` when both reports carry the section.
 
 ``--pipeline-only`` gates just the ``pipeline`` section and only its
 hardware-independent checks (agreement + speedup ratio, not absolute
@@ -188,8 +192,13 @@ def compare_observability(
     vs ``pipeline_ring_qps``, the pipeline-profile workload re-measured
     back to back in the same section (same engine, seconds apart), so the
     5% floor gates on any hardware instead of inheriting the load drift
-    between report sections.  The baseline comparison follows the usual
-    skip-when-absent pattern.
+    between report sections.  The diagnostics-on check is candidate-internal
+    for the same reason: ``diag_overhead_pct`` is the best pairwise
+    diag-vs-traced wall ratio over interleaved passes (continuous
+    profiler + tail sampler + span->metrics bridge, all armed), so it
+    measures the hooks rather than the runner, and it must stay within
+    the observability tolerance.  The baseline comparison follows the
+    usual skip-when-absent pattern.
     """
     failures: list[str] = []
     cand_obs = candidate.get("observability", {}).get("domains", {})
@@ -209,6 +218,16 @@ def compare_observability(
                 f"{off_qps:.1f} q/s, floor {floor:.1f}) -- the untraced serving path "
                 f"got more expensive"
             )
+        diag_overhead = entry.get("diag_overhead_pct")
+        if diag_overhead is not None:  # reports predating the diag pass skip
+            cap = 100.0 * observability_tolerance
+            if diag_overhead > cap:
+                failures.append(
+                    f"observability {domain}: diagnostics-on overhead is "
+                    f"{diag_overhead:+.1f}% over the interleaved tracing-on "
+                    f"reference (cap {cap:.0f}%) -- the always-on "
+                    f"profiler/tail-sampler/bridge stack got too expensive"
+                )
     base_obs = baseline.get("observability", {}).get("domains", {})
     for domain, base_entry in base_obs.items():
         cand_entry = cand_obs.get(domain)
@@ -359,7 +378,8 @@ def main(argv: list[str] | None = None) -> int:
         default=0.05,
         help=(
             "maximum tolerated drop of tracing-disabled throughput below the "
-            "candidate's own pipeline throughput (default 0.05)"
+            "candidate's own pipeline throughput, and cap on diagnostics-on "
+            "overhead vs the interleaved traced pass (default 0.05)"
         ),
     )
     args = parser.parse_args(argv)

@@ -34,12 +34,16 @@ For every domain (Hamming, sets, strings, graphs) this runner
    ``durability`` section -- ``check_regression.py`` holds the batched
    ``wal`` path at or above the single-op rate, and
 9. (unless ``--no-observability``) replays the threshold workload once
-   with tracing off and once with a trace id threaded through every
-   query, plus the latency of a ``GET /metrics`` scrape against a live
-   server, under an ``observability`` section --
-   ``benchmarks/check_regression.py`` holds the tracing-off throughput
-   within 5% of the ``pipeline`` section's ring throughput (the span
-   instrumentation's disabled path must stay near-free).
+   with tracing off, once with a trace id threaded through every query,
+   and once with the full diagnostics stack armed (continuous sampling
+   profiler + tail sampler + span->metrics bridge), plus the latency of a
+   ``GET /metrics`` scrape against a live server, under an
+   ``observability`` section -- ``benchmarks/check_regression.py`` holds
+   the tracing-off throughput within 5% of the ``pipeline`` section's
+   ring throughput (the span instrumentation's disabled path must stay
+   near-free) and the diagnostics-on overhead -- the best pairwise wall
+   ratio against the interleaved tracing-on pass -- under 5% (profiling
+   + tail sampling must be cheap enough to leave on in production).
 
 The single schema-versioned report (``benchmarks/BENCH_all.json`` by
 default) carries throughput, latency percentiles, merge overhead and
@@ -64,6 +68,7 @@ import tempfile
 import time
 
 import repro
+from repro.common import diag
 from repro.common.stats import Timer
 from repro.engine import Query, SearchEngine
 from repro.engine.backend import get_backend
@@ -194,6 +199,18 @@ def bench_observability(name: str, config: dict) -> dict:
     *ratio* must not inherit one GC pause or scheduler hiccup, which at
     ci scale (graphs: six ~14 ms queries per pass) would otherwise
     dominate the measurement.
+
+    A third measured pass arms the full diagnostics stack -- the
+    continuous sampling profiler, a 1%-budget tail sampler offered every
+    trace, and the span->metrics bridge folding every span timeline into
+    counters -- over the same traced workload, interleaved iteration by
+    iteration with the tracing-on pass.  The gated statistic is
+    ``diag_overhead_pct``, the best *pairwise* diag/traced wall ratio
+    across the interleaved iterations: adjacent passes share the same
+    milliseconds of machine state, so the ratio measures the hooks
+    rather than runner load drift.  ``check_regression.py`` caps it at
+    the same 5%: the always-on diagnostics posture must stay cheap
+    enough, relative to the tracing that feeds it, to never turn off.
     """
     backend = get_backend(name)
     dataset, payloads = backend.make_workload(config["size"], config["num_queries"], config["seed"])
@@ -211,7 +228,10 @@ def bench_observability(name: str, config: dict) -> dict:
     ]
     for query in plain:  # searcher construction / cold caches are not serving
         engine.search(query)
-    repeat = max(3, config["repeat"])
+    # Gated few-percent ratios need more best-of draws than the ungated
+    # sections: min-of-3 on a shared runner still carries ~10% of
+    # scheduler noise, min-of-7 does not.
+    repeat = max(7, config["repeat"])
 
     def best_pass(queries: list[Query]) -> tuple[float, list]:
         responses: list = []
@@ -224,7 +244,39 @@ def bench_observability(name: str, config: dict) -> dict:
 
     ref_wall, _ = best_pass(reference)
     off_wall, off_responses = best_pass(plain)
-    on_wall, on_responses = best_pass(traced)
+
+    # The tracing-on and diagnostics-on passes interleave inside one loop:
+    # the gated diag-vs-traced ratio must come from the same seconds of
+    # wall clock, or sustained load drift between two separate best-of
+    # blocks (easily 10%+ on a shared runner) swamps the few-percent hook
+    # cost being measured.  The profiler arms only around the diag pass so
+    # its cost lands on the correct side of the ratio.
+    sampler = diag.TailSampler(capacity=128, budget=0.01)
+    bridge = diag.SpanMetricsBridge(engine.stats.registry)
+    profiler = diag.SamplingProfiler()
+    on_walls: list[float] = []
+    diag_walls: list[float] = []
+    on_responses: list = []
+    for _ in range(repeat):
+        timer = Timer()
+        on_responses = [engine.search(query) for query in traced]
+        on_walls.append(timer.elapsed())
+        profiler.start()
+        timer = Timer()
+        for query in traced:
+            response = engine.search(query)
+            sampler.add(response.trace, e2e_ms=response.engine_time * 1000.0)
+            bridge.record(response.trace, backend=name)
+        diag_walls.append(timer.elapsed())
+        profiler.stop()
+    on_wall = min(on_walls)
+    diag_wall = min(diag_walls)
+    # The gated overhead is the best *pairwise* ratio: each iteration
+    # compares two adjacent passes a few ms apart, so a noise spike that
+    # lands on one iteration cannot masquerade as instrumentation cost
+    # the way it can when two independent best-of minima are divided.
+    diag_ratio = min(d / o for d, o in zip(diag_walls, on_walls) if o) if on_wall else 1.0
+
     num = len(plain)
     agree = all(
         off.ids == on.ids and on.trace is not None
@@ -238,6 +290,13 @@ def bench_observability(name: str, config: dict) -> dict:
         "tracing_on_qps": num / on_wall if on_wall else 0.0,
         "tracing_overhead_pct": (
             100.0 * (on_wall - off_wall) / off_wall if off_wall else 0.0
+        ),
+        "diag_on_qps": num / diag_wall if diag_wall else 0.0,
+        "diag_overhead_pct": 100.0 * (diag_ratio - 1.0),
+        "tail_sampler_kept": (
+            sampler.stats()["kept_slow"]
+            + sampler.stats()["kept_error"]
+            + sampler.stats()["kept_sampled"]
         ),
         "traced_results_agree": agree,
     }
@@ -686,6 +745,8 @@ def main(argv: list[str] | None = None) -> int:
                     f"tracing off {section['tracing_off_qps']:>8.1f} q/s  "
                     f"on {section['tracing_on_qps']:>8.1f} q/s  "
                     f"overhead {section['tracing_overhead_pct']:+.1f}%  "
+                    f"diag on {section['diag_on_qps']:>8.1f} q/s "
+                    f"({section['diag_overhead_pct']:+.1f}%)  "
                     f"agree={section['traced_results_agree']}"
                 )
             scrape = bench_metrics_scrape(domains[0], profile[domains[0]])

@@ -27,7 +27,8 @@ python -m repro.engine build-index --backend sets --out "$workdir/idx" \
 
 python -m repro.engine serve --index "$workdir/idx" --port 0 \
     --ready-file "$workdir/ready" \
-    --slow-query-ms 1 --slow-query-log "$workdir/slow.jsonl" &
+    --slow-query-ms 1 --slow-query-log "$workdir/slow.jsonl" \
+    --profile-hz 67 &
 server_pid=$!
 
 for _ in $(seq 1 100); do
@@ -55,19 +56,25 @@ print("smoke QPS:", {level: round(value, 1) for level, value in qps.items()})
 EOF
 
 # /metrics must parse as Prometheus text (0.0.4: HELP/TYPE metadata,
-# name{label="value"} samples) and its counters must only ever go up.
+# name{label="value"} samples, optional OpenMetrics exemplars on traced
+# histogram buckets) and its counters must only ever go up.  Because the
+# server runs with a 1 ms slow-query threshold every query is traced, so
+# the latency histogram must carry at least one exemplar -- and its trace
+# id must resolve to a span timeline under /debug/traces.
 python - "$url" <<'EOF'
+import json
 import re
 import sys
 import urllib.request
 
 url = sys.argv[1]
 
+EXEMPLAR = r'( # \{trace_id="(?:[^"\\]|\\.)*"\} [0-9.eE+-]+( [0-9.eE+-]+)?)?'
 SAMPLE = re.compile(
     r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
     r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
     r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
-    r" -?([0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+    r" -?([0-9.eE+-]+|\+Inf|-Inf|NaN)" + EXEMPLAR + r"$"
 )
 META = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
 
@@ -75,6 +82,7 @@ META = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
 def scrape():
     text = urllib.request.urlopen(f"{url}/metrics").read().decode("utf-8")
     samples = {}
+    exemplar_ids = set()
     for line in text.splitlines():
         if not line:
             continue
@@ -82,23 +90,63 @@ def scrape():
             assert META.match(line), f"bad metadata line: {line!r}"
             continue
         assert SAMPLE.match(line), f"bad sample line: {line!r}"
+        marker = line.find(" # {")
+        if marker >= 0:
+            exemplar_ids.add(re.search(r'trace_id="([^"]+)"', line).group(1))
+            line = line[:marker]
         name, _, value = line.rpartition(" ")
         samples[name] = float(value)
-    return samples
+    return samples, exemplar_ids
 
 
-before = scrape()
+before, exemplar_ids = scrape()
 for family in ("server_queries_total", "engine_query_seconds_bucket", "http_requests_total"):
     assert any(key.startswith(family) for key in before), f"no {family} samples"
+assert exemplar_ids, "traced histograms carried no exemplars"
+traces = json.load(urllib.request.urlopen(f"{url}/debug/traces"))
+known = {doc.get("trace_id") for doc in traces["traces"]}
+resolved = exemplar_ids & known
+assert resolved, f"no exemplar resolves in /debug/traces: {sorted(exemplar_ids)[:3]}"
 urllib.request.urlopen(f"{url}/healthz").read()  # traffic between scrapes
-after = scrape()
+after, _ = scrape()
 monotone = 0
 for key, value in before.items():
     if "_total" in key or "_count" in key or "_bucket" in key:
         assert key in after and after[key] >= value, f"{key} went backwards"
         monotone += 1
 assert monotone > 0
-print(f"metrics smoke: {len(before)} samples parsed, {monotone} monotone counters OK")
+print(
+    f"metrics smoke: {len(before)} samples parsed, {monotone} monotone counters, "
+    f"{len(resolved)} exemplar(s) resolved OK"
+)
+EOF
+
+# The continuous profiler (--profile-hz 67) must attribute the load it just
+# served: non-empty folded stacks, with the lion's share of self time on
+# named engine roles rather than unattributed threads.
+python - "$url" <<'EOF'
+import json
+import sys
+import urllib.request
+
+url = sys.argv[1]
+payload = json.load(urllib.request.urlopen(f"{url}/debug/profile?seconds=1"))
+profile = payload["profile"]
+assert profile["roles"], "profiler returned no samples"
+assert payload["folded"], "no folded stacks"
+for line in payload["folded"]:
+    head, _, count = line.rpartition(" ")
+    assert ";" in head and int(count) > 0, f"bad folded line: {line!r}"
+attribution = payload["attribution"]
+named = sum(share for role, share in attribution.items() if role != "other")
+assert named >= 0.9, f"only {named:.0%} of self time on named roles: {attribution}"
+slo = json.load(urllib.request.urlopen(f"{url}/debug/slo"))
+assert slo["slo"]["windows"]["fast"]["requests"] > 0, slo
+assert slo["slo"]["breaching"] is False, slo
+print(
+    f"profile smoke: {sum(r['samples'] for r in profile['roles'].values())} samples, "
+    f"{len(payload['folded'])} stacks, {named:.0%} attributed OK"
+)
 EOF
 
 # Mutate the live index over HTTP: a fresh record must be servable

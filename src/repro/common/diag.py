@@ -1,0 +1,671 @@
+"""Diagnostics layer: continuous profiler, tail sampling and SLO monitors.
+
+Four facilities that answer "why is p99 slow *right now*", layered on the
+metrics/tracing substrate of :mod:`repro.common.obs`:
+
+* a **continuous sampling profiler** -- a daemon thread samples
+  ``sys._current_frames()`` at a configurable rate and aggregates folded
+  (flamegraph-collapsed) stacks per *thread role*: the server's asyncio
+  loop is the ``batcher``, the ``engine-batch`` executor thread is the
+  ``executor``, ``auto-compact-*`` threads are ``compaction`` and shard
+  worker processes report as ``shard-worker``.  Memory is bounded (at most
+  ``max_stacks`` distinct stacks per role, overflow folded into a
+  ``(other)`` pseudo-stack), snapshots are JSON-safe and mergeable across
+  processes, and ``render_folded`` emits standard collapsed-stack lines
+  that flamegraph tooling consumes directly.
+
+* a **tail-based trace sampler** -- same ``add/snapshot/__len__`` surface
+  as :class:`repro.common.obs.TraceBuffer`, but with a retention policy:
+  slow traces (over ``slow_ms``) and error traces are *always* kept in a
+  dedicated ring, while ordinary traces pass through a budgeted stride
+  sampler (``budget=0.01`` keeps ~1%).  Tracing can stay enabled under
+  load without the interesting tail being evicted by the boring middle.
+
+* a **span->metrics bridge** -- folds span trees into per-backend,
+  per-stage *self-time* counters (span duration minus its children), the
+  continuously-collected cost profile the ROADMAP's cost-based planner
+  will consume.
+
+* **SLO burn-rate monitors** -- a multi-window (fast 5m / slow 1h)
+  burn-rate monitor over a latency/error objective, plus a per-shard
+  health scoreboard for the sharded engine.
+
+Everything here is stdlib-only and safe to import in shard worker
+processes.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.common import obs
+
+PROFILE_WIRE_VERSION = 1
+
+# Default sampling rate. 67 Hz resolves millisecond-scale stages while the
+# sampling thread itself stays well under 1% of one core; a prime-ish rate
+# avoids beating against periodic work.
+DEFAULT_PROFILE_HZ = 67.0
+
+# A sampled stack deeper than this is truncated at the root end; the leaf
+# frames (where self time is spent) are always retained.
+_STACK_DEPTH_LIMIT = 64
+
+# Pseudo-stack that absorbs samples once a role has max_stacks distinct
+# folded stacks, keeping profiler memory bounded on pathological workloads.
+OVERFLOW_STACK = "(overflow)"
+
+
+def thread_role(name: str, main_role: str = "batcher") -> str:
+    """Map a thread name to its engine stage role.
+
+    ``main_role`` is what ``MainThread`` reports as: the asyncio accept loop
+    (``batcher``) when profiling a server process, ``shard-worker`` when
+    profiling inside a shard worker process.
+    """
+    if name.startswith("engine-batch"):
+        return "executor"
+    if name.startswith("engine-server") or name.startswith("asyncio"):
+        return "batcher"
+    if name.startswith("auto-compact"):
+        return "compaction"
+    if name == "MainThread":
+        return main_role
+    return "other"
+
+
+def _fold(frame) -> str:
+    """Render one thread's frame chain as a collapsed stack, root first."""
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < _STACK_DEPTH_LIMIT:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Continuous sampling profiler with bounded memory.
+
+    ``start()`` spawns a daemon thread that wakes ``hz`` times a second,
+    walks ``sys._current_frames()`` and attributes each thread's folded
+    stack to its role.  ``snapshot()`` returns a JSON-safe, mergeable dump
+    at any time (running or stopped); ``clear()`` resets the aggregate.
+    The profiler's own sampling thread is excluded from its samples.
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_PROFILE_HZ,
+        max_stacks: int = 512,
+        main_role: str = "batcher",
+    ) -> None:
+        if not hz > 0:
+            raise ValueError("profiler hz must be positive")
+        if max_stacks < 1:
+            raise ValueError("profiler max_stacks must be at least 1")
+        self.hz = float(hz)
+        self.max_stacks = int(max_stacks)
+        self.main_role = main_role
+        self._lock = threading.Lock()
+        self._roles: dict[str, dict[str, int]] = {}
+        self._ticks = 0
+        self._active_s = 0.0
+        self._t0: float | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop = threading.Event()
+            self._t0 = time.perf_counter()
+            self._thread = threading.Thread(
+                target=self._run, name="diag-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            thread = self._thread
+            stop = self._stop
+            self._thread = None
+        if thread is None:
+            return
+        stop.set()
+        thread.join(timeout=2.0)
+        with self._lock:
+            if self._t0 is not None:
+                self._active_s += time.perf_counter() - self._t0
+                self._t0 = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roles = {}
+            self._ticks = 0
+            self._active_s = 0.0
+            if self._t0 is not None:
+                self._t0 = time.perf_counter()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling -----------------------------------------------------------
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        me = threading.get_ident()
+        while not self._stop.wait(interval):
+            self._sample(me)
+
+    def _sample(self, skip_ident: int) -> None:
+        frames = sys._current_frames()
+        names = {t.ident: t.name for t in threading.enumerate()}
+        with self._lock:
+            self._ticks += 1
+            for ident, frame in frames.items():
+                if ident == skip_ident:
+                    continue
+                name = names.get(ident)
+                if name is None:
+                    continue  # thread died between the two snapshots
+                role = thread_role(name, self.main_role)
+                stack = _fold(frame)
+                bucket = self._roles.setdefault(role, {})
+                if stack in bucket or len(bucket) < self.max_stacks:
+                    bucket[stack] = bucket.get(stack, 0) + 1
+                else:
+                    bucket[OVERFLOW_STACK] = bucket.get(OVERFLOW_STACK, 0) + 1
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump; ``samples`` per role count thread-samples."""
+        with self._lock:
+            duration = self._active_s
+            if self._t0 is not None:
+                duration += time.perf_counter() - self._t0
+            roles = {
+                role: {"samples": sum(stacks.values()), "stacks": dict(stacks)}
+                for role, stacks in self._roles.items()
+            }
+            return {
+                "diag_wire_version": PROFILE_WIRE_VERSION,
+                "hz": self.hz,
+                "running": self._thread is not None,
+                "duration_s": round(duration, 3),
+                "ticks": self._ticks,
+                "roles": roles,
+            }
+
+
+def merge_profiles(wires: Iterable[dict]) -> dict:
+    """Fold profiler snapshots (e.g. parent + shard workers) into one."""
+    merged: dict = {
+        "diag_wire_version": PROFILE_WIRE_VERSION,
+        "hz": 0.0,
+        "running": False,
+        "duration_s": 0.0,
+        "ticks": 0,
+        "roles": {},
+    }
+    for wire in wires:
+        if not wire:
+            continue
+        merged["hz"] = max(merged["hz"], float(wire.get("hz", 0.0)))
+        merged["running"] = merged["running"] or bool(wire.get("running"))
+        merged["duration_s"] = max(merged["duration_s"], float(wire.get("duration_s", 0.0)))
+        merged["ticks"] += int(wire.get("ticks", 0))
+        for role, dumped in wire.get("roles", {}).items():
+            bucket = merged["roles"].setdefault(role, {"samples": 0, "stacks": {}})
+            bucket["samples"] += int(dumped.get("samples", 0))
+            stacks = bucket["stacks"]
+            for stack, count in dumped.get("stacks", {}).items():
+                stacks[stack] = stacks.get(stack, 0) + int(count)
+    return merged
+
+
+def profile_diff(before: dict, after: dict) -> dict:
+    """The samples accumulated between two snapshots of one profiler."""
+    roles: dict = {}
+    before_roles = before.get("roles", {})
+    for role, dumped in after.get("roles", {}).items():
+        prior = before_roles.get(role, {}).get("stacks", {})
+        stacks = {}
+        for stack, count in dumped.get("stacks", {}).items():
+            delta = int(count) - int(prior.get(stack, 0))
+            if delta > 0:
+                stacks[stack] = delta
+        if stacks:
+            roles[role] = {"samples": sum(stacks.values()), "stacks": stacks}
+    return {
+        "diag_wire_version": PROFILE_WIRE_VERSION,
+        "hz": after.get("hz", 0.0),
+        "running": after.get("running", False),
+        "duration_s": round(
+            float(after.get("duration_s", 0.0)) - float(before.get("duration_s", 0.0)), 3
+        ),
+        "ticks": int(after.get("ticks", 0)) - int(before.get("ticks", 0)),
+        "roles": roles,
+    }
+
+
+def render_folded(profile: dict) -> str:
+    """Collapsed-stack text (``role;frame;frame count``), flamegraph-ready."""
+    lines: list[str] = []
+    for role in sorted(profile.get("roles", {})):
+        stacks = profile["roles"][role].get("stacks", {})
+        for stack, count in sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"{role};{stack} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def top_self_frames(profile: dict, top: int = 15) -> list[dict]:
+    """Hottest frames by *self* samples (the leaf of each folded stack)."""
+    totals: dict[tuple[str, str], int] = {}
+    all_samples = 0
+    for role, dumped in profile.get("roles", {}).items():
+        for stack, count in dumped.get("stacks", {}).items():
+            leaf = stack.rsplit(";", 1)[-1]
+            totals[(role, leaf)] = totals.get((role, leaf), 0) + int(count)
+            all_samples += int(count)
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [
+        {
+            "role": role,
+            "frame": frame,
+            "samples": count,
+            "share": round(count / all_samples, 4) if all_samples else 0.0,
+        }
+        for (role, frame), count in ranked[: max(0, int(top))]
+    ]
+
+
+def role_attribution(profile: dict) -> dict[str, float]:
+    """Fraction of all samples attributed to each thread role."""
+    samples = {
+        role: int(dumped.get("samples", 0))
+        for role, dumped in profile.get("roles", {}).items()
+    }
+    total = sum(samples.values())
+    if not total:
+        return {}
+    return {role: count / total for role, count in samples.items()}
+
+
+# ---------------------------------------------------------------------------
+# Tail-based trace sampling
+# ---------------------------------------------------------------------------
+
+
+class TailSampler:
+    """Tail-based trace retention: keep the interesting, sample the rest.
+
+    Drop-in for :class:`repro.common.obs.TraceBuffer` (``add`` / ``snapshot``
+    / ``__len__``), with two retention classes:
+
+    * **always-keep** -- traces flagged as errors, and traces whose
+      end-to-end latency reaches ``slow_ms``, go to a dedicated ring that
+      ordinary traffic can never evict;
+    * **budgeted** -- every other trace passes a deterministic stride
+      sampler: ``budget=1.0`` keeps everything (the old TraceBuffer
+      behaviour), ``budget=0.01`` keeps every 100th.
+
+    ``snapshot`` interleaves both rings newest-first, so ``/debug/traces``
+    surfaces the slow tail alongside a representative sample of the rest.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        budget: float = 1.0,
+        slow_ms: float | None = None,
+    ) -> None:
+        if not 0.0 <= budget <= 1.0:
+            raise ValueError("trace budget must be in [0, 1]")
+        if slow_ms is not None and slow_ms < 0:
+            raise ValueError("slow_ms must be non-negative")
+        cap = max(1, int(capacity))
+        self.budget = float(budget)
+        self.slow_ms = slow_ms
+        self._stride = 0 if budget == 0.0 else max(1, round(1.0 / budget))
+        self._lock = threading.Lock()
+        self._tail: "deque[tuple[int, dict]]" = deque(maxlen=cap)
+        self._sampled: "deque[tuple[int, dict]]" = deque(maxlen=cap)
+        self._seq = 0
+        self._ordinary = 0
+        self.offered = 0
+        self.kept_slow = 0
+        self.kept_error = 0
+        self.kept_sampled = 0
+        self.dropped = 0
+
+    def add(self, trace_doc: dict, *, e2e_ms: float | None = None, error: bool = False) -> bool:
+        """Offer a trace; returns True when retained."""
+        if e2e_ms is None:
+            e2e_ms = trace_doc.get("duration_ms")
+        with self._lock:
+            self._seq += 1
+            self.offered += 1
+            if error:
+                self.kept_error += 1
+                self._tail.append((self._seq, trace_doc))
+                return True
+            if self.slow_ms is not None and e2e_ms is not None and e2e_ms >= self.slow_ms:
+                self.kept_slow += 1
+                self._tail.append((self._seq, trace_doc))
+                return True
+            self._ordinary += 1
+            if self._stride and self._ordinary % self._stride == 1 % self._stride:
+                self.kept_sampled += 1
+                self._sampled.append((self._seq, trace_doc))
+                return True
+            self.dropped += 1
+            return False
+
+    def snapshot(self, last: int | None = None) -> list[dict]:
+        """Most recent first across both retention classes."""
+        with self._lock:
+            tagged = sorted(
+                list(self._tail) + list(self._sampled), key=lambda sv: -sv[0]
+            )
+        docs = [doc for _, doc in tagged]
+        return docs if last is None else docs[: max(0, int(last))]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tail) + len(self._sampled)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "offered": self.offered,
+                "kept_slow": self.kept_slow,
+                "kept_error": self.kept_error,
+                "kept_sampled": self.kept_sampled,
+                "dropped": self.dropped,
+                "budget": self.budget,
+                "slow_ms": self.slow_ms,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Span -> metrics bridge
+# ---------------------------------------------------------------------------
+
+
+def span_self_times(trace_doc: dict) -> dict[str, float]:
+    """Per-stage self time (ms) folded from one trace's span tree.
+
+    Self time is a span's duration minus its children's, clamped at zero;
+    repeated span names (e.g. ``shard[0]`` verify across batches) add up.
+    """
+    out: dict[str, float] = {}
+
+    def walk(node: dict) -> None:
+        children = node.get("children") or ()
+        child_ms = sum(c.get("duration_ms", 0.0) for c in children)
+        name = node.get("name", "?")
+        self_ms = max(0.0, node.get("duration_ms", 0.0) - child_ms)
+        out[name] = out.get(name, 0.0) + self_ms
+        for child in children:
+            walk(child)
+
+    for span in trace_doc.get("spans", ()):
+        walk(span)
+    return out
+
+
+class SpanMetricsBridge:
+    """Folds span trees into per-backend per-stage self-time counters.
+
+    Every recorded trace adds ``trace_stage_self_seconds_total{backend,
+    stage}`` (plus a ``trace_stage_folds_total`` denominator), turning the
+    sampled traces into the continuously-updated cost profile the planned
+    cost-based optimizer reads: "on backend X, stage Y costs Z seconds of
+    self time per traced request".
+    """
+
+    METRIC = "trace_stage_self_seconds_total"
+    FOLDS = "trace_stage_folds_total"
+
+    def __init__(self, registry: obs.MetricsRegistry) -> None:
+        self.registry = registry
+        # record() sits on the per-response hot path when diagnostics are
+        # always-on, so instruments are resolved once per (backend, stage)
+        # instead of paying the registry's lock + label-key sort per trace.
+        self._counters: dict[tuple[str, str], obs.Counter] = {}
+        self._folds: dict[str, obs.Counter] = {}
+
+    def record(self, trace_doc: dict, backend: str = "") -> None:
+        stages = span_self_times(trace_doc)
+        if not stages:
+            return
+        for stage, self_ms in stages.items():
+            counter = self._counters.get((backend, stage))
+            if counter is None:
+                counter = self.registry.counter(
+                    self.METRIC,
+                    "span self-time folded from traces",
+                    backend=backend,
+                    stage=stage,
+                )
+                self._counters[(backend, stage)] = counter
+            counter.inc(self_ms / 1000.0)
+        folds = self._folds.get(backend)
+        if folds is None:
+            folds = self.registry.counter(
+                self.FOLDS, "traces folded into stage self-times", backend=backend
+            )
+            self._folds[backend] = folds
+        folds.inc()
+
+
+# ---------------------------------------------------------------------------
+# SLO burn-rate monitoring
+# ---------------------------------------------------------------------------
+
+
+class SloMonitor:
+    """Multi-window burn-rate monitor over a latency/error objective.
+
+    The SLO is "a fraction ``objective`` of requests are *good*", where a
+    request is bad when it errored or (with ``latency_ms`` set) exceeded
+    the latency target.  Burn rate over a window is the observed bad
+    fraction divided by the error budget ``1 - objective``: 1.0 means the
+    budget is being spent exactly at the sustainable rate, 14.4 means a
+    30-day budget burns in two days.  Following the multi-window pattern,
+    :meth:`status` reports ``breaching`` only when *both* the fast and the
+    slow window exceed their thresholds -- the fast window catches fresh
+    regressions quickly, the slow window stops a brief blip from paging.
+
+    Counts are bucketed at ``bucket_s`` granularity in a bounded ring, so
+    memory is O(slow_window / bucket_s) regardless of traffic.  ``now``
+    can be injected on every call for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        objective: float = 0.99,
+        latency_ms: float | None = None,
+        fast_window_s: float = 300.0,
+        slow_window_s: float = 3600.0,
+        fast_burn: float = 14.4,
+        slow_burn: float = 6.0,
+        bucket_s: float = 10.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError("SLO objective must be in (0, 1)")
+        if latency_ms is not None and latency_ms <= 0:
+            raise ValueError("SLO latency target must be positive")
+        if not 0 < fast_window_s <= slow_window_s:
+            raise ValueError("windows must satisfy 0 < fast <= slow")
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        self.objective = float(objective)
+        self.latency_ms = latency_ms
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.fast_burn = float(fast_burn)
+        self.slow_burn = float(slow_burn)
+        self.bucket_s = float(bucket_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        max_buckets = int(self.slow_window_s / self.bucket_s) + 2
+        self._buckets: "deque[list]" = deque(maxlen=max_buckets)  # [start, good, bad]
+
+    def observe(self, latency_ms: float, error: bool = False, now: float | None = None) -> None:
+        bad = error or (self.latency_ms is not None and latency_ms > self.latency_ms)
+        now = self._clock() if now is None else now
+        start = now - (now % self.bucket_s)
+        with self._lock:
+            if self._buckets and self._buckets[-1][0] == start:
+                bucket = self._buckets[-1]
+            else:
+                bucket = [start, 0, 0]
+                self._buckets.append(bucket)
+            bucket[2 if bad else 1] += 1
+
+    def _window_counts(self, seconds: float, now: float) -> tuple[int, int]:
+        lo = now - seconds
+        good = bad = 0
+        for start, g, b in self._buckets:
+            if start >= lo - self.bucket_s:
+                good += g
+                bad += b
+        return good, bad
+
+    def burn_rate(self, seconds: float, now: float | None = None) -> float:
+        """Bad fraction over the window divided by the error budget."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            good, bad = self._window_counts(seconds, now)
+        total = good + bad
+        if not total:
+            return 0.0
+        return (bad / total) / (1.0 - self.objective)
+
+    def status(self, now: float | None = None) -> dict:
+        now = self._clock() if now is None else now
+        with self._lock:
+            fast_good, fast_bad = self._window_counts(self.fast_window_s, now)
+            slow_good, slow_bad = self._window_counts(self.slow_window_s, now)
+        budget = 1.0 - self.objective
+
+        def window(good: int, bad: int, seconds: float, threshold: float) -> dict:
+            total = good + bad
+            rate = (bad / total) / budget if total else 0.0
+            return {
+                "seconds": seconds,
+                "requests": total,
+                "bad": bad,
+                "burn_rate": round(rate, 4),
+                "threshold": threshold,
+            }
+
+        fast = window(fast_good, fast_bad, self.fast_window_s, self.fast_burn)
+        slow = window(slow_good, slow_bad, self.slow_window_s, self.slow_burn)
+        return {
+            "objective": self.objective,
+            "latency_ms": self.latency_ms,
+            "windows": {"fast": fast, "slow": slow},
+            "breaching": bool(
+                fast["burn_rate"] >= self.fast_burn and slow["burn_rate"] >= self.slow_burn
+            ),
+        }
+
+
+class HealthScoreboard:
+    """Per-shard rolling health for the sharded engine.
+
+    Tracks requests, errors and worst latency per shard over a sliding
+    window and grades each shard ``ok`` / ``degraded`` / ``failing``
+    (``idle`` with no recent traffic).  A shard is degraded once any
+    recent request failed, failing when at least half did.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        window_s: float = 60.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("scoreboard needs at least one shard")
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        # Per shard: deque of (ts, latency_s, error) capped to keep memory
+        # bounded even if pruning lags behind a traffic burst.
+        self._events: list[deque] = [deque(maxlen=4096) for _ in range(num_shards)]
+
+    def observe(
+        self,
+        shard: int,
+        latency_s: float = 0.0,
+        error: bool = False,
+        now: float | None = None,
+    ) -> None:
+        if not 0 <= shard < len(self._events):
+            return
+        now = self._clock() if now is None else now
+        with self._lock:
+            events = self._events[shard]
+            events.append((now, float(latency_s), bool(error)))
+            self._prune(events, now)
+
+    def _prune(self, events: deque, now: float) -> None:
+        lo = now - self.window_s
+        while events and events[0][0] < lo:
+            events.popleft()
+
+    def report(self, now: float | None = None) -> list[dict]:
+        now = self._clock() if now is None else now
+        out: list[dict] = []
+        with self._lock:
+            for shard, events in enumerate(self._events):
+                self._prune(events, now)
+                requests = len(events)
+                errors = sum(1 for _, _, err in events if err)
+                worst = max((lat for _, lat, err in events if not err), default=0.0)
+                if not requests:
+                    status = "idle"
+                elif errors * 2 >= requests:
+                    status = "failing"
+                elif errors:
+                    status = "degraded"
+                else:
+                    status = "ok"
+                out.append(
+                    {
+                        "shard": shard,
+                        "window_s": self.window_s,
+                        "requests": requests,
+                        "errors": errors,
+                        "error_rate": round(errors / requests, 4) if requests else 0.0,
+                        "max_latency_ms": round(worst * 1000.0, 3),
+                        "status": status,
+                    }
+                )
+        return out

@@ -12,6 +12,10 @@ engine and the HTTP server:
   text exposition format for ``GET /metrics``.  Histogram p50/p95/p99 are
   derived by linear interpolation inside the owning bucket, so merged
   shard histograms answer the same quantile queries as an unsharded one.
+  Histograms optionally record an **exemplar** per bucket -- the trace id of
+  a recent observation that landed there -- rendered in OpenMetrics
+  ``# {trace_id="..."}`` syntax so a slow bucket links to a replayable trace
+  in ``/debug/traces``.  Exemplars survive ``merge_wire`` (newest wins).
 
 * **request tracing** -- a span API (``with span("verify"): ...``) built on a
   :class:`contextvars.ContextVar`.  When no trace is active ``span()``
@@ -34,7 +38,9 @@ import uuid
 from contextvars import ContextVar
 from typing import Iterable, Sequence
 
-OBS_WIRE_VERSION = 1
+# Version 2 added optional per-bucket histogram exemplars; merge_wire accepts
+# both versions (exemplars are simply absent from v1 dumps).
+OBS_WIRE_VERSION = 2
 
 # Default latency buckets (seconds).  Tuned for the engine's range: a cached
 # hit is ~10us, a cold graph query a few hundred ms.
@@ -115,9 +121,14 @@ class Histogram:
     by element-wise addition, which is exactly how the parent combines the
     per-shard-worker latency histograms: the merged histogram is
     indistinguishable from one that observed every sample itself.
+
+    When an observation carries a ``trace_id``, the owning bucket remembers
+    it as an exemplar ``(trace_id, value, unix_ts)``.  Exemplar storage is
+    lazy (``None`` until the first traced observation), merges newest-wins,
+    and is bounded to one exemplar per bucket.
     """
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "exemplars")
 
     def __init__(self, buckets: Sequence[float] = LATENCY_BUCKETS_S) -> None:
         edges = tuple(float(b) for b in buckets)
@@ -127,15 +138,25 @@ class Histogram:
         self.counts = [0] * (len(edges) + 1)  # last slot is +Inf
         self.sum = 0.0
         self.count = 0
+        # One (trace_id, value, unix_ts) per bucket, or None; allocated lazily
+        # so untraced histograms pay nothing.
+        self.exemplars: list[tuple[str, float, float] | None] | None = None
 
-    def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
+    def _bucket_index(self, value: float) -> int:
         for i, edge in enumerate(self.buckets):
             if value <= edge:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+                return i
+        return len(self.buckets)
+
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        self.sum += value
+        self.count += 1
+        i = self._bucket_index(value)
+        self.counts[i] += 1
+        if trace_id is not None:
+            if self.exemplars is None:
+                self.exemplars = [None] * (len(self.buckets) + 1)
+            self.exemplars[i] = (str(trace_id), float(value), time.time())
 
     def merge(self, other: "Histogram") -> None:
         if other.buckets != self.buckets:
@@ -144,6 +165,21 @@ class Histogram:
             self.counts[i] += c
         self.sum += other.sum
         self.count += other.count
+        if other.exemplars is not None:
+            self._merge_exemplars(other.exemplars)
+
+    def _merge_exemplars(
+        self, incoming: Sequence[tuple[str, float, float] | None]
+    ) -> None:
+        """Newest observation wins per bucket (timestamps are unix seconds)."""
+        if self.exemplars is None:
+            self.exemplars = [None] * (len(self.buckets) + 1)
+        for i, ex in enumerate(incoming):
+            if ex is None:
+                continue
+            mine = self.exemplars[i]
+            if mine is None or ex[2] >= mine[2]:
+                self.exemplars[i] = (str(ex[0]), float(ex[1]), float(ex[2]))
 
     def quantile(self, q: float) -> float:
         """Approximate q-quantile by linear interpolation within the bucket."""
@@ -248,6 +284,11 @@ class MetricsRegistry:
                         entry["counts"] = list(instrument.counts)
                         entry["sum"] = instrument.sum
                         entry["count"] = instrument.count
+                        if instrument.exemplars is not None:
+                            entry["exemplars"] = [
+                                list(ex) if ex is not None else None
+                                for ex in instrument.exemplars
+                            ]
                     else:
                         entry["value"] = instrument.value
                     series.append(entry)
@@ -276,6 +317,12 @@ class MetricsRegistry:
                     incoming.counts = list(entry["counts"])
                     incoming.sum = float(entry["sum"])
                     incoming.count = int(entry["count"])
+                    dumped_exemplars = entry.get("exemplars")
+                    if dumped_exemplars:
+                        incoming.exemplars = [
+                            tuple(ex) if ex is not None else None
+                            for ex in dumped_exemplars
+                        ]
                     hist.merge(incoming)
                 elif kind == "gauge":
                     self.gauge(name, dumped.get("help", ""), **labels).inc(entry["value"])
@@ -304,15 +351,22 @@ class MetricsRegistry:
                     instrument = family.series[key]
                     labels = dict(key)
                     if family.kind == "histogram":
+                        exemplars = instrument.exemplars
                         cumulative = 0
                         for i, edge in enumerate(instrument.buckets):
                             cumulative += instrument.counts[i]
-                            lines.append(
-                                _sample(f"{name}_bucket", {**labels, "le": _fmt(edge)}, cumulative)
+                            line = _sample(
+                                f"{name}_bucket", {**labels, "le": _fmt(edge)}, cumulative
                             )
-                        lines.append(
-                            _sample(f"{name}_bucket", {**labels, "le": "+Inf"}, instrument.count)
+                            if exemplars is not None and exemplars[i] is not None:
+                                line += _exemplar_suffix(exemplars[i])
+                            lines.append(line)
+                        line = _sample(
+                            f"{name}_bucket", {**labels, "le": "+Inf"}, instrument.count
                         )
+                        if exemplars is not None and exemplars[-1] is not None:
+                            line += _exemplar_suffix(exemplars[-1])
+                        lines.append(line)
                         lines.append(_sample(f"{name}_sum", labels, instrument.sum))
                         lines.append(_sample(f"{name}_count", labels, instrument.count))
                     else:
@@ -343,6 +397,18 @@ def _sample(name: str, labels: dict[str, str], value: float) -> str:
         )
         return f"{name}{{{rendered}}} {_fmt(value)}"
     return f"{name} {_fmt(value)}"
+
+
+def _exemplar_suffix(exemplar: tuple[str, float, float]) -> str:
+    """OpenMetrics exemplar: `` # {trace_id="..."} <value> <unix_ts>``."""
+    trace_id, value, ts = exemplar
+    return f' # {{trace_id="{_escape_label(trace_id)}"}} {_fmt(value)} {_fmt(ts)}'
+
+
+def strip_exemplar(line: str) -> str:
+    """Drop a trailing exemplar annotation from one exposition line."""
+    marker = line.find(" # {")
+    return line[:marker] if marker >= 0 else line
 
 
 # ---------------------------------------------------------------------------
@@ -534,13 +600,33 @@ class SlowQueryLog:
     Each entry is one line of JSON carrying the trace id, route, funnel
     counts and span timeline.  Entries are also kept in a small in-memory
     ring so tests and ``/debug`` consumers can read them without a file.
+
+    When ``max_bytes`` is set the file is size-rotated: once an append
+    pushes it past the limit it is renamed to ``<path>.1`` (older rotations
+    shifting to ``.2``, ``.3``, ...) and a fresh file is started; at most
+    ``keep_files`` rotated files are retained, so a long-running server
+    with a low threshold occupies bounded disk.
     """
 
-    def __init__(self, threshold_ms: float, path: str | None = None, keep: int = 128) -> None:
+    def __init__(
+        self,
+        threshold_ms: float,
+        path: str | None = None,
+        keep: int = 128,
+        max_bytes: int | None = None,
+        keep_files: int = 3,
+    ) -> None:
         if threshold_ms < 0:
             raise ValueError("slow-query threshold must be non-negative")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("slow-query log max_bytes must be positive")
+        if keep_files < 1:
+            raise ValueError("slow-query log keep_files must be at least 1")
         self.threshold_ms = float(threshold_ms)
         self.path = path
+        self.max_bytes = max_bytes
+        self.keep_files = int(keep_files)
+        self.rotations = 0
         self._lock = threading.Lock()
         self.recent = TraceBuffer(keep)
 
@@ -555,4 +641,21 @@ class SlowQueryLog:
             with self._lock:
                 with open(self.path, "a", encoding="utf-8") as fh:
                     fh.write(line + "\n")
+                    size = fh.tell()
+                if self.max_bytes is not None and size >= self.max_bytes:
+                    self._rotate()
         return True
+
+    def _rotate(self) -> None:
+        """Shift ``path -> path.1 -> path.2 ...``, dropping beyond keep_files."""
+        import os
+
+        overflow = f"{self.path}.{self.keep_files + 1}"
+        for i in range(self.keep_files, 0, -1):
+            src = f"{self.path}.{i}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{i + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        if os.path.exists(overflow):
+            os.remove(overflow)
+        self.rotations += 1

@@ -51,7 +51,13 @@ class Query:
             retained scalar pigeonring reference); sets also accepts
             ``adapt`` and ``partalloc``.
         trace_id: when set, the engine records a span timeline for this
-            query and attaches it as ``Response.trace``.  Excluded from
+            query and attaches it as ``Response.trace``.  The id also
+            threads through the diagnostics layer: it becomes the
+            OpenMetrics exemplar on the latency-histogram bucket the query
+            lands in (see :mod:`repro.common.obs`) and keys the trace in
+            the tail sampler's ring (:class:`repro.common.diag.
+            TailSampler`), so a slow bucket on ``/metrics`` resolves to a
+            concrete timeline under ``/debug/traces``.  Excluded from
             equality/hashing so tracing never perturbs the result cache.
     """
 

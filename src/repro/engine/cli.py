@@ -1,6 +1,6 @@
 """Command-line front end: ``python -m repro.engine <command>``.
 
-Ten subcommands make the engine drivable end-to-end without writing code:
+The subcommands make the engine drivable end-to-end without writing code:
 
 * ``build-index`` -- generate a synthetic workload for one backend, build the
   dataset (and, for Hamming, the partition index) once, and save everything
@@ -29,6 +29,9 @@ Ten subcommands make the engine drivable end-to-end without writing code:
   text exposition with ``--metrics``.
 * ``trace`` -- fetch a running server's recent request traces
   (``/debug/traces``) and pretty-print each span timeline as a tree.
+* ``profile`` -- fetch a running server's sampling-profiler snapshot
+  (``/debug/profile``) and print the top self-time frames per thread role,
+  or the raw flamegraph-collapsed stacks with ``--folded``.
 """
 
 from __future__ import annotations
@@ -375,9 +378,13 @@ def _serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
         trace=args.trace,
+        trace_budget=args.trace_budget,
         slow_query_ms=args.slow_query_ms,
         slow_query_log=args.slow_query_log,
+        slow_query_max_mb=args.slow_query_max_mb,
         durability=args.durability,
+        profile_hz=args.profile_hz,
+        slo_latency_ms=args.slo_latency_ms,
     )
     server = EngineServer(engine, config, own_engine=True)
     asyncio.run(_serve_until_signalled(server, args.ready_file))
@@ -539,6 +546,38 @@ def _stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile(args: argparse.Namespace) -> int:
+    from repro.engine.client import EngineClient
+
+    with EngineClient(args.url, timeout=args.timeout) as client:
+        payload = client.profile(seconds=args.seconds)
+    if args.folded:
+        for line in payload.get("folded", []):
+            print(line)
+        return 0
+    profile = payload.get("profile", {})
+    roles = profile.get("roles", {})
+    total = sum(role.get("samples", 0) for role in roles.values())
+    window = profile.get("duration_s", 0.0)
+    print(
+        f"profile: {total} sample(s) at {profile.get('hz', 0.0):g} Hz "
+        f"over {window:.1f}s across {len(roles)} role(s)"
+    )
+    for role, share in sorted(payload.get("attribution", {}).items(), key=lambda kv: -kv[1]):
+        print(f"  {role:<16}{100.0 * share:5.1f}%")
+    top = payload.get("top", [])
+    if not top:
+        print("no samples recorded yet (is the profiler armed? try --seconds 2)")
+        return 1
+    print(f"top {len(top)} self-time frame(s):")
+    for entry in top:
+        print(
+            f"  {100.0 * entry['share']:5.1f}%  {entry['samples']:>6}  "
+            f"[{entry['role']}] {entry['frame']}"
+        )
+    return 0
+
+
 def _trace(args: argparse.Namespace) -> int:
     from repro.engine.client import EngineClient
 
@@ -661,6 +700,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="append slow-query JSON lines to this file (default: in-memory ring only)",
     )
     http_serve.add_argument(
+        "--slow-query-max-mb",
+        type=float,
+        default=None,
+        help="rotate the slow-query log file once it reaches this many MB "
+        "(a bounded number of rotated files is kept)",
+    )
+    http_serve.add_argument(
+        "--trace-budget",
+        type=float,
+        default=1.0,
+        help="fraction of ordinary traces the tail sampler retains (slow and "
+        "errored traces are always kept); 1.0 keeps everything",
+    )
+    http_serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        help="arm a continuous sampling profiler at this rate (server thread "
+        "and every shard worker); snapshots via /debug/profile",
+    )
+    http_serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=None,
+        help="latency objective for the SLO burn-rate monitors (default: "
+        "errors only)",
+    )
+    http_serve.add_argument(
         "--wal-dir",
         default=None,
         help="attach (and replay) write-ahead logs in this directory; mutations "
@@ -765,6 +832,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--last", type=int, default=1, help="number of traces to show")
     trace.add_argument("--timeout", type=float, default=10.0)
     trace.set_defaults(func=_trace)
+
+    profile = commands.add_parser(
+        "profile", help="print a running server's sampling-profiler snapshot"
+    )
+    profile.add_argument("--url", required=True, help="server base URL")
+    profile.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="measure a fresh window of this length instead of the "
+        "continuous profiler's whole-lifetime snapshot",
+    )
+    profile.add_argument(
+        "--folded",
+        action="store_true",
+        help="print raw flamegraph-collapsed stacks (role;frame;... count)",
+    )
+    profile.add_argument("--timeout", type=float, default=60.0)
+    profile.set_defaults(func=_profile)
     return parser
 
 

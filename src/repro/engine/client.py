@@ -360,6 +360,22 @@ class EngineClient:
         """Recently recorded request traces (``GET /debug/traces``)."""
         return self._request("GET", "/debug/traces")
 
+    def profile(self, seconds: float | None = None) -> dict:
+        """Folded-stack profile of the serving process (``GET /debug/profile``).
+
+        With ``seconds`` the server measures a fresh window of that length
+        (capped server-side); without it, the continuous profiler's
+        whole-lifetime snapshot comes back instantly.
+        """
+        path = "/debug/profile"
+        if seconds is not None:
+            path = f"/debug/profile?seconds={seconds:g}"
+        return self._request("GET", path)
+
+    def slo(self) -> dict:
+        """Burn-rate monitors and shard health (``GET /debug/slo``)."""
+        return self._request("GET", "/debug/slo")
+
 
 # ---------------------------------------------------------------------------
 # asyncio side

@@ -41,15 +41,18 @@ swap, so no acknowledged write is ever lost to a racing compaction.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from dataclasses import replace
 from typing import Any, Hashable, Sequence
 
 import numpy as np
 
 from repro.common import obs
-from repro.common.obs import MetricsRegistry, TraceBuffer, span
+from repro.common.diag import TailSampler
+from repro.common.obs import MetricsRegistry, span
 from repro.common.stats import Timer
 from repro.engine import backends as _backends  # noqa: F401 - populate registry
 from repro.engine.api import Query, Response
@@ -222,9 +225,11 @@ class EngineStats:
             backend=backend,
             stage="verify",
         ).inc(response.verify_time)
+        # The query's trace id (when tracing is on) becomes the owning
+        # bucket's exemplar, linking a slow bucket to its replayable trace.
         r.histogram(
             "engine_query_seconds", "per-query engine latency", backend=backend
-        ).observe(response.engine_time)
+        ).observe(response.engine_time, trace_id=response.query.trace_id)
 
     # -- read path -----------------------------------------------------------
 
@@ -322,7 +327,10 @@ class SearchEngine:
         self._max_workers = max_workers
         self._lock = threading.Lock()
         self._stats = EngineStats()
-        self._traces = TraceBuffer(128)
+        # Tail-sampling ring at full budget: keeps everything like the old
+        # TraceBuffer, but callers embedding the engine can reach in and
+        # tighten the budget without a code change.
+        self._traces = TailSampler(capacity=128)
         # Durability state.  Writers are serialised per backend by a writer
         # lock (always taken OUTSIDE self._lock), so the WAL append order is
         # the overlay apply order -- the invariant replay depends on.
@@ -570,9 +578,12 @@ class SearchEngine:
                 self._invalidate_results(backend_name)
                 self._observe_backend_state(backend_name)
             seq = None
+            append_s = 0.0
             if wal is not None:
                 wire_ops = [op_to_wire(backend, op) for op in applied]
+                append_start = time.perf_counter()
                 seq = wal.append(backend_name, wire_ops, sync=level == "wal")
+                append_s = time.perf_counter() - append_start
             r = self._stats.registry
             r.counter(
                 "engine_mutation_batches_total", "mutation batches applied", backend=backend_name
@@ -588,6 +599,22 @@ class SearchEngine:
                 r.gauge(
                     "engine_wal_last_seq", "last appended WAL batch", backend=backend_name
                 ).set(seq)
+                r.counter(
+                    "wal_appended_batches_total",
+                    "batches appended to the WAL",
+                    backend=backend_name,
+                ).inc()
+                r.counter(
+                    "wal_bytes_total",
+                    "bytes appended to the WAL",
+                    backend=backend_name,
+                ).inc(wal.last_append_bytes)
+                if level == "wal":
+                    r.histogram(
+                        "wal_fsync_seconds",
+                        "synced WAL append latency (write + flush + fsync)",
+                        backend=backend_name,
+                    ).observe(append_s)
         self._maybe_auto_compact(backend_name)
         return {"backend": backend_name, "results": results, "durability": level, "wal_seq": seq}
 
@@ -639,6 +666,7 @@ class SearchEngine:
                 return {"backend": backend_name, "compacted": False, **before}
             self._compacting[backend_name] = True
             self._pending_ops[backend_name] = []
+        compact_start = time.perf_counter()
         try:
             new_store, new_delta = backend.apply_mutations(store, delta)
         except BaseException:
@@ -672,6 +700,13 @@ class SearchEngine:
                     self._checkpoint_seqs[backend_name] = seq
                 wal.truncate_upto(seq)
                 checkpointed = True
+        r = self._stats.registry
+        r.counter(
+            "engine_compactions_total", "compaction runs completed", backend=backend_name
+        ).inc()
+        r.histogram(
+            "engine_compaction_seconds", "compaction wall time", backend=backend_name
+        ).observe(time.perf_counter() - compact_start)
         return {
             "backend": backend_name,
             "compacted": True,
@@ -1012,8 +1047,20 @@ class SearchEngine:
         )
 
     def metrics_wire(self) -> dict:
-        """The engine's metrics registry as a JSON-safe wire dump."""
-        return self._stats.registry.to_wire()
+        """The engine's metrics registry as a JSON-safe wire dump.
+
+        The snapshot is taken while holding every per-backend writer lock
+        (in sorted order, never under ``_lock``): a mutation batch updates
+        several instruments under its writer lock, so a scrape racing a
+        batch would otherwise observe ``engine_mutation_batches_total``
+        without the matching op counters -- torn between instruments.
+        """
+        with self._lock:
+            locks = [self._writer_locks[name] for name in sorted(self._writer_locks)]
+        with ExitStack() as stack:
+            for lock in locks:
+                stack.enter_context(lock)
+            return self._stats.registry.to_wire()
 
     def recent_traces(self, last: int | None = None) -> list[dict]:
         """Most recent trace documents, newest first."""

@@ -49,11 +49,11 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any
 
+from repro.common import diag
 from repro.common.obs import (
     BATCH_SIZE_BUCKETS,
     MetricsRegistry,
     SlowQueryLog,
-    TraceBuffer,
     new_trace_id,
 )
 from repro.engine.api import Query
@@ -98,7 +98,12 @@ _ENDPOINTS = (
     "/manifest",
     "/metrics",
     "/debug/traces",
+    "/debug/profile",
+    "/debug/slo",
 )
+
+#: Longest on-demand profiling window ``GET /debug/profile?seconds=N`` accepts.
+_MAX_PROFILE_SECONDS = 30.0
 
 
 @dataclass
@@ -126,7 +131,23 @@ class ServerConfig:
             tracing so every slow entry carries its span timeline).
         slow_query_log: file path for the slow-query log; ``None`` keeps
             slow entries only in the in-memory ring.
+        slow_query_max_mb: size-rotate the slow-query log file once it
+            reaches this many megabytes; ``None`` never rotates.
+        slow_query_keep_files: rotated slow-query files retained.
         trace_buffer: capacity of the recent-traces ring (``/debug/traces``).
+        trace_budget: fraction of ordinary (fast, successful) traces kept in
+            the ring; slow and error traces are always kept.  1.0 keeps
+            everything, 0.01 keeps every 100th ordinary trace.
+        profile_hz: when set, run the continuous sampling profiler at this
+            rate for the server's lifetime (``GET /debug/profile`` then
+            reads the running aggregate; without it the endpoint profiles
+            on demand for ``?seconds=N``).
+        slo_objective: target good-request fraction of the serving SLO
+            (burn rates on ``/healthz`` and ``/debug/slo`` are relative to
+            the ``1 - slo_objective`` error budget).
+        slo_latency_ms: latency target of the SLO; a request slower than
+            this counts against the error budget like a failed one.
+            ``None`` tracks errors only.
         durability: default ack level for ``/mutate`` requests that do not
             ask for one (``"memory"`` or ``"wal"``); ``None`` defers to the
             engine's default (``"wal"`` whenever a WAL is attached).
@@ -143,7 +164,13 @@ class ServerConfig:
     trace: bool = False
     slow_query_ms: float | None = None
     slow_query_log: str | None = None
+    slow_query_max_mb: float | None = None
+    slow_query_keep_files: int = 3
     trace_buffer: int = 128
+    trace_budget: float = 1.0
+    profile_hz: float | None = None
+    slo_objective: float = 0.99
+    slo_latency_ms: float | None = None
     durability: str | None = None
 
     def __post_init__(self) -> None:
@@ -157,8 +184,20 @@ class ServerConfig:
             raise ValueError("max_pending must be at least 1")
         if self.slow_query_ms is not None and self.slow_query_ms < 0:
             raise ValueError("slow_query_ms must be non-negative")
+        if self.slow_query_max_mb is not None and self.slow_query_max_mb <= 0:
+            raise ValueError("slow_query_max_mb must be positive")
+        if self.slow_query_keep_files < 1:
+            raise ValueError("slow_query_keep_files must be at least 1")
         if self.trace_buffer < 1:
             raise ValueError("trace_buffer must be at least 1")
+        if not 0.0 <= self.trace_budget <= 1.0:
+            raise ValueError("trace_budget must be in [0, 1]")
+        if self.profile_hz is not None and self.profile_hz <= 0:
+            raise ValueError("profile_hz must be positive")
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ValueError("slo_objective must be in (0, 1)")
+        if self.slo_latency_ms is not None and self.slo_latency_ms <= 0:
+            raise ValueError("slo_latency_ms must be positive")
 
 
 class ServerStats:
@@ -333,12 +372,37 @@ class EngineServer:
         self.engine = engine
         self.config = config or ServerConfig()
         self.stats = ServerStats()
-        self.traces = TraceBuffer(self.config.trace_buffer)
+        # Tail-based retention: slow (>= slow_query_ms) and error traces are
+        # always kept, ordinary traces ride the trace_budget sampler.
+        self.traces = diag.TailSampler(
+            capacity=self.config.trace_buffer,
+            budget=self.config.trace_budget,
+            slow_ms=self.config.slow_query_ms,
+        )
         self.slow_log = (
-            SlowQueryLog(self.config.slow_query_ms, self.config.slow_query_log)
+            SlowQueryLog(
+                self.config.slow_query_ms,
+                self.config.slow_query_log,
+                max_bytes=(
+                    int(self.config.slow_query_max_mb * 1024 * 1024)
+                    if self.config.slow_query_max_mb is not None
+                    else None
+                ),
+                keep_files=self.config.slow_query_keep_files,
+            )
             if self.config.slow_query_ms is not None
             else None
         )
+        self.profiler = (
+            diag.SamplingProfiler(hz=self.config.profile_hz)
+            if self.config.profile_hz is not None
+            else None
+        )
+        self.slo = diag.SloMonitor(
+            objective=self.config.slo_objective,
+            latency_ms=self.config.slo_latency_ms,
+        )
+        self._span_bridge = diag.SpanMetricsBridge(self.stats.registry)
         self._own_engine = own_engine
         # Queue entries carry their enqueue time (loop clock) so the batcher
         # can report each query's coalesce wait.
@@ -378,6 +442,12 @@ class EngineServer:
         loop = asyncio.get_running_loop()
         self._arrival = asyncio.Event()
         self._batcher_task = loop.create_task(self._batcher())
+        if self.profiler is not None:
+            self.profiler.start()
+            # A sharded engine profiles its worker processes too.
+            start_worker_profilers = getattr(self.engine, "start_profiling", None)
+            if start_worker_profilers is not None:
+                start_worker_profilers(self.config.profile_hz)
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port, limit=_LINE_LIMIT
         )
@@ -408,6 +478,14 @@ class EngineServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._executor.shutdown(wait=True)
+        if self.profiler is not None:
+            self.profiler.stop()
+            stop_worker_profilers = getattr(self.engine, "stop_profiling", None)
+            if stop_worker_profilers is not None:
+                try:
+                    stop_worker_profilers()
+                except Exception:  # noqa: BLE001 - dead workers must not block the drain
+                    pass
         if self._own_engine and hasattr(self.engine, "close"):
             self.engine.close()
 
@@ -511,14 +589,16 @@ class EngineServer:
             request = await self._read_request(reader, writer)
             if request is None:
                 return
-            method, path, headers, body = request
+            method, path, params, headers, body = request
             self._active_requests += 1
             try:
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
                 route = path if path in _ENDPOINTS else "other"
                 self.stats.observe_request(route)
                 started = time.perf_counter()
-                status, payload, extra = await self._dispatch(method, path, headers, body)
+                status, payload, extra = await self._dispatch(
+                    method, path, params, headers, body
+                )
                 self.stats.observe_response(route, status, time.perf_counter() - started)
                 await self._write_response(writer, status, payload, keep_alive, extra)
             finally:
@@ -528,7 +608,7 @@ class EngineServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> tuple[str, str, dict, bytes] | None:
+    ) -> tuple[str, str, dict, dict, bytes] | None:
         request_line = await reader.readline()
         if not request_line:
             return None
@@ -576,8 +656,13 @@ class EngineServer:
             )
             return None
         body = await reader.readexactly(length) if length else b""
-        path = raw_path.split("?", 1)[0]
-        return method, path, headers, body
+        path, _, query_string = raw_path.partition("?")
+        params: dict[str, str] = {}
+        for pair in query_string.split("&"):
+            if pair:
+                key, _, value = pair.partition("=")
+                params[key] = value
+        return method, path, params, headers, body
 
     async def _write_response(
         self,
@@ -607,7 +692,12 @@ class EngineServer:
     # -- endpoints ---------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, path: str, headers: dict[str, str], body: bytes
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str],
+        headers: dict[str, str],
+        body: bytes,
     ) -> tuple[int, dict | str, dict[str, str]]:
         if path in ("/search", "/search/topk"):
             if method != "POST":
@@ -629,6 +719,10 @@ class EngineServer:
             return 200, self._metrics_text(), {}
         if path == "/debug/traces":
             return 200, self._traces_payload(), {}
+        if path == "/debug/profile":
+            return await self._handle_profile(params)
+        if path == "/debug/slo":
+            return 200, self._slo_payload(), {}
         self.stats.observe_rejected("invalid")
         return 404, {"error": f"unknown path {path!r}"}, {}
 
@@ -686,6 +780,7 @@ class EngineServer:
             # the batcher keeps serving; clients may retry elsewhere/later.
             # The trace id rides along so the failure is correlatable.
             self.stats.observe_error("unavailable")
+            self._observe_failure(query, trace_id, started, exc)
             payload = {"error": str(exc)}
             if trace_id is not None:
                 payload["trace_id"] = trace_id
@@ -697,17 +792,20 @@ class EngineServer:
             return 400, {"error": str(exc)}, {}
         except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a crash
             self.stats.observe_error("internal")
+            self._observe_failure(query, trace_id, started, exc)
             payload = {"error": f"{type(exc).__name__}: {exc}"}
             if trace_id is not None:
                 payload["trace_id"] = trace_id
             return 500, payload, {}
         e2e_ms = (time.perf_counter() - started) * 1000.0
         self.stats.observe_query()
+        self.slo.observe(e2e_ms)
         payload = encode_response(response, batch_size)
         if trace_id is not None:
             trace_doc = self._request_trace(trace_id, response, wait_s, exec_s, e2e_ms)
             payload["trace"] = trace_doc
-            self.traces.add(trace_doc)
+            self.traces.add(trace_doc, e2e_ms=e2e_ms)
+            self._span_bridge.record(trace_doc, backend=query.backend)
             if self.slow_log is not None:
                 self.slow_log.maybe_log(
                     e2e_ms,
@@ -766,6 +864,26 @@ class EngineServer:
                 },
             ],
         }
+
+    def _observe_failure(
+        self, query: Query, trace_id: str | None, started: float, exc: Exception
+    ) -> None:
+        """Count a failed query against the SLO and always-keep its trace."""
+        e2e_ms = (time.perf_counter() - started) * 1000.0
+        self.slo.observe(e2e_ms, error=True)
+        if trace_id is not None:
+            self.traces.add(
+                {
+                    "trace_id": trace_id,
+                    "name": "request",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "backend": query.backend,
+                    "duration_ms": round(e2e_ms, 4),
+                    "spans": [],
+                },
+                e2e_ms=e2e_ms,
+                error=True,
+            )
 
     async def _handle_mutation(self, path: str, body: bytes) -> tuple[int, dict, dict[str, str]]:
         """Apply one upsert/delete/compact through the batch executor.
@@ -870,11 +988,17 @@ class EngineServer:
         return apply
 
     def _healthz(self) -> dict:
+        slo = self.slo.status()
         return {
             "status": "draining" if self._draining else "ok",
             "schema_version": WIRE_SCHEMA_VERSION,
             "engine": type(self.engine).__name__,
             "in_flight": self._in_flight,
+            "slo": {
+                "breaching": slo["breaching"],
+                "fast_burn_rate": slo["windows"]["fast"]["burn_rate"],
+                "slow_burn_rate": slo["windows"]["slow"]["burn_rate"],
+            },
         }
 
     def _stats_payload(self) -> dict:
@@ -910,7 +1034,81 @@ class EngineServer:
         return {
             "schema_version": WIRE_SCHEMA_VERSION,
             "traces": self.traces.snapshot(32),
+            "sampling": self.traces.stats(),
         }
+
+    async def _handle_profile(
+        self, params: dict[str, str]
+    ) -> tuple[int, dict, dict[str, str]]:
+        """``GET /debug/profile[?seconds=N]``: folded stacks per thread role.
+
+        With a continuous profiler (``profile_hz``) the bare endpoint
+        returns the running aggregate and ``?seconds=N`` the delta over an
+        N-second window; without one, ``?seconds=N`` (default 1s) profiles
+        on demand.  The asyncio handler only sleeps -- sampling happens on
+        the profiler's daemon thread -- so other requests keep flowing.
+        """
+        raw = params.get("seconds")
+        seconds: float | None = None
+        if raw is not None:
+            try:
+                seconds = float(raw)
+            except ValueError:
+                return 400, {"error": f"bad seconds {raw!r}"}, {}
+            if not 0 < seconds <= _MAX_PROFILE_SECONDS:
+                return (
+                    400,
+                    {"error": f"seconds must be in (0, {_MAX_PROFILE_SECONDS:g}]"},
+                    {},
+                )
+        if self.profiler is not None:
+            if seconds is None:
+                profile = self.profiler.snapshot()
+            else:
+                before = self.profiler.snapshot()
+                await asyncio.sleep(seconds)
+                profile = diag.profile_diff(before, self.profiler.snapshot())
+        else:
+            temporary = diag.SamplingProfiler()
+            temporary.start()
+            try:
+                await asyncio.sleep(seconds if seconds is not None else 1.0)
+            finally:
+                temporary.stop()
+            profile = temporary.snapshot()
+        wires = [profile]
+        worker_profiles = getattr(self.engine, "profile_wire", None)
+        if worker_profiles is not None:
+            try:
+                wires.extend(worker_profiles())
+            except Exception:  # noqa: BLE001 - a dead worker must not take the endpoint down
+                pass
+        merged = diag.merge_profiles(wires)
+        payload = {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "profile": merged,
+            "folded": diag.render_folded(merged).splitlines(),
+            "top": diag.top_self_frames(merged),
+            "attribution": {
+                role: round(share, 4)
+                for role, share in diag.role_attribution(merged).items()
+            },
+        }
+        return 200, payload, {}
+
+    def _slo_payload(self) -> dict:
+        payload = {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "slo": self.slo.status(),
+            "trace_sampling": self.traces.stats(),
+        }
+        shard_health = getattr(self.engine, "shard_health", None)
+        if shard_health is not None:
+            try:
+                payload["shards"] = shard_health()
+            except Exception:  # noqa: BLE001 - scoreboard must not take the endpoint down
+                payload["shards"] = []
+        return payload
 
     def _manifest_payload(self) -> dict:
         if isinstance(self.engine, ShardedEngine):

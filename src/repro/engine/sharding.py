@@ -39,7 +39,8 @@ from concurrent.futures.process import BrokenProcessPool
 from itertools import islice
 from typing import Any, Iterator, Sequence
 
-from repro.common.obs import MetricsRegistry, TraceBuffer
+from repro.common import diag
+from repro.common.obs import MetricsRegistry
 from repro.common.stats import Timer
 from repro.engine.api import Query, Response
 from repro.engine.backend import get_backend
@@ -307,6 +308,33 @@ def _worker_flush(shard_dir: str) -> dict:
     return _WORKER["engine"].save_index(_WORKER["backend"], shard_dir)
 
 
+def _worker_start_profiler(hz: float) -> None:
+    """Arm (or re-arm) this worker's continuous sampling profiler.
+
+    The profiler lives in the worker global and keeps sampling between
+    queries, so :func:`_worker_profile_wire` answers instantly -- an
+    on-demand profiling window would block the shard's single worker and
+    stall every in-flight query behind it.
+    """
+    profiler = _WORKER.get("profiler")
+    if profiler is None:
+        profiler = diag.SamplingProfiler(hz=hz, main_role="shard-worker")
+        _WORKER["profiler"] = profiler
+    profiler.start()
+
+
+def _worker_stop_profiler() -> None:
+    profiler = _WORKER.pop("profiler", None)
+    if profiler is not None:
+        profiler.stop()
+
+
+def _worker_profile_wire() -> dict | None:
+    """Snapshot of the worker's profiler, or None when profiling is off."""
+    profiler = _WORKER.get("profiler")
+    return profiler.snapshot() if profiler is not None else None
+
+
 # ---------------------------------------------------------------------------
 # Parent side
 # ---------------------------------------------------------------------------
@@ -490,7 +518,9 @@ class ShardedEngine:
         self._pools: list[ProcessPoolExecutor] = []
         self._init_args: list[tuple] = []
         self._stats = ShardedStats()
-        self._traces = TraceBuffer(128)
+        self._traces = diag.TailSampler(capacity=128)
+        self._health = diag.HealthScoreboard(len(self._manifest["shards"]))
+        self._profile_hz: float | None = None
         try:
             for shard in self._manifest["shards"]:
                 wal_path = (
@@ -549,6 +579,9 @@ class ShardedEngine:
         pool = self._spawn_pool(self._init_args[shard_id])
         self._pools[shard_id] = pool
         pool.submit(_worker_ready).result()
+        if self._profile_hz is not None:
+            # The old worker took its profiler with it; re-arm the fresh one.
+            pool.submit(_worker_start_profiler, self._profile_hz).result()
         if self._wal_dir is not None:
             self._refresh_next_id()
 
@@ -592,6 +625,7 @@ class ShardedEngine:
         self._stats = ShardedStats()
         for _pool in self._pools:
             self._stats.add_shard()
+        self._health = diag.HealthScoreboard(len(self._pools))
 
     def load_queries(self) -> list[Any] | None:
         """The workload persisted next to the shards, if any."""
@@ -623,6 +657,52 @@ class ShardedEngine:
     def recent_traces(self, last: int | None = None) -> list[dict]:
         """Most recent merged trace documents, newest first."""
         return self._traces.snapshot(last)
+
+    def start_profiling(self, hz: float | None = None) -> None:
+        """Arm a continuous sampling profiler inside every shard worker.
+
+        Workers keep profiling between queries, so :meth:`profile_wire`
+        snapshots without a measurement window; a respawned worker is
+        re-armed automatically.
+        """
+        self._require_open()
+        self._profile_hz = float(hz) if hz else diag.DEFAULT_PROFILE_HZ
+        futures = [
+            self._submit_to_shard(shard_id, _worker_start_profiler, self._profile_hz)
+            for shard_id in range(len(self._pools))
+        ]
+        for shard_id, future in enumerate(futures):
+            self._shard_result(shard_id, future)
+
+    def stop_profiling(self) -> None:
+        """Disarm every worker's profiler (tolerates already-dead workers)."""
+        self._profile_hz = None
+        for shard_id in range(len(self._pools)):
+            try:
+                self._shard_result(
+                    shard_id, self._submit_to_shard(shard_id, _worker_stop_profiler)
+                )
+            except ShardWorkerError:
+                continue
+
+    def profile_wire(self) -> list[dict]:
+        """Every armed worker's profiler snapshot (mergeable wire dumps)."""
+        self._require_open()
+        wires: list[dict] = []
+        for shard_id in range(len(self._pools)):
+            try:
+                wire = self._shard_result(
+                    shard_id, self._submit_to_shard(shard_id, _worker_profile_wire)
+                )
+            except ShardWorkerError:
+                continue
+            if wire is not None:
+                wires.append(wire)
+        return wires
+
+    def shard_health(self) -> list[dict]:
+        """Rolling-window per-shard health scoreboard (parent's view)."""
+        return self._health.report()
 
     # -- mutation ----------------------------------------------------------
 
@@ -883,6 +963,7 @@ class ShardedEngine:
             return self._pools[shard_id].submit(fn, *args)
         except BrokenProcessPool as exc:
             self._stats.observe_worker_error(shard_id)
+            self._health.observe(shard_id, error=True)
             raise ShardWorkerError(shard_id, f"worker process is gone ({exc})") from exc
 
     def _shard_result(self, shard_id: int, future: Future) -> Any:
@@ -890,6 +971,7 @@ class ShardedEngine:
             return future.result()
         except BrokenProcessPool as exc:
             self._stats.observe_worker_error(shard_id)
+            self._health.observe(shard_id, error=True)
             raise ShardWorkerError(shard_id, f"worker process died mid-query ({exc})") from exc
 
     def _submit(self, query: Query) -> list[Future]:
@@ -932,9 +1014,11 @@ class ShardedEngine:
             engine_time=elapsed + merge_time,
         )
         self._stats.observe_query(response.engine_time, merge_time, parts)
+        for shard_id, part in enumerate(parts):
+            self._health.observe(shard_id, latency_s=part["engine_time"])
         if query.trace_id is not None:
             response.trace = self._build_trace(query, parts, elapsed, merge_time)
-            self._traces.add(response.trace)
+            self._traces.add(response.trace, e2e_ms=response.engine_time * 1000.0)
         return response
 
     def _build_trace(

@@ -179,6 +179,9 @@ class WriteAheadLog:
         self.path = path
         self._lock = threading.RLock()
         self.tail_discarded: str | None = None
+        #: Size of the most recently appended record (header + payload);
+        #: read by the engine's WAL throughput instrumentation.
+        self.last_append_bytes = 0
         if os.path.exists(path):
             batches, valid_end, size, tail_error = read_wal(path)
             self._last_seq = batches[-1].seq if batches else 0
@@ -260,6 +263,7 @@ class WriteAheadLog:
             if sync:
                 os.fsync(self._handle.fileno())
             self._last_seq = seq
+            self.last_append_bytes = _RECORD_HEADER.size + len(payload)
             return seq
 
     def sync(self) -> None:

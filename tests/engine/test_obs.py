@@ -8,6 +8,7 @@ import timeit
 
 import pytest
 
+from repro.common import obs
 from repro.common.obs import MetricsRegistry, span, span_tree_coverage
 from repro.engine import (
     EngineClient,
@@ -247,7 +248,8 @@ def test_metrics_endpoint_is_monotone_prometheus(client, query_payloads, taus):
         for line in client.metrics().splitlines():
             if line.startswith("#") or not line.strip():
                 continue
-            name, _, value = line.rpartition(" ")
+            # Traced histograms may append an OpenMetrics exemplar.
+            name, _, value = obs.strip_exemplar(line).rpartition(" ")
             samples[name] = float(value)
         return samples
 
