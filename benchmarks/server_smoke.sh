@@ -202,3 +202,44 @@ if [ "$status" -ne 0 ]; then
   exit 1
 fi
 echo "server shut down cleanly"
+
+# A clean shutdown must also be a *complete* one: run the full server
+# lifecycle in-process (with the continuous profiler armed, the same
+# thread population the subprocess above had) and require that stop()
+# leaves no non-daemon thread behind -- and none of the named engine
+# roles (executor / batcher / compaction) still running, daemon or not,
+# as classified by the profiler's role registry (diag.thread_role).
+python - <<'EOF'
+import threading
+import time
+
+from repro.common.diag import thread_role
+from repro.datasets.tokens import zipfian_set_workload
+from repro.engine import SearchEngine
+from repro.engine.client import EngineClient
+from repro.engine.server import ServerConfig, ServerThread
+from repro.sets import SetDataset
+
+workload = zipfian_set_workload(200, 8, seed=3)
+engine = SearchEngine(cache_size=16)
+engine.add_dataset("sets", SetDataset(workload.records, num_classes=4))
+
+baseline = {t.ident for t in threading.enumerate()}
+with ServerThread(engine, ServerConfig(max_wait_ms=1.0, profile_hz=50)) as handle:
+    with EngineClient(handle.url) as client:
+        client.search("sets", list(workload.queries[0]), tau=0.6)
+
+leaked = []
+deadline = time.monotonic() + 10.0
+while time.monotonic() < deadline:
+    leaked = [t for t in threading.enumerate() if t.ident not in baseline and t.is_alive()]
+    if not leaked:
+        break
+    time.sleep(0.05)
+roles = {t.name: thread_role(t.name) for t in leaked}
+nondaemon = [t.name for t in leaked if not t.daemon]
+assert not nondaemon, f"non-daemon threads survived shutdown: {nondaemon} (roles: {roles})"
+engine_roles = {name: role for name, role in roles.items() if role != "other"}
+assert not engine_roles, f"engine threads survived shutdown: {engine_roles}"
+print(f"shutdown leak check: no surviving threads OK (transient: {roles or 'none'})")
+EOF

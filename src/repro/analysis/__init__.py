@@ -1,0 +1,40 @@
+"""Project-specific static analysis: lock discipline, wire compat, drift.
+
+The package is a small stdlib-``ast`` framework (:mod:`repro.analysis.
+framework`) plus one module per shipped rule under :mod:`repro.analysis.
+rules`.  ``python -m repro.analysis`` runs every rule against the repository
+and exits non-zero on findings; ``--strict`` (the CI mode) promotes warnings
+to failures, ``--json`` emits machine-readable findings, and
+``--update-schemas`` regenerates the wire-schema snapshots after a
+deliberate, version-bumped schema change.
+
+The runtime half lives in :mod:`repro.analysis.witness`: a
+:class:`~repro.analysis.witness.LockWitness` wraps real locks under tests,
+records the actual acquisition order, and asserts it consistent with the
+statically derived lock graph -- a TSan-lite for the paths static analysis
+cannot see across object boundaries.
+"""
+
+from repro.analysis.framework import (
+    AnalysisContext,
+    Finding,
+    Report,
+    all_rules,
+    load_allowlist,
+    rule,
+    run_analysis,
+)
+from repro.analysis.witness import LockWitness, WitnessLog, check_consistent
+
+__all__ = [
+    "AnalysisContext",
+    "Finding",
+    "LockWitness",
+    "Report",
+    "WitnessLog",
+    "all_rules",
+    "check_consistent",
+    "load_allowlist",
+    "rule",
+    "run_analysis",
+]

@@ -1,0 +1,9 @@
+"""Shipped rules; importing this package registers them all."""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    drift,
+    exceptions,
+    locks,
+    numpy_hotpath,
+    wire_compat,
+)

@@ -1,0 +1,108 @@
+"""Doc-drift rule: served routes and CLI flags must appear in the docs.
+
+* Every HTTP route the server knows -- the ``_ENDPOINTS`` literal in
+  ``src/repro/engine/server.py`` plus any ``path == "/x"`` comparison --
+  must appear (backtick-quoted) in ENGINE.md, whose endpoint table is the
+  contract clients are written against.
+* Every ``--flag`` registered via ``add_argument`` in
+  ``src/repro/engine/cli.py`` must appear verbatim in ENGINE.md or
+  README.md; an undocumented flag is a feature nobody can discover.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import AnalysisContext, Finding, rule
+
+SERVER_FILE = "src/repro/engine/server.py"
+CLI_FILE = "src/repro/engine/cli.py"
+DOC_FILES = ("ENGINE.md", "README.md")
+
+
+def server_routes(ctx: AnalysisContext) -> list[tuple[str, int]]:
+    """Every route path the server dispatches on, with its line."""
+    tree = ctx.tree(SERVER_FILE)
+    routes: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            is_endpoints = any(
+                isinstance(target, ast.Name) and target.id == "_ENDPOINTS"
+                for target in node.targets
+            )
+            if is_endpoints and isinstance(node.value, (ast.Tuple, ast.List)):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        routes.setdefault(element.value, element.lineno)
+        elif isinstance(node, ast.Compare):
+            candidates = [node.left] + list(node.comparators)
+            if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                for candidate in candidates:
+                    if (
+                        isinstance(candidate, ast.Constant)
+                        and isinstance(candidate.value, str)
+                        and candidate.value.startswith("/")
+                    ):
+                        routes.setdefault(candidate.value, candidate.lineno)
+    return sorted(routes.items())
+
+
+def cli_flags(ctx: AnalysisContext) -> list[tuple[str, int]]:
+    """Every ``--flag`` string passed to an ``add_argument`` call."""
+    tree = ctx.tree(CLI_FILE)
+    flags: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "add_argument"):
+            continue
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and arg.value.startswith("--")
+            ):
+                flags.setdefault(arg.value, arg.lineno)
+    return sorted(flags.items())
+
+
+@rule("doc-drift", "routes and CLI flags must be documented")
+def check_doc_drift(ctx: AnalysisContext) -> list[Finding]:
+    findings: list[Finding] = []
+    docs = {name: ctx.text(name) for name in DOC_FILES if ctx.exists(name)}
+    if ctx.exists(SERVER_FILE):
+        if "ENGINE.md" not in docs:
+            findings.append(
+                Finding(
+                    rule="doc-drift",
+                    file="ENGINE.md",
+                    line=1,
+                    message="server.py exists but ENGINE.md (the endpoint contract) does not",
+                )
+            )
+        else:
+            engine_md = docs["ENGINE.md"]
+            for route, line in server_routes(ctx):
+                if f"`{route}`" not in engine_md:
+                    findings.append(
+                        Finding(
+                            rule="doc-drift",
+                            file=SERVER_FILE,
+                            line=line,
+                            message=f"route {route} is served but missing from ENGINE.md",
+                        )
+                    )
+    if ctx.exists(CLI_FILE) and docs:
+        haystack = "\n".join(docs.values())
+        for flag, line in cli_flags(ctx):
+            if flag not in haystack:
+                findings.append(
+                    Finding(
+                        rule="doc-drift",
+                        file=CLI_FILE,
+                        line=line,
+                        message=f"CLI flag {flag} is undocumented (ENGINE.md / README.md)",
+                    )
+                )
+    return findings

@@ -1,0 +1,70 @@
+"""Exception-hygiene rule: no silent broad excepts on serving-critical paths.
+
+A handler is a *silent swallow* when it catches everything (bare
+``except:``, ``except Exception``, ``except BaseException``) and its body
+neither re-raises nor does anything observable -- no call (logging, a
+metrics counter), no assignment (a recorded fallback), just ``pass`` /
+``continue`` / ``break`` / ``return <constant>``.  On the server, sharding
+and WAL paths such a handler turns a failing subsystem into a silent
+wrong answer; every legitimate keep-serving catch must at least count the
+error somewhere an operator can see.
+
+The rule scans every module under ``src`` (the definition is strict enough
+to be repo-wide); argued exceptions go into the allowlist with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import AnalysisContext, Finding, rule
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts) if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body has no observable effect at all."""
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call, ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            return False
+        if isinstance(node, ast.Return) and node.value is not None:
+            if not isinstance(node.value, ast.Constant):
+                return False
+    return True
+
+
+@rule("exception-hygiene", "broad except handlers must log, count or re-raise")
+def check_exception_hygiene(ctx: AnalysisContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for relpath in ctx.iter_python("src"):
+        tree = ctx.tree(relpath)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and _is_silent(node):
+                caught = "bare except" if node.type is None else "broad except"
+                findings.append(
+                    Finding(
+                        rule="exception-hygiene",
+                        file=relpath,
+                        line=node.lineno,
+                        message=(
+                            f"{caught} swallows the error silently "
+                            f"(log, count or re-raise)"
+                        ),
+                    )
+                )
+    return findings

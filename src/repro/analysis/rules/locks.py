@@ -1,0 +1,485 @@
+"""Lock-discipline rule: acquisition-order graph, cycles, unlocked writes.
+
+The rule models every class that creates ``threading.Lock`` / ``RLock``
+objects:
+
+* **plain lock attrs** -- ``self.X = threading.Lock()``;
+* **lock families** -- dict attrs that lock objects are stored into
+  (``self.X[key] = threading.Lock()``), named ``X[*]`` in the graph;
+* **provider methods** -- methods returning a value derived from a lock
+  attr (``_writer_lock`` returning an entry of ``_writer_locks``), so
+  ``with self._writer_lock(name):`` resolves to the family it serves.
+
+Acquisitions are recognised through ``with`` items, ``ExitStack.
+enter_context`` and explicit ``.acquire()`` calls; local names are resolved
+to lock attrs through a forward derivation pass (``locks = [self._writer_
+locks[n] ...]; for lock in locks: stack.enter_context(lock)``).  While
+walking a function the rule keeps the set of locks currently held and adds
+one edge per (held -> newly acquired) pair; calls to same-class
+``self.method(...)`` propagate the callee's own acquisitions into the
+caller's held context (transitively, cycle-guarded).
+
+Findings:
+
+* a **cycle** in the resulting graph is an error (two code paths that
+  acquire the same locks in opposite orders can deadlock);
+* an assignment to an attribute that is written under a lock elsewhere in
+  the class, made outside any lock and outside ``__init__``, is a warning
+  (a racy write to state the class itself treats as lock-protected).
+
+Intra-family order (several locks of one ``X[*]`` family held at once, as in
+``metrics_wire``'s sorted ``ExitStack``) is invisible statically; that is
+exactly what :mod:`repro.analysis.witness` checks at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.framework import AnalysisContext, Finding, rule
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _lock_factory_name(node: ast.AST) -> str | None:
+    """``threading.Lock()`` -> ``"Lock"``, ``RLock()`` -> ``"RLock"``, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+    return name if name in _LOCK_FACTORIES else None
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    return _lock_factory_name(node) is not None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``"X"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _self_attrs_in(node: ast.AST) -> list[str]:
+    """Every ``self.X`` attribute name appearing anywhere inside ``node``."""
+    found = []
+    for child in ast.walk(node):
+        attr = _self_attr(child)
+        if attr is not None:
+            found.append(attr)
+    return found
+
+
+@dataclass
+class ClassLocks:
+    """Lock layout of one class: plain attrs, dict families, providers."""
+
+    module: str
+    name: str
+    plain: set[str] = field(default_factory=set)
+    families: set[str] = field(default_factory=set)
+    #: attrs created as ``threading.RLock()`` -- self re-acquisition is legal
+    reentrant: set[str] = field(default_factory=set)
+    #: method name -> the lock attr its return value is derived from
+    providers: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    def node_id(self, attr: str) -> str:
+        suffix = "[*]" if attr in self.families else ""
+        return f"{self.module}.{self.name}.{attr}{suffix}"
+
+    def allows_self_edge(self, node: str) -> bool:
+        """Self-acquisition is legal for RLocks and unordered inside families."""
+        if node.endswith("[*]"):
+            return True
+        return any(node == self.node_id(attr) for attr in self.reentrant)
+
+
+@dataclass
+class LockGraph:
+    """The inter-module lock-acquisition-order graph."""
+
+    #: every lock node ever seen acquired (``module.Class.attr`` or ``...[*]``)
+    nodes: set[str] = field(default_factory=set)
+    #: (held, acquired) -> example sites
+    edges: dict[tuple[str, str], list[tuple[str, int]]] = field(default_factory=dict)
+
+    def add_edge(self, held: str, acquired: str, site: tuple[str, int]) -> None:
+        sites = self.edges.setdefault((held, acquired), [])
+        if len(sites) < 8:
+            sites.append(site)
+
+    def cycles(self) -> list[list[str]]:
+        """Every elementary cycle reachable in the edge set (deduplicated)."""
+        adjacency: dict[str, set[str]] = {}
+        for src, dst in self.edges:
+            adjacency.setdefault(src, set()).add(dst)
+        seen_cycles: set[tuple[str, ...]] = set()
+        cycles: list[list[str]] = []
+
+        def visit(node: str, path: list[str], on_path: set[str]) -> None:
+            for succ in sorted(adjacency.get(node, ())):
+                if succ in on_path:
+                    cycle = path[path.index(succ) :]
+                    # Canonical rotation so each cycle is reported once.
+                    pivot = cycle.index(min(cycle))
+                    canon = tuple(cycle[pivot:] + cycle[:pivot])
+                    if canon not in seen_cycles:
+                        seen_cycles.add(canon)
+                        cycles.append(list(canon))
+                elif len(path) < 32:
+                    visit(succ, path + [succ], on_path | {succ})
+
+        for start in sorted(adjacency):
+            visit(start, [start], {start})
+        return cycles
+
+
+def _collect_class_locks(module: str, cls: ast.ClassDef) -> ClassLocks:
+    info = ClassLocks(module=module, name=cls.name)
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[item.name] = item  # type: ignore[assignment]
+    for method in info.methods.values():
+        lock_locals: set[str] = set()
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None and _is_lock_factory(node.value):
+                    info.plain.add(attr)
+                    if _lock_factory_name(node.value) == "RLock":
+                        info.reentrant.add(attr)
+                elif isinstance(target, ast.Name) and _is_lock_factory(node.value):
+                    lock_locals.add(target.id)
+                elif isinstance(target, ast.Subscript):
+                    base = _self_attr(target.value)
+                    if base is None:
+                        continue
+                    if _is_lock_factory(node.value) or (
+                        isinstance(node.value, ast.Name) and node.value.id in lock_locals
+                    ):
+                        info.families.add(base)
+    info.plain -= info.families
+    # Provider methods: return a value derived from a lock attr.
+    lock_attrs = info.plain | info.families
+    for name, method in info.methods.items():
+        derived = _derivations(method, lock_attrs)
+        for node in ast.walk(method):
+            if isinstance(node, ast.Return) and node.value is not None:
+                attr = _resolve_lock_expr(node.value, info, derived)
+                if attr is not None:
+                    info.providers[name] = attr
+    return info
+
+
+def _derivations(func: ast.AST, lock_attrs: set[str]) -> dict[str, str]:
+    """Forward pass mapping local names to the lock attr they derive from."""
+    derived: dict[str, str] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            sources = [a for a in _self_attrs_in(node.value) if a in lock_attrs]
+            sources.extend(
+                derived[n.id]
+                for n in ast.walk(node.value)
+                if isinstance(n, ast.Name) and n.id in derived
+            )
+            if sources:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        derived[target.id] = sources[0]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            sources = [a for a in _self_attrs_in(node.iter) if a in lock_attrs]
+            sources.extend(
+                derived[n.id]
+                for n in ast.walk(node.iter)
+                if isinstance(n, ast.Name) and n.id in derived
+            )
+            if sources and isinstance(node.target, ast.Name):
+                derived[node.target.id] = sources[0]
+    return derived
+
+
+def _resolve_lock_expr(
+    expr: ast.AST, info: ClassLocks, derived: dict[str, str]
+) -> str | None:
+    """Resolve an acquired expression to the lock attr it names, if any."""
+    attr = _self_attr(expr)
+    if attr is not None and attr in (info.plain | info.families):
+        return attr
+    if isinstance(expr, ast.Subscript):
+        base = _self_attr(expr.value)
+        if base is not None and base in info.families:
+            return base
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        # self._writer_locks.get(name) / self._writer_lock(name)
+        if isinstance(func, ast.Attribute):
+            base = _self_attr(func.value)
+            if base is not None and base in info.families and func.attr == "get":
+                return base
+        method = _self_attr(func)
+        if method is not None and method in info.providers:
+            return info.providers[method]
+    if isinstance(expr, ast.Name) and expr.id in derived:
+        return derived[expr.id]
+    return None
+
+
+class _FunctionWalker:
+    """Walks one method's statements tracking the held-lock stack."""
+
+    def __init__(
+        self,
+        relpath: str,
+        info: ClassLocks,
+        graph: LockGraph,
+        acquired_of: dict[str, set[str]],
+        writes: list[tuple[str, int, str, bool]],
+    ):
+        self.relpath = relpath
+        self.info = info
+        self.graph = graph
+        self.acquired_of = acquired_of
+        self.writes = writes
+        self.acquired: set[str] = set()
+
+    def run(self, method: ast.FunctionDef) -> None:
+        self.derived = _derivations(method, self.info.plain | self.info.families)
+        self._walk(method.body, [])
+
+    # -- helpers -----------------------------------------------------------
+
+    def _acquire(self, attr: str, held: list[str], line: int) -> str:
+        node = self.info.node_id(attr)
+        self.graph.nodes.add(node)
+        self.acquired.add(node)
+        for holder in held:
+            if holder == node and self.info.allows_self_edge(node):
+                # Re-entrant acquisition (RLock), or several members of one
+                # family at once -- intra-family order is a runtime property
+                # (checked by the witness).
+                continue
+            self.graph.add_edge(holder, node, (self.relpath, line))
+        return node
+
+    def _propagate_call(self, call: ast.Call, held: list[str]) -> None:
+        method = _self_attr(call.func)
+        if method is None or method not in self.acquired_of:
+            return
+        for node in sorted(self.acquired_of[method]):
+            for holder in held:
+                if holder == node and self.info.allows_self_edge(node):
+                    continue
+                self.graph.add_edge(holder, node, (self.relpath, call.lineno))
+
+    def _scan_expr(self, expr: ast.AST, held: list[str]) -> None:
+        """Record self-method call propagation and explicit acquire()s."""
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "acquire":
+                attr = _resolve_lock_expr(func.value, self.info, self.derived)
+                if attr is not None:
+                    self._acquire(attr, held, node.lineno)
+                    held.append(self.info.node_id(attr))
+            elif isinstance(func, ast.Attribute) and func.attr == "enter_context":
+                if node.args:
+                    attr = _resolve_lock_expr(node.args[0], self.info, self.derived)
+                    if attr is not None:
+                        self._acquire(attr, held, node.lineno)
+                        held.append(self.info.node_id(attr))
+            else:
+                self._propagate_call(node, held)
+
+    def _record_writes(self, stmt: ast.stmt, held: list[str]) -> None:
+        targets: list[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is None and isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+            if attr is not None:
+                self.writes.append((self.relpath, stmt.lineno, attr, bool(held)))
+
+    # -- statement walk ----------------------------------------------------
+
+    def _walk(self, body: list[ast.stmt], held: list[str]) -> None:
+        for stmt in body:
+            self._record_writes(stmt, held)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                frame = list(held)
+                for item in stmt.items:
+                    attr = _resolve_lock_expr(item.context_expr, self.info, self.derived)
+                    # Entering ``with self._writer_lock(n)`` first *calls*
+                    # the provider (its own acquisitions happen before ours).
+                    if isinstance(item.context_expr, ast.Call):
+                        self._propagate_call(item.context_expr, frame)
+                    if attr is not None:
+                        self._acquire(attr, frame, stmt.lineno)
+                        frame.append(self.info.node_id(attr))
+                    else:
+                        self._scan_expr(item.context_expr, frame)
+                self._walk(stmt.body, frame)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk(stmt.body, list(held))
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, list(held))
+                for handler in stmt.handlers:
+                    self._walk(handler.body, list(held))
+                self._walk(stmt.orelse, list(held))
+                self._walk(stmt.finalbody, list(held))
+            elif isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+                self._scan_expr(
+                    stmt.test if isinstance(stmt, (ast.If, ast.While)) else stmt.iter,
+                    held,
+                )
+                self._walk(stmt.body, list(held))
+                self._walk(stmt.orelse, list(held))
+            else:
+                self._scan_expr(stmt, held)
+                release = self._released_attr(stmt)
+                if release is not None and release in held:
+                    held.remove(release)
+
+    def _released_attr(self, stmt: ast.stmt) -> str | None:
+        if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+            return None
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr == "release":
+            attr = _resolve_lock_expr(func.value, self.info, self.derived)
+            if attr is not None:
+                return self.info.node_id(attr)
+        return None
+
+
+def _acquired_fixpoint(info: ClassLocks) -> dict[str, set[str]]:
+    """Per-method acquired-lock sets, closed over same-class self calls."""
+    direct: dict[str, set[str]] = {}
+    calls: dict[str, set[str]] = {}
+    for name, method in info.methods.items():
+        derived = _derivations(method, info.plain | info.families)
+        acquired: set[str] = set()
+        called: set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    attr = _resolve_lock_expr(item.context_expr, info, derived)
+                    if attr is not None:
+                        acquired.add(info.node_id(attr))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in ("acquire", "enter_context"):
+                    target = func.value if func.attr == "acquire" else (
+                        node.args[0] if node.args else None
+                    )
+                    if target is not None:
+                        attr = _resolve_lock_expr(target, info, derived)
+                        if attr is not None:
+                            acquired.add(info.node_id(attr))
+                else:
+                    callee = _self_attr(func)
+                    if callee is not None:
+                        called.add(callee)
+        direct[name] = acquired
+        calls[name] = called
+    closed = {name: set(acquired) for name, acquired in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name in closed:
+            for callee in calls[name]:
+                extra = closed.get(callee, set()) - closed[name]
+                if extra:
+                    closed[name] |= extra
+                    changed = True
+    return closed
+
+
+def build_lock_graph(ctx: AnalysisContext) -> tuple[LockGraph, list[Finding]]:
+    """Build the repository-wide graph; returns it plus unlocked-write findings."""
+    graph = LockGraph()
+    write_findings: list[Finding] = []
+    for relpath in ctx.iter_python("src"):
+        module = ctx.module_name(relpath)
+        tree = ctx.tree(relpath)
+        for cls in [n for n in tree.body if isinstance(n, ast.ClassDef)]:
+            info = _collect_class_locks(module, cls)
+            if not (info.plain or info.families):
+                continue
+            acquired_of = _acquired_fixpoint(info)
+            writes: list[tuple[str, int, str, bool]] = []
+            for method in info.methods.values():
+                walker = _FunctionWalker(relpath, info, graph, acquired_of, writes)
+                walker.run(method)
+            # Attributes the class itself writes under a lock somewhere...
+            guarded_attrs = {
+                attr
+                for (_file, _line, attr, locked) in writes
+                if locked and attr not in (info.plain | info.families)
+            }
+            # ...flag writes to them outside every lock (and outside __init__).
+            method_ranges = sorted(
+                (method.lineno, method.end_lineno or method.lineno, name)
+                for name, method in info.methods.items()
+            )
+
+            def _method_of(line: int) -> str | None:
+                for lo, hi, name in method_ranges:
+                    if lo <= line <= hi:
+                        return name
+                return None
+
+            for file, line, attr, locked in writes:
+                if locked or attr not in guarded_attrs:
+                    continue
+                if _method_of(line) == "__init__":
+                    continue
+                write_findings.append(
+                    Finding(
+                        rule="lock-discipline",
+                        file=file,
+                        line=line,
+                        message=(
+                            f"{info.name}.{attr} is written under a lock elsewhere "
+                            f"but this write holds none"
+                        ),
+                        severity="warning",
+                    )
+                )
+    return graph, write_findings
+
+
+@rule("lock-discipline", "acquisition-order cycles and unlocked shared writes")
+def check_lock_discipline(ctx: AnalysisContext) -> list[Finding]:
+    graph, findings = build_lock_graph(ctx)
+    for cycle in graph.cycles():
+        ring = " -> ".join(cycle + [cycle[0]])
+        sites = []
+        for src, dst in zip(cycle, cycle[1:] + [cycle[0]]):
+            for file, line in graph.edges.get((src, dst), [])[:1]:
+                sites.append(f"{file}:{line}")
+        first = graph.edges.get((cycle[0], cycle[1 % len(cycle)]), [("<unknown>", 0)])[0]
+        findings.append(
+            Finding(
+                rule="lock-discipline",
+                file=first[0],
+                line=first[1],
+                message=(
+                    f"lock-order cycle {ring} (potential deadlock; "
+                    f"edges at {', '.join(sites)})"
+                ),
+            )
+        )
+    return findings

@@ -1,0 +1,96 @@
+"""Numpy hot-path rule: no quadratic appends in loops, no silent float64.
+
+* ``np.append`` / ``np.concatenate`` / ``np.vstack`` / ``np.hstack``
+  *inside a loop body* reallocates and copies the whole array every
+  iteration -- the gather-into-a-list-then-concatenate-once pattern the
+  columnar pipeline uses everywhere else is O(n) instead of O(n^2).
+* ``np.zeros`` / ``np.ones`` / ``np.empty`` / ``np.full`` without an
+  explicit ``dtype=`` allocates float64; the columnar pipeline is integer
+  end to end (ids, offsets, counters), so a silent float64 allocation is
+  an 8-byte-per-cell upcast that later comparisons quietly absorb.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import AnalysisContext, Finding, rule
+
+_GROWING = {"append", "concatenate", "vstack", "hstack"}
+_ALLOCATING = {"zeros", "ones", "empty", "full"}
+
+
+def _numpy_call(node: ast.Call) -> str | None:
+    """``np.X(...)`` / ``numpy.X(...)`` -> ``X``, else None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+def _has_dtype(node: ast.Call) -> bool:
+    return any(keyword.arg == "dtype" for keyword in node.keywords)
+
+
+class _LoopVisitor(ast.NodeVisitor):
+    """Collects numpy calls together with their lexical loop depth."""
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.grow_in_loop: list[tuple[str, int]] = []
+        self.untyped_alloc: list[tuple[str, int]] = []
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _numpy_call(node)
+        if name in _GROWING and self.depth > 0:
+            self.grow_in_loop.append((name, node.lineno))
+        elif name in _ALLOCATING and not _has_dtype(node):
+            self.untyped_alloc.append((name, node.lineno))
+        self.generic_visit(node)
+
+
+@rule("numpy-hotpath", "no array growth in loops, no implicit float64 allocations")
+def check_numpy_hotpath(ctx: AnalysisContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for relpath in ctx.iter_python("src"):
+        source = ctx.source(relpath)
+        if "import numpy" not in source:
+            continue
+        visitor = _LoopVisitor()
+        visitor.visit(ctx.tree(relpath))
+        for name, line in visitor.grow_in_loop:
+            findings.append(
+                Finding(
+                    rule="numpy-hotpath",
+                    file=relpath,
+                    line=line,
+                    message=(
+                        f"np.{name} inside a loop copies the whole array every "
+                        f"iteration; gather into a list and concatenate once"
+                    ),
+                )
+            )
+        for name, line in visitor.untyped_alloc:
+            findings.append(
+                Finding(
+                    rule="numpy-hotpath",
+                    file=relpath,
+                    line=line,
+                    message=f"np.{name} without an explicit dtype allocates float64",
+                    severity="warning",
+                )
+            )
+    return findings

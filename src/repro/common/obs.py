@@ -42,6 +42,9 @@ from typing import Iterable, Sequence
 # both versions (exemplars are simply absent from v1 dumps).
 OBS_WIRE_VERSION = 2
 
+# Versions merge_wire still decodes (v1 dumps are a subset of v2).
+SUPPORTED_OBS_WIRE_VERSIONS = frozenset({1, 2})
+
 # Default latency buckets (seconds).  Tuned for the engine's range: a cached
 # hit is ~10us, a cold graph query a few hundred ms.
 LATENCY_BUCKETS_S: tuple[float, ...] = (
@@ -306,6 +309,12 @@ class MetricsRegistry:
         Counters and histogram buckets add; gauges add too (per-worker sizes
         such as delta-store records are additive across id-range shards).
         """
+        version = wire.get("obs_wire_version", 1)
+        if version not in SUPPORTED_OBS_WIRE_VERSIONS:
+            supported = ", ".join(str(v) for v in sorted(SUPPORTED_OBS_WIRE_VERSIONS))
+            raise ValueError(
+                f"unsupported obs wire version {version!r} (supported: {supported})"
+            )
         for name, dumped in wire.get("families", {}).items():
             kind = dumped["kind"]
             buckets = tuple(dumped["buckets"]) if dumped.get("buckets") else None

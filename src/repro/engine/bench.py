@@ -341,26 +341,35 @@ def run_load_bench(
     # server rather than being silently absorbed by the generator.
     interval = 1.0 / target_qps
     clients = threading.local()
+    # Per-thread clients outlive their pool threads; track them so their
+    # persistent connections are closed once the run is over.
+    created: list[EngineClient] = []
 
     def open_issue(body: dict, scheduled: float) -> None:
         client = getattr(clients, "client", None)
         if client is None:
             client = EngineClient(base_url, timeout=timeout)
             clients.client = client
+            with lock:
+                created.append(client)
         issue(client, body, scheduled)
 
     timer = Timer()
     start = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=concurrency, thread_name_prefix="load") as pool:
-        futures = []
-        for position, body in enumerate(requests):
-            scheduled = start + position * interval
-            delay = scheduled - time.perf_counter()
-            if delay > 0:
-                time.sleep(delay)
-            futures.append(pool.submit(open_issue, body, scheduled))
-        for future in futures:
-            future.result()
+    try:
+        with ThreadPoolExecutor(max_workers=concurrency, thread_name_prefix="load") as pool:
+            futures = []
+            for position, body in enumerate(requests):
+                scheduled = start + position * interval
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(pool.submit(open_issue, body, scheduled))
+            for future in futures:
+                future.result()
+    finally:
+        for client in created:
+            client.close()
     wall = timer.elapsed()
     return _summarise_load(
         mode,

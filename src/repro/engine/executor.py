@@ -782,6 +782,24 @@ class SearchEngine:
             if wal is not None:
                 wal.close()
 
+    def close(self) -> None:
+        """Release held OS resources: detach (and close) every attached WAL.
+
+        The engine stays queryable afterwards -- mutations just stop being
+        logged -- so ``close()`` is safe to call from teardown paths that
+        may still answer in-flight reads.  Idempotent.
+        """
+        with self._lock:
+            names = list(self._wals)
+        for name in names:
+            self.detach_wal(name)
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def enable_auto_compaction(
         self, backend_name: str, policy: AutoCompactionPolicy | None = None
     ) -> AutoCompactionPolicy:

@@ -257,6 +257,18 @@ class ServerStats:
             "server_rejected_total", "rejected requests by reason", reason=reason
         ).inc()
 
+    def observe_suppressed(self, site: str) -> None:
+        """Count an error deliberately tolerated to keep serving.
+
+        The keep-serving catches (dead shard workers during a drain, a
+        scrape racing a worker respawn) must stay visible to operators:
+        a climbing ``server_suppressed_errors_total`` is the signal that
+        a subsystem is failing behind an endpoint that still answers 200.
+        """
+        self.registry.counter(
+            "server_suppressed_errors_total", "errors tolerated to keep serving", site=site
+        ).inc()
+
     def observe_error(self, kind: str) -> None:
         self.registry.counter(
             "server_errors_total", "failed requests by kind", kind=kind
@@ -485,7 +497,7 @@ class EngineServer:
                 try:
                     stop_worker_profilers()
                 except Exception:  # noqa: BLE001 - dead workers must not block the drain
-                    pass
+                    self.stats.observe_suppressed("stop_worker_profilers")
         if self._own_engine and hasattr(self.engine, "close"):
             self.engine.close()
 
@@ -1027,7 +1039,7 @@ class EngineServer:
             try:
                 merged.merge_wire(engine_wire())
             except Exception:  # noqa: BLE001 - a dead worker must not take /metrics down
-                pass
+                self.stats.observe_suppressed("engine_metrics_wire")
         return merged.render_prometheus()
 
     def _traces_payload(self) -> dict:
@@ -1082,7 +1094,7 @@ class EngineServer:
             try:
                 wires.extend(worker_profiles())
             except Exception:  # noqa: BLE001 - a dead worker must not take the endpoint down
-                pass
+                self.stats.observe_suppressed("worker_profile_wire")
         merged = diag.merge_profiles(wires)
         payload = {
             "schema_version": WIRE_SCHEMA_VERSION,

@@ -301,6 +301,12 @@ class WriteAheadLog:
             if not self._handle.closed:
                 self._handle.close()
 
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 # ---------------------------------------------------------------------------
 # Op codec (engine form <-> WAL/wire form)

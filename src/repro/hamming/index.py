@@ -52,7 +52,10 @@ class PartitionIndex:
             order = np.argsort(column, kind="stable").astype(np.int64)
             distinct, starts = np.unique(column[order], return_index=True)
             self._distinct_codes.append(distinct.astype(np.int64))
-            self._offsets.append(np.append(starts, n).astype(np.int64))
+            offsets = np.empty(starts.size + 1, dtype=np.int64)
+            offsets[:-1] = starts
+            offsets[-1] = n
+            self._offsets.append(offsets)
             self._members.append(order)
 
     @classmethod

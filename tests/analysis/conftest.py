@@ -1,0 +1,30 @@
+"""Fixture helpers: build throwaway repository trees for the analyser.
+
+The rules walk ``src/`` of whatever root they are handed, so each test
+materialises a miniature repository under ``tmp_path`` mirroring the real
+``src/repro`` layout and runs the analyser against it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+#: The real repository root (tests/analysis/conftest.py -> two levels up).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def make_tree(tmp_path):
+    """Write ``{relpath: source}`` files under a fresh root; returns its path."""
+
+    def write(files: dict[str, str]) -> str:
+        for relpath, content in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(content), encoding="utf-8")
+        return str(tmp_path)
+
+    return write

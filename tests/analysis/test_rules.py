@@ -1,0 +1,447 @@
+"""Per-rule fixture corpus: every rule must trip on its bad tree and stay
+silent on the matching good tree.
+
+These fixtures are the proof that the CI gate can actually fail: a rule
+that silently stops matching (an ast refactor, a renamed helper) breaks
+these tests long before it lets a real regression through.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_analysis
+from repro.analysis.framework import AnalysisContext
+from repro.analysis.rules.wire_compat import update_schemas
+
+
+def _run(root: str, rule: str):
+    return run_analysis(root, rules=[rule])
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+_CYCLE = """
+import threading
+
+class Engine:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+"""
+
+_CONSISTENT = """
+import threading
+
+class Engine:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                pass
+"""
+
+
+def test_lock_discipline_trips_on_inverted_order(make_tree):
+    root = make_tree({"src/repro/engine.py": _CYCLE})
+    report = _run(root, "lock-discipline")
+    assert len(report.errors) == 1
+    assert "lock-order cycle" in report.errors[0].message
+    assert "Engine._a" in report.errors[0].message
+
+
+def test_lock_discipline_passes_consistent_order(make_tree):
+    root = make_tree({"src/repro/engine.py": _CONSISTENT})
+    assert _run(root, "lock-discipline").findings == []
+
+
+def test_lock_discipline_warns_on_unlocked_shared_write(make_tree):
+    root = make_tree(
+        {
+            "src/repro/counter.py": """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self.total += n
+
+                def reset(self):
+                    self.total = 0
+            """
+        }
+    )
+    report = _run(root, "lock-discipline")
+    assert report.errors == []
+    assert len(report.warnings) == 1
+    assert "Counter.total" in report.warnings[0].message
+
+
+def test_lock_discipline_allows_rlock_reentrancy(make_tree):
+    # Mirrors WriteAheadLog: truncate_upto() re-enters batches() under the
+    # same RLock; a plain Lock doing that would be flagged.
+    root = make_tree(
+        {
+            "src/repro/wal.py": """
+            import threading
+
+            class Wal:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        return 1
+            """
+        }
+    )
+    assert _run(root, "lock-discipline").errors == []
+
+
+def test_lock_discipline_trips_on_plain_lock_reentry(make_tree):
+    root = make_tree(
+        {
+            "src/repro/wal.py": """
+            import threading
+
+            class Wal:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        return 1
+            """
+        }
+    )
+    report = _run(root, "lock-discipline")
+    assert len(report.errors) == 1
+    assert "lock-order cycle" in report.errors[0].message
+
+
+# ---------------------------------------------------------------------------
+# wire-compat
+# ---------------------------------------------------------------------------
+
+_WIRE_OK = """
+WIRE_SCHEMA_VERSION = 1
+
+
+def encode_query(tau):
+    return {"tau": tau, "schema_version": WIRE_SCHEMA_VERSION}
+
+
+def decode_query(body):
+    _check_version(body)
+    return body["tau"]
+
+
+def _check_version(body):
+    if body.get("schema_version") != WIRE_SCHEMA_VERSION:
+        raise ValueError("bad version")
+
+
+def encode_upsert(record):
+    return {"record": record}
+
+
+def decode_upsert(body):
+    return body["record"]
+
+
+def encode_delete(obj_id):
+    return {"id": obj_id}
+
+
+def decode_delete(body):
+    return body["id"]
+
+
+def encode_mutate(ops):
+    return {"ops": ops}
+
+
+def decode_mutate(body):
+    return body["ops"]
+
+
+def encode_response(ids):
+    return {"ids": ids}
+"""
+
+_CLIENT = """
+class WireResponse:
+    def __init__(self, ids):
+        self.ids = ids
+
+    @classmethod
+    def from_wire(cls, body):
+        return cls(body["ids"])
+"""
+
+
+def _wire_tree(make_tree, wire_source: str) -> str:
+    return make_tree(
+        {
+            "src/repro/engine/wire.py": wire_source,
+            "src/repro/engine/client.py": _CLIENT,
+        }
+    )
+
+
+def test_wire_compat_passes_matched_pairs(make_tree):
+    root = _wire_tree(make_tree, _WIRE_OK)
+    update_schemas(AnalysisContext(root))
+    assert _run(root, "wire-compat").findings == []
+
+
+def test_wire_compat_trips_on_unread_field(make_tree):
+    bad = _WIRE_OK.replace(
+        'return {"ids": ids}', 'return {"ids": ids, "debug_blob": 1}'
+    )
+    root = _wire_tree(make_tree, bad)
+    update_schemas(AnalysisContext(root))
+    report = _run(root, "wire-compat")
+    assert len(report.errors) == 1
+    assert "response:debug_blob" in report.errors[0].message
+    assert "never read by WireResponse.from_wire" in report.errors[0].message
+
+
+def test_wire_compat_transitive_helper_reads_count(make_tree):
+    # schema_version is read only inside _check_version, reached from
+    # decode_query -- the matched-pairs test above would fail without the
+    # transitive closure; this spells the property out.
+    root = _wire_tree(make_tree, _WIRE_OK)
+    update_schemas(AnalysisContext(root))
+    report = _run(root, "wire-compat")
+    assert not any("schema_version" in f.message for f in report.findings)
+
+
+def test_wire_compat_requires_snapshot(make_tree):
+    root = _wire_tree(make_tree, _WIRE_OK)
+    report = _run(root, "wire-compat")
+    assert len(report.errors) == 1
+    assert "missing schema snapshot" in report.errors[0].message
+
+
+def test_wire_compat_requires_version_bump(make_tree):
+    root = _wire_tree(make_tree, _WIRE_OK)
+    update_schemas(AnalysisContext(root))
+    changed = _WIRE_OK.replace(
+        'return {"record": record}', 'return {"record": record, "ttl": 0}'
+    ).replace('return body["record"]', 'return (body["record"], body["ttl"])')
+    _wire_tree(make_tree, changed)
+    report = _run(root, "wire-compat")
+    assert len(report.errors) == 1
+    assert "without a WIRE_SCHEMA_VERSION bump" in report.errors[0].message
+
+
+def test_wire_compat_bumped_version_wants_fresh_snapshot(make_tree):
+    root = _wire_tree(make_tree, _WIRE_OK)
+    update_schemas(AnalysisContext(root))
+    changed = (
+        _WIRE_OK.replace("WIRE_SCHEMA_VERSION = 1", "WIRE_SCHEMA_VERSION = 2")
+        .replace('return {"record": record}', 'return {"record": record, "ttl": 0}')
+        .replace('return body["record"]', 'return (body["record"], body["ttl"])')
+    )
+    _wire_tree(make_tree, changed)
+    report = _run(root, "wire-compat")
+    assert len(report.errors) == 1
+    assert "stale" in report.errors[0].message
+    update_schemas(AnalysisContext(root))
+    assert _run(root, "wire-compat").findings == []
+
+
+# ---------------------------------------------------------------------------
+# doc-drift
+# ---------------------------------------------------------------------------
+
+_SERVER = """
+_ENDPOINTS = ("/query", "/healthz")
+"""
+
+_CLI = """
+def build_parser(parser):
+    parser.add_argument("--tau", type=float)
+    parser.add_argument("positional")
+"""
+
+
+def test_doc_drift_trips_on_missing_route_and_flag(make_tree):
+    root = make_tree(
+        {
+            "src/repro/engine/server.py": _SERVER,
+            "src/repro/engine/cli.py": _CLI,
+            "ENGINE.md": "Only `/healthz` is documented here.\n",
+        }
+    )
+    report = _run(root, "doc-drift")
+    messages = sorted(f.message for f in report.errors)
+    assert len(messages) == 2
+    assert "route /query is served but missing from ENGINE.md" in messages[1]
+    assert "--tau is undocumented" in messages[0]
+
+
+def test_doc_drift_passes_documented_tree(make_tree):
+    root = make_tree(
+        {
+            "src/repro/engine/server.py": _SERVER,
+            "src/repro/engine/cli.py": _CLI,
+            "ENGINE.md": "Routes: `/query`, `/healthz`. Flags: `--tau`.\n",
+        }
+    )
+    assert _run(root, "doc-drift").findings == []
+
+
+def test_doc_drift_requires_engine_md_when_server_exists(make_tree):
+    root = make_tree({"src/repro/engine/server.py": _SERVER})
+    report = _run(root, "doc-drift")
+    assert len(report.errors) == 1
+    assert "ENGINE.md" in report.errors[0].message
+
+
+# ---------------------------------------------------------------------------
+# exception-hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_exception_hygiene_trips_on_silent_swallow(make_tree):
+    root = make_tree(
+        {
+            "src/repro/io.py": """
+            def read(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+
+            def close(handle):
+                try:
+                    handle.close()
+                except:
+                    pass
+            """
+        }
+    )
+    report = _run(root, "exception-hygiene")
+    assert len(report.errors) == 2
+    assert "broad except swallows" in report.errors[0].message
+    assert "bare except swallows" in report.errors[1].message
+
+
+def test_exception_hygiene_passes_observable_handlers(make_tree):
+    root = make_tree(
+        {
+            "src/repro/io.py": """
+            import logging
+
+            def read(path):
+                try:
+                    return open(path).read()
+                except Exception as exc:
+                    logging.warning("read failed: %s", exc)
+                    return None
+
+            def parse(text):
+                try:
+                    return int(text)
+                except ValueError:
+                    return 0
+            """
+        }
+    )
+    assert _run(root, "exception-hygiene").findings == []
+
+
+# ---------------------------------------------------------------------------
+# numpy-hotpath
+# ---------------------------------------------------------------------------
+
+
+def test_numpy_hotpath_trips_on_growth_in_loop_and_untyped_alloc(make_tree):
+    root = make_tree(
+        {
+            "src/repro/gather.py": """
+            import numpy as np
+
+            def gather(chunks):
+                out = np.empty(0, dtype=np.int64)
+                for chunk in chunks:
+                    out = np.append(out, chunk)
+                return out
+
+            def histogram(n):
+                return np.zeros(n)
+            """
+        }
+    )
+    report = _run(root, "numpy-hotpath")
+    assert len(report.errors) == 1
+    assert "np.append inside a loop" in report.errors[0].message
+    assert len(report.warnings) == 1
+    assert "np.zeros without an explicit dtype" in report.warnings[0].message
+
+
+def test_numpy_hotpath_passes_gather_once_pattern(make_tree):
+    root = make_tree(
+        {
+            "src/repro/gather.py": """
+            import numpy as np
+
+            def gather(chunks):
+                parts = []
+                for chunk in chunks:
+                    parts.append(chunk)
+                return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+            def histogram(n):
+                return np.zeros(n, dtype=np.int64)
+            """
+        }
+    )
+    assert _run(root, "numpy-hotpath").findings == []
+
+
+def test_numpy_hotpath_ignores_files_without_numpy(make_tree):
+    root = make_tree(
+        {
+            "src/repro/plain.py": """
+            def gather(chunks):
+                out = []
+                for chunk in chunks:
+                    out.append(chunk)
+                return out
+            """
+        }
+    )
+    assert _run(root, "numpy-hotpath").findings == []

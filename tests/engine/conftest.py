@@ -40,7 +40,8 @@ def engine(datasets):
     engine = SearchEngine(cache_size=64)
     for name, dataset in datasets.items():
         engine.add_dataset(name, dataset)
-    return engine
+    yield engine
+    engine.close()
 
 
 DEFAULT_TAUS = {"hamming": 16, "sets": 0.6, "strings": 2, "graphs": 3}

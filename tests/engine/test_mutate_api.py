@@ -158,8 +158,7 @@ def test_decode_mutate_names_the_bad_op_position():
 
 def test_mutate_endpoint_and_client_shims(engine, tmp_path):
     engine.attach_wal("sets", str(tmp_path / "sets.wal"))
-    with ServerThread(engine) as handle:
-        client = EngineClient(handle.url)
+    with ServerThread(engine) as handle, EngineClient(handle.url) as client:
         outcome = client.mutate(
             "sets",
             # Tokens far outside the workload's vocabulary, so the threshold
@@ -177,8 +176,7 @@ def test_mutate_endpoint_and_client_shims(engine, tmp_path):
 
 
 def test_mutate_endpoint_rejects_malformed_batches(engine):
-    with ServerThread(engine) as handle:
-        client = EngineClient(handle.url)
+    with ServerThread(engine) as handle, EngineClient(handle.url) as client:
         with pytest.raises(Exception, match="ops"):
             client.mutate("sets", [])
 
@@ -186,8 +184,7 @@ def test_mutate_endpoint_rejects_malformed_batches(engine):
 def test_server_config_sets_the_default_durability(engine, tmp_path):
     engine.attach_wal("sets", str(tmp_path / "sets.wal"))
     config = ServerConfig(durability="memory")
-    with ServerThread(engine, config) as handle:
-        client = EngineClient(handle.url)
+    with ServerThread(engine, config) as handle, EngineClient(handle.url) as client:
         # The request names no level; the server's configured default wins
         # over the engine's (which would harden to "wal").
         relaxed = client.mutate("sets", [{"op": "delete", "id": 1}])

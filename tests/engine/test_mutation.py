@@ -190,8 +190,7 @@ def test_mutated_plain_engine_matches_rebuild(domain, datasets, query_payloads):
     engine = SearchEngine(cache_size=64)
     engine.add_dataset(domain, datasets[domain])
     records = dict(enumerate(_initial_records(domain, datasets)))
-    with ServerThread(engine) as handle:
-        client = EngineClient(handle.url)
+    with ServerThread(engine) as handle, EngineClient(handle.url) as client:
         # Mutations travel through POST /upsert and /delete for real.
         records = _apply_random_mutations(client, domain, records, rng, datasets)
         records = _seed_topk_neighbours(client, domain, query_payloads[domain], records)
@@ -213,8 +212,7 @@ def test_mutated_sharded_engine_matches_rebuild(domain, datasets, query_payloads
     with ShardedEngine(directory, cache_size=16) as engine:
         records = _apply_random_mutations(engine, domain, records, rng, datasets)
         records = _seed_topk_neighbours(engine, domain, query_payloads[domain], records)
-        with ServerThread(engine) as handle:
-            client = EngineClient(handle.url)
+        with ServerThread(engine) as handle, EngineClient(handle.url) as client:
             _assert_matches_rebuild(engine, client, domain, query_payloads[domain], records)
         # Per-shard compaction preserves every answer as well.
         engine.compact(domain)

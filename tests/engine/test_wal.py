@@ -81,7 +81,8 @@ def test_wal_discards_torn_final_record(tmp_path):
     assert os.path.getsize(path) == valid_end
     assert recovered.append("sets", _ops(9)) == 2
     recovered.close()
-    assert [batch.seq for batch in WriteAheadLog(path).batches()] == [1, 2]
+    with WriteAheadLog(path) as replay:
+        assert [batch.seq for batch in replay.batches()] == [1, 2]
 
 
 def test_wal_torn_header_is_discarded_too(tmp_path):
@@ -131,7 +132,8 @@ def test_wal_empty_file_recovers_to_a_fresh_log(tmp_path):
     assert wal.last_seq == 0
     assert wal.append("sets", _ops(0)) == 1
     wal.close()
-    assert [batch.seq for batch in WriteAheadLog(path).batches()] == [1]
+    with WriteAheadLog(path) as replay:
+        assert [batch.seq for batch in replay.batches()] == [1]
 
 
 def test_wal_rejects_foreign_magic(tmp_path):
@@ -251,13 +253,15 @@ def test_wal_replay_recovers_plain_engine(domain, datasets, query_payloads, tmp_
     records = dict(enumerate(_initial_records(domain, datasets)))
     records = _apply_batched_mutations(engine, domain, records, rng, datasets)
     records = _seed_topk_neighbours(engine, domain, query_payloads[domain], records)
-    # Crash: the engine is dropped without save_index.  Recovery loads the
+    # Crash: the engine is dropped without save_index (close() only drops
+    # the file handle, exactly like process death).  Recovery loads the
     # stale checkpoint and replays the log.
-    recovered = SearchEngine()
-    recovered.load_index(directory)
-    info = recovered.attach_wal(domain, wal_path)
-    assert info["checkpoint_seq"] == 0 and info["replayed_batches"] > 0
-    _assert_matches_rebuild(recovered, None, domain, query_payloads[domain], records)
+    engine.close()
+    with SearchEngine() as recovered:
+        recovered.load_index(directory)
+        info = recovered.attach_wal(domain, wal_path)
+        assert info["checkpoint_seq"] == 0 and info["replayed_batches"] > 0
+        _assert_matches_rebuild(recovered, None, domain, query_payloads[domain], records)
 
 
 @pytest.mark.parametrize("domain", DOMAINS)
@@ -304,6 +308,8 @@ def test_wal_replay_is_idempotent(datasets, query_payloads, tmp_path):
     for payload in query_payloads["sets"]:
         query = Query(backend="sets", payload=payload, tau=0.5)
         assert twice.search(query).ids == once.search(query).ids
+    for instance in (writer, once, twice):
+        instance.close()
 
 
 def test_wal_torn_tail_recovers_the_acknowledged_prefix(datasets, query_payloads, tmp_path):
@@ -323,14 +329,15 @@ def test_wal_torn_tail_recovers_the_acknowledged_prefix(datasets, query_payloads
     prefix_records = dict(records)
     # One more batch, then a crash that tears its tail off mid-write.
     engine.mutate("sets", [{"op": "upsert", "record": [9, 9, 9]}, {"op": "delete", "id": 2}])
+    engine.close()
     with open(wal_path, "r+b") as handle:
         handle.truncate(os.path.getsize(wal_path) - 2)
-    recovered = SearchEngine()
-    recovered.load_index(directory)
-    info = recovered.attach_wal("sets", wal_path)
-    assert info["replayed_batches"] == 6
-    assert os.path.getsize(wal_path) == prefix_end
-    _assert_matches_rebuild(recovered, None, "sets", query_payloads["sets"], prefix_records)
+    with SearchEngine() as recovered:
+        recovered.load_index(directory)
+        info = recovered.attach_wal("sets", wal_path)
+        assert info["replayed_batches"] == 6
+        assert os.path.getsize(wal_path) == prefix_end
+        _assert_matches_rebuild(recovered, None, "sets", query_payloads["sets"], prefix_records)
 
 
 def test_checkpoint_truncates_wal_and_replay_resumes_after_it(
@@ -350,11 +357,12 @@ def test_checkpoint_truncates_wal_and_replay_resumes_after_it(
     assert wal_summary(wal_path)["num_batches"] == 0
     engine.mutate("strings", [{"op": "upsert", "record": "after checkpoint"}])
 
-    recovered = SearchEngine()
-    recovered.load_index(directory)
-    info = recovered.attach_wal("strings", wal_path)
-    assert info["checkpoint_seq"] == 2 and info["replayed_batches"] == 1
-    assert recovered.mutation_info("strings") == engine.mutation_info("strings")
+    with SearchEngine() as recovered:
+        recovered.load_index(directory)
+        info = recovered.attach_wal("strings", wal_path)
+        assert info["checkpoint_seq"] == 2 and info["replayed_batches"] == 1
+        assert recovered.mutation_info("strings") == engine.mutation_info("strings")
+    engine.close()
 
 
 def test_sharded_worker_kill_and_respawn_replays_acked_writes(
@@ -398,8 +406,9 @@ def test_auto_compaction_checkpoints_without_changing_answers(
     assert info["auto_compaction"]["compactions"] >= 1
     assert info["auto_compaction"]["last_error"] is None
     _assert_matches_rebuild(engine, None, "sets", query_payloads["sets"], records)
+    engine.close()
     # The checkpoint made replay unnecessary for the folded prefix.
-    recovered = SearchEngine()
-    recovered.load_index(directory)
-    recovered.attach_wal("sets", wal_path)
-    _assert_matches_rebuild(recovered, None, "sets", query_payloads["sets"], records)
+    with SearchEngine() as recovered:
+        recovered.load_index(directory)
+        recovered.attach_wal("sets", wal_path)
+        _assert_matches_rebuild(recovered, None, "sets", query_payloads["sets"], records)
