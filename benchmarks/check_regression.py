@@ -9,6 +9,14 @@ against the candidate report produced by ``benchmarks/run_all.py``:
   relative to the baseline,
 * the HTTP ``served`` profile (when both reports carry one) must not lose
   more than ``--tolerance`` of its achieved QPS at any concurrency level,
+* the ``replication`` profile: replicated answers must equal the unsharded
+  reference, a failover must have been measured, and -- gated *within the
+  candidate report*, so it is hardware-independent -- the writer's worst
+  op latency during a rolling compaction must stay under half the
+  compaction's own wall clock (writes ride the sibling replica while one
+  drains and rebuilds; a blocking rebuild pins the stall at ~100%);
+  replicated throughput is additionally gated against the baseline at
+  ``--tolerance`` when both reports carry the section,
 * the ``mutation`` profile (when both reports carry one) must keep
   compaction answer-preserving and must not lose more than ``--tolerance``
   of its query throughput under write load, and
@@ -122,6 +130,7 @@ def compare(
                     f"({base_qps:.1f} -> {cand_qps:.1f} q/s, floor {floor:.1f})"
                 )
     failures.extend(compare_served(baseline, candidate, tolerance))
+    failures.extend(compare_replication(baseline, candidate, tolerance))
     failures.extend(compare_mutation(baseline, candidate, tolerance))
     failures.extend(compare_durability(baseline, candidate, tolerance))
     failures.extend(compare_pipeline(baseline, candidate, tolerance, speedup_floor))
@@ -315,6 +324,67 @@ def compare_durability(baseline: dict, candidate: dict, tolerance: float) -> lis
     return failures
 
 
+def compare_replication(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
+    """Gate the replication profile: agreement, failover, rolling write stall.
+
+    The rolling-compaction check is candidate-internal, so it gates on any
+    hardware: with more than one replica the writer's worst op latency
+    during a compaction must stay under half the compaction's own wall
+    clock (writes ride the sibling while one replica drains and rebuilds;
+    a blocking rebuild pins the stall at ~100% of the wall).  The check is
+    skipped when the rebuild finished too fast to measure a stall against.
+    Replicated throughput is additionally gated against the baseline at
+    ``--tolerance`` when both reports carry the section.
+    """
+    failures: list[str] = []
+    cand_replication = candidate.get("replication", {}).get("domains", {})
+    for domain, entry in cand_replication.items():
+        if not entry.get("results_agree", False):
+            failures.append(
+                f"replication {domain}: replicated answers diverged from the "
+                f"unsharded reference (routing or failover changed results)"
+            )
+        for factor, replicas_entry in entry.get("replicas", {}).items():
+            if factor == "1":
+                continue
+            if "failover_search_ms" not in replicas_entry:
+                failures.append(
+                    f"replication {domain} r={factor}: no failover was measured"
+                )
+            compact_ms = replicas_entry.get("compact_seconds", 0.0) * 1000.0
+            stall_ms = replicas_entry.get("max_write_stall_ms", 0.0)
+            if compact_ms >= 200.0 and stall_ms > 0.5 * compact_ms:
+                failures.append(
+                    f"replication {domain} r={factor}: writes stalled "
+                    f"{stall_ms:.0f} ms during a {compact_ms:.0f} ms rolling "
+                    f"compaction -- the rebuild is blocking the write path"
+                )
+    base_replication = baseline.get("replication", {}).get("domains", {})
+    for domain, base_entry in base_replication.items():
+        cand_entry = cand_replication.get(domain)
+        if cand_entry is None:
+            failures.append(f"replication {domain}: missing from the candidate report")
+            continue
+        for factor, base_replicas in base_entry.get("replicas", {}).items():
+            cand_replicas = cand_entry.get("replicas", {}).get(factor)
+            if cand_replicas is None:
+                failures.append(
+                    f"replication {domain} r={factor}: missing from the candidate"
+                )
+                continue
+            base_qps = base_replicas.get("throughput_qps", 0.0)
+            cand_qps = cand_replicas.get("throughput_qps", 0.0)
+            floor = base_qps * (1.0 - tolerance)
+            if cand_qps < floor:
+                drop = 1.0 - cand_qps / base_qps if base_qps else 1.0
+                failures.append(
+                    f"replication {domain} r={factor}: throughput dropped "
+                    f"{drop:.0%} ({base_qps:.1f} -> {cand_qps:.1f} q/s, "
+                    f"floor {floor:.1f})"
+                )
+    return failures
+
+
 def compare_served(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
     """Gate the HTTP served profile: achieved QPS per (domain, concurrency)."""
     base_served = baseline.get("served", {}).get("domains", {})
@@ -446,6 +516,32 @@ def main(argv: list[str] | None = None) -> int:
                 f"[{domain:>8} served c={level:<2}] {entry['achieved_qps']:>8.1f} q/s "
                 f"({delta})  p99 {entry.get('p99_ms', 0.0):.2f} ms  "
                 f"batch {entry.get('avg_batch_size', 0.0):.2f}"
+            )
+    for domain, entry in sorted(
+        candidate.get("replication", {}).get("domains", {}).items()
+    ):
+        base = baseline.get("replication", {}).get("domains", {}).get(domain, {})
+        for factor, replicas_entry in sorted(entry.get("replicas", {}).items()):
+            base_qps = (
+                base.get("replicas", {}).get(factor, {}).get("throughput_qps")
+            )
+            delta = (
+                f"{replicas_entry['throughput_qps'] / base_qps - 1.0:+.0%} vs baseline"
+                if base_qps
+                else "no baseline"
+            )
+            extra = (
+                f"  failover {replicas_entry['failover_search_ms']:.1f} ms "
+                f"heal {replicas_entry.get('heal_seconds', 0.0):.1f}s"
+                if "failover_search_ms" in replicas_entry
+                else ""
+            )
+            print(
+                f"[{domain:>8} replication r={factor}] "
+                f"{replicas_entry.get('throughput_qps', 0.0):>8.1f} q/s ({delta})  "
+                f"write stall {replicas_entry.get('max_write_stall_ms', 0.0):.1f} ms "
+                f"of {replicas_entry.get('compact_seconds', 0.0) * 1000.0:.0f} ms "
+                f"compaction{extra}"
             )
     for domain, entry in sorted(candidate.get("pipeline", {}).get("domains", {}).items()):
         base = baseline.get("pipeline", {}).get("domains", {}).get(domain, {})

@@ -43,7 +43,16 @@ For every domain (Hamming, sets, strings, graphs) this runner
    ring throughput (the span instrumentation's disabled path must stay
    near-free) and the diagnostics-on overhead -- the best pairwise wall
    ratio against the interleaved tracing-on pass -- under 5% (profiling
-   + tail sampling must be cheap enough to leave on in production).
+   + tail sampling must be cheap enough to leave on in production), and
+10. (unless ``--no-replication``) serves one representative domain's
+    two-shard index through in-process engines at replication factor 1
+    and 2, recording read QPS/latency per factor, the single-search
+    failover cost and supervisor heal time after a SIGKILLed replica,
+    and the writer-observed maximum op stall during a compaction, under
+    a ``replication`` section -- ``check_regression.py`` requires the
+    replicated answers to match the reference and the rolling-compaction
+    stall to stay under half the compaction's own wall clock (the
+    zero-downtime claim, measured rather than asserted).
 
 The single schema-versioned report (``benchmarks/BENCH_all.json`` by
 default) carries throughput, latency percentiles, merge overhead and
@@ -112,6 +121,13 @@ PIPELINE_ALGORITHMS = ("ring", "ring-scalar")
 #: upserts and ``/mutate`` batches both push this many ops per ack level.
 DURABILITY_OPS = {"ci": 96, "full": 480}
 DURABILITY_BATCH_SIZE = 16
+
+#: The ``replication`` section measures the replication layer, not the
+#: per-domain kernels, so one representative domain keeps the CI wall
+#: clock bounded while still exercising the full replica fan-out.
+REPLICATION_DOMAINS = ("sets",)
+REPLICATION_SHARDS = 2
+REPLICATION_FACTOR = 2
 
 
 def bench_pipeline(name: str, config: dict) -> dict:
@@ -520,6 +536,136 @@ def bench_durability(name: str, config: dict, num_ops: int, workdir: str) -> dic
     return section
 
 
+def bench_replication(name: str, config: dict, workdir: str) -> dict:
+    """Replicated vs single-replica serving, failover cost and compaction stall.
+
+    One sharded index is served twice through in-process ``ShardedEngine``
+    instances sharing nothing but the checkpoint: once at replication
+    factor 1 and once at :data:`REPLICATION_FACTOR`.  Each pass measures
+
+    * read throughput and latency on the identical workload (answers must
+      match the unsharded reference exactly -- routing across replicas is
+      not allowed to change a single id),
+    * the write stall of a compaction: a writer thread applies acked
+      upserts while ``compact()`` runs, and the maximum per-op latency it
+      observes is the stall.  With one replica the rebuild blocks every
+      write behind it; with two, rolling compaction drains one replica at
+      a time while the sibling keeps absorbing the fan-out, so the stall
+      must collapse (``check_regression.py`` gates the ratio whenever the
+      blocking stall is large enough to measure), and
+    * (replicated pass only) failover: SIGKILL one live replica and time
+      the next search -- the recovery is transparent, so this is the only
+      user-visible cost of a replica death -- then wait for the supervisor
+      to respawn it and record the heal time.
+    """
+    import threading
+
+    from repro.engine.bench import run_bench
+
+    backend = get_backend(name)
+    dataset, payloads = backend.make_workload(config["size"], config["num_queries"], config["seed"])
+    reference = SearchEngine(cache_size=0)
+    store = reference.add_dataset(name, dataset)
+    tau = backend.default_tau(store)
+    queries = [Query(backend=name, payload=payload, tau=tau) for payload in payloads]
+    expected = [sorted(int(obj_id) for obj_id in reference.search(query).ids) for query in queries]
+    recycled = list(backend.store_records(store))
+    num_objects = backend.store_size(store)
+
+    section: dict = {
+        "tau": tau,
+        "num_objects": num_objects,
+        "num_queries": len(queries),
+        "num_shards": REPLICATION_SHARDS,
+        "replicas": {},
+    }
+    agree = True
+    for factor in (1, REPLICATION_FACTOR):
+        # Each pass gets its own checkpoint: compaction persists the
+        # rebuilt (written-to) containers back into the index directory,
+        # which must not leak into the other pass's reference comparison.
+        directory = os.path.join(workdir, f"{name}-replication-{factor}")
+        build_shards(name, dataset, directory, REPLICATION_SHARDS)
+        wal_dir = os.path.join(workdir, f"{name}-replication-wal-{factor}")
+        with ShardedEngine(directory, wal_dir=wal_dir, replicas=factor) as engine:
+            report, responses = run_bench(engine, queries, repeat=config["repeat"])
+            agree = agree and all(
+                sorted(int(obj_id) for obj_id in response.ids) == ids
+                for response, ids in zip(responses, expected)
+            )
+            entry = report.to_dict()
+
+            if factor > 1:
+                # Failover: the kill is invisible except as one slow search.
+                victim = engine.replica_status()[0]["replicas"][0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                failover_timer = Timer()
+                response = engine.search(queries[0])
+                entry["failover_search_ms"] = failover_timer.elapsed() * 1000.0
+                agree = agree and sorted(int(i) for i in response.ids) == expected[0]
+                heal_timer = Timer()
+                deadline = time.monotonic() + 120.0
+                while time.monotonic() < deadline:
+                    health = engine.shard_health()[0]
+                    if health["live_replicas"] == health["num_replicas"]:
+                        break
+                    time.sleep(0.05)
+                else:
+                    raise RuntimeError(f"replication {name}: replica did not heal")
+                entry["heal_seconds"] = heal_timer.elapsed()
+                entry["failovers"] = sum(
+                    shard.failovers for shard in engine.stats.per_shard
+                )
+
+            # Compaction write stall: the writer's worst op latency while
+            # the rebuild runs.  Writes use explicit ids so both passes
+            # leave the store in the same state.
+            stall_ms: list[float] = []
+            writer_errors: list[BaseException] = []
+            stop = threading.Event()
+
+            def write_through_compaction() -> None:
+                index = 0
+                try:
+                    while not stop.is_set():
+                        op_timer = Timer()
+                        engine.upsert(
+                            name,
+                            recycled[index % len(recycled)],
+                            obj_id=num_objects + index,
+                            durability="wal",
+                        )
+                        stall_ms.append(op_timer.elapsed() * 1000.0)
+                        index += 1
+                except BaseException as exc:
+                    writer_errors.append(exc)
+
+            writer = threading.Thread(target=write_through_compaction)
+            writer.start()
+            try:
+                time.sleep(0.2)  # establish a write baseline before the rebuild
+                compact_timer = Timer()
+                engine.compact(name)
+                entry["compact_seconds"] = compact_timer.elapsed()
+            finally:
+                stop.set()
+                writer.join(timeout=120.0)
+            if writer_errors:
+                raise RuntimeError(
+                    f"replication {name} r{factor}: writer failed during "
+                    f"compaction: {writer_errors[0]!r}"
+                )
+            entry["writes_through_compaction"] = len(stall_ms)
+            entry["max_write_stall_ms"] = max(stall_ms) if stall_ms else 0.0
+            section["replicas"][str(factor)] = entry
+
+    section["results_agree"] = agree
+    blocking = section["replicas"]["1"]["max_write_stall_ms"]
+    rolling = section["replicas"][str(REPLICATION_FACTOR)]["max_write_stall_ms"]
+    section["rolling_vs_blocking_stall"] = rolling / blocking if blocking else 0.0
+    return section
+
+
 def _spawn_server(index_dir: str, ready_file: str) -> subprocess.Popen:
     """Start ``python -m repro.engine serve`` with this checkout importable."""
     src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -635,6 +781,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-observability",
         action="store_true",
         help="skip the tracing-overhead + /metrics scrape benchmarks",
+    )
+    parser.add_argument(
+        "--no-replication",
+        action="store_true",
+        help="skip the replicated-serving + failover + compaction-stall benchmarks",
     )
     parser.add_argument(
         "--pipeline-only",
@@ -755,6 +906,39 @@ def main(argv: list[str] | None = None) -> int:
                 f"[{domains[0]:>8} obs] /metrics scrape p50 {scrape['scrape_p50_ms']:.2f} ms  "
                 f"p95 {scrape['scrape_p95_ms']:.2f} ms  ({scrape['num_series']} series)"
             )
+        if not args.no_replication and not args.pipeline_only:
+            report["replication"] = {
+                "num_shards": REPLICATION_SHARDS,
+                "factor": REPLICATION_FACTOR,
+                "domains": {},
+            }
+            for name in REPLICATION_DOMAINS:
+                if name not in domains:
+                    continue
+                section = bench_replication(name, profile[name], workdir)
+                report["replication"]["domains"][name] = section
+                ok = ok and section["results_agree"]
+                for factor, entry in section["replicas"].items():
+                    extra = (
+                        f"failover {entry['failover_search_ms']:>6.1f} ms  "
+                        f"heal {entry['heal_seconds']:.1f}s  "
+                        if "failover_search_ms" in entry
+                        else ""
+                    )
+                    print(
+                        f"[{name:>8} replication r={factor}] "
+                        f"{entry['throughput_qps']:>8.1f} q/s  "
+                        f"p50 {entry['p50_ms']:>7.2f} ms  "
+                        f"p95 {entry['p95_ms']:>7.2f} ms  "
+                        f"{extra}"
+                        f"write stall {entry['max_write_stall_ms']:>7.1f} ms "
+                        f"(compact {entry['compact_seconds']:.2f}s)"
+                    )
+                print(
+                    f"[{name:>8} replication] rolling/blocking stall "
+                    f"{section['rolling_vs_blocking_stall']:.3f}  "
+                    f"agree={section['results_agree']}"
+                )
         if not args.no_served and not args.pipeline_only:
             report["served"] = {
                 "levels": list(SERVED_CONCURRENCY),

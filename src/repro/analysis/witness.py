@@ -50,11 +50,16 @@ class WitnessLog:
             self._held.stack = stack
         return stack
 
-    def record_acquire(self, name: str) -> None:
+    def record_acquire(self, name: str, reentrant: bool = False) -> None:
         stack = self._stack()
         if stack:
             with self._lock:
                 for holder in stack:
+                    if reentrant and holder == name:
+                        # A legal RLock re-entry (e.g. ``truncate_upto``
+                        # calling ``batches`` under the same lock) is not a
+                        # self-deadlock edge.
+                        continue
                     key = (holder, name)
                     self._edges[key] = self._edges.get(key, 0) + 1
         stack.append(name)
@@ -83,15 +88,18 @@ class LockWitness:
     object under test without the production code noticing.
     """
 
-    def __init__(self, inner: threading.Lock, name: str, log: WitnessLog):
+    def __init__(
+        self, inner: threading.Lock, name: str, log: WitnessLog, reentrant: bool = False
+    ):
         self._inner = inner
         self.name = name
         self._log = log
+        self._reentrant = reentrant
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         acquired = self._inner.acquire(blocking, timeout)
         if acquired:
-            self._log.record_acquire(self.name)
+            self._log.record_acquire(self.name, reentrant=self._reentrant)
         return acquired
 
     def release(self) -> None:
@@ -167,6 +175,9 @@ def check_consistent(
 ENGINE_LOCK = "repro.engine.executor.SearchEngine._lock"
 WRITER_FAMILY = "repro.engine.executor.SearchEngine._writer_locks"
 REGISTRY_LOCK = "repro.common.obs.MetricsRegistry._lock"
+REPLICA_WRITE_LOCK = "repro.engine.replication.ReplicaSet._write_lock"
+REPLICA_LOCK = "repro.engine.replication.ReplicaSet._lock"
+WAL_LOCK = "repro.engine.wal.WriteAheadLog._lock"
 
 
 def instrument_engine(engine: object, log: WitnessLog) -> None:
@@ -184,3 +195,22 @@ def instrument_engine(engine: object, log: WitnessLog) -> None:
         )
     registry = engine._stats.registry  # type: ignore[attr-defined]
     registry._lock = LockWitness(registry._lock, REGISTRY_LOCK, log)
+
+
+def instrument_replica_set(rset: object, log: WitnessLog) -> None:
+    """Swap a live ``ReplicaSet``'s locks (and its WAL's) for witnesses.
+
+    Wraps the write-serialisation lock, the replica-table lock and -- when
+    the set owns a shared WAL lineage -- the log's reentrant lock, under
+    the node ids the static graph uses.  The documented order is
+    ``_write_lock -> _lock -> WAL._lock``; any concurrent execution that
+    observes an inversion (supervisor heal vs writer vs rolling
+    compaction) turns the union graph cyclic and fails the witness check.
+    """
+    rset._write_lock = LockWitness(  # type: ignore[attr-defined]
+        rset._write_lock, REPLICA_WRITE_LOCK, log
+    )
+    rset._lock = LockWitness(rset._lock, REPLICA_LOCK, log)  # type: ignore[attr-defined]
+    wal = getattr(rset, "_wal", None)
+    if wal is not None:
+        wal._lock = LockWitness(wal._lock, WAL_LOCK, log, reentrant=True)

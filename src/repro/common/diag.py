@@ -73,6 +73,8 @@ def thread_role(name: str, main_role: str = "batcher") -> str:
         return "batcher"
     if name.startswith("auto-compact"):
         return "compaction"
+    if name.endswith("-supervisor") or name.startswith("supervisor"):
+        return "supervisor"
     if name == "MainThread":
         return main_role
     return "other"
@@ -594,6 +596,76 @@ class SloMonitor:
                 fast["burn_rate"] >= self.fast_burn and slow["burn_rate"] >= self.slow_burn
             ),
         }
+
+
+class Supervisor:
+    """A background self-healing loop: call ``tick`` every ``interval_s``.
+
+    The replicated sharded engine runs one of these to respawn dead
+    replicas and drive auto-compaction.  A tick that raises is recorded
+    (count + last message) and the loop keeps going -- a transient failure
+    in one sweep must not kill the healer; persistent failures surface
+    through :meth:`status` on ``/healthz``-style probes.
+    """
+
+    def __init__(
+        self,
+        tick: Callable[[], None],
+        interval_s: float = 0.2,
+        name: str = "supervisor",
+    ) -> None:
+        if not interval_s > 0:
+            raise ValueError("supervisor interval must be positive")
+        self._tick = tick
+        self.interval_s = float(interval_s)
+        self.name = name
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._ticks = 0
+        self._errors = 0
+        self._last_error: str | None = None
+
+    def start(self) -> None:
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name=self.name, daemon=True
+            )
+            self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self._tick()
+            except Exception as exc:
+                with self._lock:
+                    self._errors += 1
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+            else:
+                with self._lock:
+                    self._ticks += 1
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        self._stop.set()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "interval_s": self.interval_s,
+                "running": self._thread is not None and self._thread.is_alive(),
+                "ticks": self._ticks,
+                "errors": self._errors,
+                "last_error": self._last_error,
+            }
 
 
 class HealthScoreboard:

@@ -59,6 +59,13 @@ class Query:
             TailSampler`), so a slow bucket on ``/metrics`` resolves to a
             concrete timeline under ``/debug/traces``.  Excluded from
             equality/hashing so tracing never perturbs the result cache.
+        session: read-your-writes session token -- the ``wal_seq`` map the
+            caller's last mutation was acknowledged at, rendered as
+            ``"shard:seq,shard:seq"`` (see :func:`repro.engine.wire.
+            format_session`).  A replicated engine skips replicas that have
+            not yet applied the token's sequence for their shard.  Excluded
+            from equality/hashing: the token constrains *routing*, never
+            the answer, so it must not perturb the result cache.
     """
 
     backend: str
@@ -68,6 +75,7 @@ class Query:
     chain_length: int | None = None
     algorithm: str = "ring"
     trace_id: str | None = field(default=None, compare=False)
+    session: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.tau is None and self.k is None:

@@ -318,13 +318,17 @@ def _open_served_engine(args: argparse.Namespace):
     """
     wal_dir = getattr(args, "wal_dir", None)
     auto_compact = getattr(args, "auto_compact", False)
+    replicas = getattr(args, "replicas", 1)
     if os.path.exists(os.path.join(args.index, SHARDS_MANIFEST_NAME)):
         return ShardedEngine(
             args.index,
             mp_context=args.mp_context,
             wal_dir=wal_dir,
             auto_compact=auto_compact,
+            replicas=replicas,
         )
+    if replicas > 1:
+        raise SystemExit("--replicas > 1 needs a sharded index (see 'shard-build')")
     engine = SearchEngine(cache_size=args.cache_size)
     container = engine.load_index(args.index)
     if wal_dir is not None:
@@ -745,6 +749,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fold the delta store into a rebuilt index in the background "
         "once scan cost crosses over (checkpoints + truncates the WAL)",
+    )
+    http_serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="worker replicas per shard (sharded indexes only; > 1 requires "
+        "--wal-dir): reads fail over between replicas, dead replicas are "
+        "respawned and caught up from the WAL in the background",
     )
     http_serve.set_defaults(func=_serve)
 

@@ -12,6 +12,17 @@ HTTP error taxonomy mapped back to typed exceptions:
 * 503 -> :class:`ServerUnavailableError` (draining, or a dead shard
   worker; also carries ``retry_after``).
 
+With ``retries > 0`` the client absorbs transient failures itself:
+429/503 responses and connection-level errors are retried with capped
+exponential backoff plus full jitter, honouring the server's
+``Retry-After`` hint as a lower bound on the wait.  ``retries=0`` (the
+default) keeps the historical fail-fast behaviour.  The client also
+tracks a **read-your-writes session token**: every acknowledged
+``/mutate`` response carries the WAL sequence map the batch landed at,
+and subsequent searches send it back as ``X-Session-Token`` so a
+replicated engine never routes them to a replica that has not yet
+applied the caller's own writes.
+
 :func:`asearch` is the coroutine equivalent of one ``search`` call for
 asyncio callers -- it opens a connection, issues the request and decodes
 the response without threads.  Both sides are stdlib-only.
@@ -22,13 +33,15 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
 import socket
+import time
 from dataclasses import dataclass
 from typing import Any
 from urllib.parse import urlsplit
 
 from repro.engine.api import Query
-from repro.engine.wire import encode_mutate, encode_query
+from repro.engine.wire import encode_mutate, encode_query, merge_session
 
 
 class EngineClientError(Exception):
@@ -143,15 +156,49 @@ class EngineClient:
     Args:
         base_url: e.g. ``"http://127.0.0.1:8080"`` (or bare ``host:port``).
         timeout: socket timeout in seconds for connect and each request.
+        retries: retry budget **per call** for transient failures -- 429
+            (admission control), 503 (draining / failover in progress) and
+            connection-level errors (server restarted, keep-alive dropped).
+            0 fails fast exactly like the historical client.  A retried
+            mutation is at-least-once: the server may have applied a batch
+            whose ack was lost, so callers that retry writes should use
+            explicit ids (upserts with ids and deletes are idempotent).
+        backoff_base / backoff_cap: the attempt-``n`` retry sleeps a
+            uniformly random time in ``[0, min(cap, base * 2**n)]`` (full
+            jitter); a ``Retry-After`` hint raises the lower bound to the
+            hinted wait (itself capped by ``backoff_cap``).
 
     One client owns one persistent connection and is **not** thread-safe;
     give each thread its own client (see ``run_load_bench``).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff_base <= 0 or backoff_cap <= 0:
+            raise ValueError("backoff_base and backoff_cap must be positive")
         self._host, self._port = _parse_base_url(base_url)
         self._timeout = timeout
+        self._retries = retries
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
         self._connection: http.client.HTTPConnection | None = None
+        self._session: str | None = None
+        #: transient failures absorbed by the retry loop (observability for
+        #: load generators and the chaos harness)
+        self.retries_used = 0
+
+    @property
+    def session(self) -> str | None:
+        """The read-your-writes token tracked from acknowledged mutations."""
+        return self._session
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -194,6 +241,42 @@ class EngineClient:
             raise
         return response.status, data, parse_retry_after(response.getheader("Retry-After"))
 
+    def _retry_delay(self, attempt: int, retry_after: float | None) -> float:
+        """Full-jitter capped exponential backoff, floored by Retry-After."""
+        ceiling = min(self._backoff_cap, self._backoff_base * (2**attempt))
+        delay = random.uniform(0.0, ceiling)
+        if retry_after is not None:
+            delay = max(delay, min(retry_after, self._backoff_cap))
+        return delay
+
+    def _retrying_raw(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, float | None]:
+        """One request with the per-call retry budget applied.
+
+        Retries connection-level errors and 429/503 answers; everything
+        else (including 400s) returns/raises immediately -- a malformed
+        request does not become valid by waiting.
+        """
+        attempt = 0
+        while True:
+            retry_after: float | None = None
+            try:
+                status, data, retry_after = self._raw_request(method, path, payload, headers)
+            except (ConnectionError, socket.timeout, http.client.HTTPException):
+                if attempt >= self._retries:
+                    raise
+            else:
+                if status not in (429, 503) or attempt >= self._retries:
+                    return status, data, retry_after
+            time.sleep(self._retry_delay(attempt, retry_after))
+            attempt += 1
+            self.retries_used += 1
+
     def _request(
         self,
         method: str,
@@ -201,19 +284,21 @@ class EngineClient:
         payload: dict | None = None,
         headers: dict[str, str] | None = None,
     ) -> dict:
-        status, data, retry_after = self._raw_request(method, path, payload, headers)
+        status, data, retry_after = self._retrying_raw(method, path, payload, headers)
         decoded = json.loads(data.decode("utf-8")) if data else {}
         if status != 200:
             _raise_for_status(status, decoded, retry_after)
         return decoded
 
-    @staticmethod
-    def _trace_headers(trace: bool, trace_id: str | None) -> dict[str, str] | None:
+    def _search_headers(self, trace: bool, trace_id: str | None) -> dict[str, str] | None:
+        headers: dict[str, str] = {}
         if trace_id is not None:
-            return {"X-Trace-Id": trace_id}
-        if trace:
-            return {"X-Trace": "1"}
-        return None
+            headers["X-Trace-Id"] = trace_id
+        elif trace:
+            headers["X-Trace"] = "1"
+        if self._session is not None:
+            headers["X-Session-Token"] = self._session
+        return headers or None
 
     # -- API ---------------------------------------------------------------
 
@@ -246,7 +331,7 @@ class EngineClient:
                 "POST",
                 "/search",
                 encode_query(query),
-                headers=self._trace_headers(trace, trace_id),
+                headers=self._search_headers(trace, trace_id),
             )
         )
 
@@ -275,7 +360,7 @@ class EngineClient:
                 "POST",
                 "/search/topk",
                 encode_query(query),
-                headers=self._trace_headers(trace, trace_id),
+                headers=self._search_headers(trace, trace_id),
             )
         )
 
@@ -283,7 +368,7 @@ class EngineClient:
         """Send an already-encoded wire query (used by the load generator)."""
         path = "/search/topk" if topk else "/search"
         return WireResponse.from_wire(
-            self._request("POST", path, body, headers=self._trace_headers(trace, None))
+            self._request("POST", path, body, headers=self._search_headers(trace, None))
         )
 
     def mutate(
@@ -299,8 +384,16 @@ class EngineClient:
         for an ack level (``"memory"`` or ``"wal"``); the response carries
         per-op ``results`` plus the effective ``durability`` and the WAL
         sequence number the batch was acknowledged at.
+
+        An acknowledged mutation advances the client's read-your-writes
+        session token (merged per shard, so tokens only move forward);
+        later searches from this client carry it as ``X-Session-Token``.
         """
-        return self._request("POST", "/mutate", encode_mutate(backend, ops, durability))
+        body = self._request("POST", "/mutate", encode_mutate(backend, ops, durability))
+        token = body.get("session")
+        if isinstance(token, str) and token:
+            self._session = merge_session(self._session, token)
+        return body
 
     def upsert(
         self,
@@ -346,7 +439,7 @@ class EngineClient:
 
     def metrics(self) -> str:
         """The server's Prometheus text exposition (``GET /metrics``)."""
-        status, data, retry_after = self._raw_request("GET", "/metrics")
+        status, data, retry_after = self._retrying_raw("GET", "/metrics")
         text = data.decode("utf-8")
         if status != 200:
             try:

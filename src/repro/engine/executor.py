@@ -67,6 +67,7 @@ from repro.engine.wal import (
     apply_op,
     op_from_wire,
     op_to_wire,
+    replay_batches,
 )
 
 
@@ -773,6 +774,69 @@ class SearchEngine:
             "replayed_batches": replayed,
             **wal.describe(),
         }
+
+    def replay_wal(self, backend_name: str, path: str) -> dict:
+        """Fold a WAL's unapplied suffix into the overlay without attaching.
+
+        The replicated serving tier keeps one WAL per shard **in the
+        parent** -- the shared lineage every replica of the shard
+        acknowledges against.  Replica engines never append to it; they only
+        replay whatever suffix is past their own applied mark, so calling
+        this repeatedly (catch-up polling) is idempotent and cheap: batches
+        at or below the current applied sequence (the container checkpoint,
+        or a previous replay) are skipped.
+
+        Returns ``{"backend", "applied_seq", "replayed_batches"}``.
+        """
+        backend, _ = self._require_mutable(backend_name)
+        with self._writer_lock(backend_name):
+            replayed = 0
+            with self._lock:
+                applied = self._checkpoint_seqs.get(backend_name, 0)
+                delta = self._deltas[backend_name]
+                for batch in replay_batches(path, after_seq=applied):
+                    if batch.backend and batch.backend != backend_name:
+                        raise ValueError(
+                            f"WAL {path!r} belongs to backend {batch.backend!r}, "
+                            f"not {backend_name!r}"
+                        )
+                    ops = [op_from_wire(backend, doc) for doc in batch.ops]
+                    for op in ops:
+                        delta = apply_op(delta, op)
+                    if self._compacting.get(backend_name):
+                        self._pending_ops[backend_name].extend(ops)
+                    applied = batch.seq
+                    replayed += 1
+                self._deltas[backend_name] = delta
+                self._checkpoint_seqs[backend_name] = applied
+                if replayed:
+                    self._invalidate_results(backend_name)
+                    self._observe_backend_state(backend_name)
+        return {
+            "backend": backend_name,
+            "applied_seq": applied,
+            "replayed_batches": replayed,
+        }
+
+    def applied_seq(self, backend_name: str) -> int:
+        """The WAL sequence this engine's state covers (checkpoint + replays)."""
+        with self._lock:
+            return self._checkpoint_seqs.get(backend_name, 0)
+
+    def advance_applied_seq(self, backend_name: str, seq: int) -> int:
+        """Record that the state now covers the parent-assigned ``seq``.
+
+        In the replicated write protocol the replica applies a sub-batch
+        first and the parent appends it to the shared WAL afterwards; the
+        parent hands over the sequence number it is about to assign so the
+        replica's applied mark stays aligned with the lineage (and
+        :meth:`save_index` checkpoints at the right sequence).  Never moves
+        the mark backwards.
+        """
+        with self._lock:
+            current = self._checkpoint_seqs.get(backend_name, 0)
+            self._checkpoint_seqs[backend_name] = max(current, int(seq))
+            return self._checkpoint_seqs[backend_name]
 
     def detach_wal(self, backend_name: str) -> None:
         """Close and detach the backend's WAL (later mutates are memory-only)."""

@@ -67,6 +67,7 @@ from repro.engine.wire import (
     decode_query,
     decode_upsert,
     encode_response,
+    format_session,
 )
 
 _REASONS = {
@@ -722,7 +723,12 @@ class EngineServer:
         if method != "GET":
             return 405, {"error": f"{path} takes GET"}, {"Allow": "GET"}
         if path == "/healthz":
-            return 200, self._healthz(), {}
+            health = self._healthz()
+            # "failing" means some shard has zero live replicas: requests
+            # against it cannot succeed, so load balancers should stop
+            # sending traffic here.  "degraded" (reduced redundancy, every
+            # shard still answers) stays 200: the node is serving.
+            return (503 if health["status"] == "failing" else 200), health, {}
         if path == "/stats":
             return 200, self._stats_payload(), {}
         if path == "/manifest":
@@ -784,6 +790,12 @@ class EngineServer:
         trace_id = self._trace_id_for(headers)
         if trace_id is not None:
             query = replace(query, trace_id=trace_id)
+        # Read-your-writes: the session token rides an HTTP header (not the
+        # query body) so cached/encoded queries stay token-free; a replicated
+        # engine uses it to skip replicas behind the caller's own writes.
+        session = headers.get("x-session-token")
+        if session:
+            query = replace(query, session=session[:1024])
         started = time.perf_counter()
         try:
             response, batch_size, wait_s, exec_s = await self._admit(query)
@@ -942,6 +954,9 @@ class EngineServer:
         finally:
             self._in_flight -= 1
         payload["schema_version"] = WIRE_SCHEMA_VERSION
+        token = format_session(payload.get("wal_seq"))
+        if token is not None:
+            payload["session"] = token
         return 200, payload, {}
 
     def _decode_mutation(self, path: str, parsed: Any):
@@ -1001,8 +1016,9 @@ class EngineServer:
 
     def _healthz(self) -> dict:
         slo = self.slo.status()
-        return {
-            "status": "draining" if self._draining else "ok",
+        status = "draining" if self._draining else "ok"
+        payload = {
+            "status": status,
             "schema_version": WIRE_SCHEMA_VERSION,
             "engine": type(self.engine).__name__,
             "in_flight": self._in_flight,
@@ -1012,6 +1028,33 @@ class EngineServer:
                 "slow_burn_rate": slo["windows"]["slow"]["burn_rate"],
             },
         }
+        shard_health = getattr(self.engine, "shard_health", None)
+        if shard_health is not None and not self._draining:
+            try:
+                entries = shard_health()
+            except Exception:  # noqa: BLE001 - scoreboard must not take /healthz down
+                self.stats.observe_suppressed("healthz_shard_health")
+                entries = []
+            # The replica overlay decides the grade: a shard with zero live
+            # replicas makes the node "failing" (it cannot answer for that
+            # id range); down-but-covered replicas or a catching-up sibling
+            # make it "degraded".  Scoreboard grades (error ratios) never
+            # escalate past degraded while replicas are live -- transparent
+            # failover means an unhealthy window is survivable.
+            degraded = False
+            for entry in entries:
+                live = entry.get("live_replicas")
+                if live is not None:
+                    if live == 0:
+                        payload["status"] = "failing"
+                        return payload
+                    if live < entry.get("num_replicas", live):
+                        degraded = True
+                if entry.get("status") not in ("ok", "idle", None):
+                    degraded = True
+            if degraded:
+                payload["status"] = "degraded"
+        return payload
 
     def _stats_payload(self) -> dict:
         payload = {
@@ -1026,6 +1069,12 @@ class EngineServer:
         stats = getattr(self.engine, "stats", None)
         if stats is not None and hasattr(stats, "snapshot"):
             payload["engine"] = stats.snapshot()
+        replica_status = getattr(self.engine, "replica_status", None)
+        if replica_status is not None:
+            try:
+                payload["replicas"] = replica_status()
+            except Exception:  # noqa: BLE001 - a respawn race must not take /stats down
+                self.stats.observe_suppressed("replica_status")
         return payload
 
     def _metrics_text(self) -> str:

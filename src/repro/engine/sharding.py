@@ -1,4 +1,4 @@
-"""Sharded multi-process serving: one dataset, K id-range shards, K workers.
+"""Sharded multi-process serving: one dataset, K id-range shards, N replicas.
 
 A single :class:`repro.engine.executor.SearchEngine` serves from one process;
 its thread pool helps little for the CPU-bound searchers.  This module scales
@@ -8,10 +8,13 @@ the engine across processes the way partition-parallel data systems do:
   (``Backend.shard_store``), builds one index container per shard -- each a
   regular :mod:`repro.engine.persistence` container -- and writes a
   ``shards.json`` manifest tying them together.
-* :class:`ShardedEngine` opens one single-worker ``ProcessPoolExecutor`` per
-  shard.  Each worker loads its shard container **once at startup** into a
-  private :class:`SearchEngine` and reuses it for every query; queries fan
-  out to all shards and the parent merges the partial answers.
+* :class:`ShardedEngine` runs one :class:`repro.engine.replication.
+  ReplicaSet` per shard -- ``replicas`` single-worker
+  ``ProcessPoolExecutor`` pools sharing the shard's WAL lineage.  Each
+  worker loads its shard container **once at startup** into a private
+  :class:`SearchEngine` and reuses it for every query; queries fan out to
+  all shards (one live replica each, with transparent failover) and the
+  parent merges the partial answers.
 
 Merging is exact:
 
@@ -22,6 +25,12 @@ Merging is exact:
   any global top-k member is necessarily in its own shard's top-k, the merged
   answer is identical (ids, scores and tie-breaks) to a single-shard top-k.
 
+With ``replicas > 1`` the engine is self-healing: a supervisor thread
+respawns dead replicas in the background, replays the shard's write-ahead
+log past the container checkpoint, and readmits each replica only once its
+``wal_seq`` has caught up (see :mod:`repro.engine.replication` for the
+apply-then-log write protocol and the rolling-compaction state machine).
+
 The parent tracks per-shard latency and merge overhead in
 :class:`ShardedStats`; the workers' own :class:`repro.engine.executor.
 EngineStats` snapshots are reachable through :meth:`ShardedEngine.
@@ -31,11 +40,12 @@ process boundary.
 
 from __future__ import annotations
 
+import functools
 import heapq
 import json
 import os
-from concurrent.futures import Future, ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from itertools import islice
 from typing import Any, Iterator, Sequence
 
@@ -45,6 +55,41 @@ from repro.common.stats import Timer
 from repro.engine.api import Query, Response
 from repro.engine.backend import get_backend
 from repro.engine.persistence import atomic_write_json, save_container
+from repro.engine.replication import (
+    LIVE,
+    ReplicaSet,
+    ShardWorkerError,
+    _init_worker,
+    _worker_durability_info,
+    _worker_flush,
+    _worker_metrics,
+    _worker_mutation_info,
+    _worker_profile_wire,
+    _worker_search,
+    _worker_search_many,
+    _worker_start_profiler,
+    _worker_stats,
+    _worker_stop_profiler,
+    _worker_wait_for_compaction,
+)
+from repro.engine.wal import AutoCompactionPolicy, WriteAheadLog
+from repro.engine.wire import parse_session
+
+__all__ = [
+    "SHARDS_MANIFEST_NAME",
+    "SHARDS_FORMAT_VERSION",
+    "SUPPORTED_SHARDS_FORMAT_VERSIONS",
+    "ShardWorkerError",
+    "ShardStats",
+    "ShardedStats",
+    "ShardedEngine",
+    "build_shards",
+    "load_shards_manifest",
+    "merge_threshold",
+    "merge_topk",
+    "shard_dirname",
+    "split_ranges",
+]
 
 SHARDS_MANIFEST_NAME = "shards.json"
 #: Version 1 is the original frozen layout; version 2 adds mutation fields
@@ -53,19 +98,6 @@ SHARDS_MANIFEST_NAME = "shards.json"
 #: at the lowest version that can represent it -- and readers accept both.
 SHARDS_FORMAT_VERSION = 2
 SUPPORTED_SHARDS_FORMAT_VERSIONS = frozenset({1, 2})
-
-
-class ShardWorkerError(RuntimeError):
-    """A shard's worker process died (killed, OOM, or crashed) mid-query.
-
-    Carries the failing ``shard_id`` so callers -- the network serving layer
-    maps this to a 503 -- can report which partition of the id space is down
-    rather than surfacing a bare :class:`BrokenProcessPool`.
-    """
-
-    def __init__(self, shard_id: int, message: str):
-        super().__init__(f"shard {shard_id}: {message}")
-        self.shard_id = shard_id
 
 
 # ---------------------------------------------------------------------------
@@ -191,151 +223,6 @@ def merge_topk(parts: Sequence[dict], k: int) -> tuple[list[int], list[float]]:
 
 
 # ---------------------------------------------------------------------------
-# Worker side (module level so the functions pickle across processes)
-# ---------------------------------------------------------------------------
-
-_WORKER: dict[str, Any] = {}
-
-
-def _init_worker(
-    shard_dir: str,
-    offset: int,
-    cache_size: int,
-    wal_path: str | None = None,
-    auto_compact: bool = False,
-) -> None:
-    """Load one shard container into a worker-private engine, once.
-
-    With ``wal_path`` set, the shard's write-ahead log is attached -- and
-    **replayed into the overlay** -- before the readiness barrier releases,
-    so a respawned worker serves exactly the acknowledged mutation history
-    from its very first query.
-    """
-    from repro.engine.executor import SearchEngine
-
-    engine = SearchEngine(cache_size=cache_size)
-    container = engine.load_index(shard_dir)
-    backend_name = container.backend.name
-    if wal_path is not None:
-        engine.attach_wal(backend_name, wal_path)
-        if auto_compact:
-            engine.enable_auto_compaction(backend_name)
-    _WORKER["engine"] = engine
-    _WORKER["offset"] = offset
-    _WORKER["backend"] = backend_name
-
-
-def _worker_ready() -> int:
-    """Startup barrier: returns the shard offset once the shard is loaded."""
-    return _WORKER["offset"]
-
-
-def _worker_search(query: Query) -> dict:
-    """Answer one query against the worker's shard; ids come back global."""
-    engine = _WORKER["engine"]
-    offset = _WORKER["offset"]
-    response = engine.search(query)
-    return {
-        "ids": [int(obj_id) + offset for obj_id in response.ids],
-        "scores": (
-            None
-            if response.scores is None
-            else [float(score) for score in response.scores]
-        ),
-        "tau_effective": response.tau_effective,
-        "num_candidates": response.num_candidates,
-        "num_generated": response.num_generated,
-        "candidate_time": response.candidate_time,
-        "verify_time": response.verify_time,
-        "engine_time": response.engine_time,
-        # Span timeline recorded by the worker engine (None when the query
-        # carried no trace id).  Offsets are relative to the worker's own
-        # clock; the parent embeds them under its per-shard span.
-        "trace": response.trace,
-    }
-
-
-def _worker_search_many(queries: Sequence[Query]) -> list[dict]:
-    """Answer a chunk of queries in one task, amortising the IPC cost."""
-    return [_worker_search(query) for query in queries]
-
-
-def _worker_stats() -> dict:
-    """Snapshot of the worker engine's own EngineStats."""
-    return _WORKER["engine"].stats.snapshot()
-
-
-def _worker_metrics() -> dict:
-    """The worker engine's metrics registry as a wire dump (mergeable)."""
-    return _WORKER["engine"].metrics_wire()
-
-
-def _worker_mutate(ops: Sequence[dict], durability: str | None) -> dict:
-    """Apply one mutation batch in the worker's local id space.
-
-    Every op arrives with an explicit local id (the parent routes and
-    assigns ids), so the worker's WAL -- when attached -- records a
-    deterministic, replayable history.  Results come back with local ids;
-    the parent translates them to global ones.
-    """
-    return _WORKER["engine"].mutate(_WORKER["backend"], list(ops), durability)
-
-
-def _worker_durability_info() -> dict:
-    return _WORKER["engine"].durability_info(_WORKER["backend"])
-
-
-def _worker_wait_for_compaction(timeout: float | None = None) -> bool:
-    return _WORKER["engine"].wait_for_compaction(_WORKER["backend"], timeout)
-
-
-def _worker_compact() -> dict:
-    engine = _WORKER["engine"]
-    try:
-        return engine.compact(_WORKER["backend"])
-    except ValueError as exc:
-        # Every record of this shard is deleted; the overlay stays (searches
-        # keep answering correctly through the tombstones).
-        return {"backend": _WORKER["backend"], "compacted": False, "error": str(exc)}
-
-
-def _worker_mutation_info() -> dict:
-    return _WORKER["engine"].mutation_info(_WORKER["backend"])
-
-
-def _worker_flush(shard_dir: str) -> dict:
-    """Persist the worker's store (and overlay) back into its container."""
-    return _WORKER["engine"].save_index(_WORKER["backend"], shard_dir)
-
-
-def _worker_start_profiler(hz: float) -> None:
-    """Arm (or re-arm) this worker's continuous sampling profiler.
-
-    The profiler lives in the worker global and keeps sampling between
-    queries, so :func:`_worker_profile_wire` answers instantly -- an
-    on-demand profiling window would block the shard's single worker and
-    stall every in-flight query behind it.
-    """
-    profiler = _WORKER.get("profiler")
-    if profiler is None:
-        profiler = diag.SamplingProfiler(hz=hz, main_role="shard-worker")
-        _WORKER["profiler"] = profiler
-    profiler.start()
-
-
-def _worker_stop_profiler() -> None:
-    profiler = _WORKER.pop("profiler", None)
-    if profiler is not None:
-        profiler.stop()
-
-
-def _worker_profile_wire() -> dict | None:
-    """Snapshot of the worker's profiler, or None when profiling is off."""
-    profiler = _WORKER.get("profiler")
-    return profiler.snapshot() if profiler is not None else None
-
-
-# ---------------------------------------------------------------------------
 # Parent side
 # ---------------------------------------------------------------------------
 
@@ -368,6 +255,10 @@ class ShardStats:
     @property
     def worker_errors(self) -> int:
         return int(self._value("sharded_worker_errors_total"))
+
+    @property
+    def failovers(self) -> int:
+        return int(self._value("sharded_failovers_total"))
 
 
 class ShardedStats:
@@ -409,6 +300,11 @@ class ShardedStats:
         r.counter(
             "sharded_worker_errors_total", "worker process failures on this shard", shard=shard
         )
+        r.counter(
+            "sharded_failovers_total",
+            "reads retried transparently on a sibling replica",
+            shard=shard,
+        )
         return shard_id
 
     def observe_query(self, fanout_s: float, merge_s: float, parts: Sequence[dict]) -> None:
@@ -431,6 +327,9 @@ class ShardedStats:
 
     def observe_worker_error(self, shard_id: int) -> None:
         self.registry.counter("sharded_worker_errors_total", shard=str(shard_id)).inc()
+
+    def observe_failover(self, shard_id: int) -> None:
+        self.registry.counter("sharded_failovers_total", shard=str(shard_id)).inc()
 
     @property
     def num_queries(self) -> int:
@@ -468,6 +367,7 @@ class ShardedStats:
                     ),
                     "max_worker_time_ms": 1000.0 * stats.max_worker_time,
                     "worker_errors": stats.worker_errors,
+                    "failovers": stats.failovers,
                 }
                 for shard_id, stats in enumerate(self.per_shard)
             ],
@@ -484,11 +384,18 @@ class ShardedEngine:
         mp_context: optional :mod:`multiprocessing` context name
             (``"fork"`` / ``"spawn"`` / ``"forkserver"``); ``None`` uses the
             platform default.
-        wal_dir: when set, every shard worker attaches (and replays) a
-            write-ahead log at ``<wal_dir>/<shard dir>.wal`` before serving,
-            making acknowledged mutations crash-durable per shard.
-        auto_compact: arm each worker's background auto-compaction policy
+        wal_dir: when set, the parent owns one write-ahead log per shard at
+            ``<wal_dir>/<shard dir>.wal``; workers replay it at startup and
+            the parent appends acknowledged batches (apply-then-log), making
+            acknowledged mutations crash-durable per shard.
+        auto_compact: let the supervisor thread fold each shard's delta
+            store into a rebuilt index when the compaction policy says so
             (only meaningful together with ``wal_dir``).
+        replicas: worker processes per shard.  With ``replicas > 1``
+            (requires ``wal_dir``) each shard becomes a self-healing
+            :class:`~repro.engine.replication.ReplicaSet`: reads fail over
+            transparently, dead replicas respawn in the background, and
+            :meth:`compact` rolls over the replicas without blocking writes.
 
     Workers load their shard once, inside the constructor (a readiness
     barrier), so the first query pays no cold-start cost.  Use as a context
@@ -502,6 +409,7 @@ class ShardedEngine:
         mp_context: str | None = None,
         wal_dir: str | None = None,
         auto_compact: bool = False,
+        replicas: int = 1,
     ):
         import multiprocessing
 
@@ -509,42 +417,72 @@ class ShardedEngine:
         self._directory = directory
         self._backend = get_backend(self._manifest["backend"])
         self._next_id = int(self._manifest.get("next_id", self._manifest["num_objects"]))
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if replicas > 1 and wal_dir is None:
+            raise ValueError("replicas > 1 requires wal_dir (the shared WAL lineage)")
         self._wal_dir = wal_dir
+        self._num_replicas = replicas
         if wal_dir is not None:
             os.makedirs(wal_dir, exist_ok=True)
         self._mp_context = (
             multiprocessing.get_context(mp_context) if mp_context is not None else None
         )
+        self._sets: list[ReplicaSet] = []
         self._pools: list[ProcessPoolExecutor] = []
-        self._init_args: list[tuple] = []
+        self._wals: list[WriteAheadLog | None] = []
+        self._wal_paths: list[str | None] = []
+        self._supervisor: diag.Supervisor | None = None
+        self._auto_policy = AutoCompactionPolicy() if auto_compact else None
+        self._tick_count = 0
         self._stats = ShardedStats()
         self._traces = diag.TailSampler(capacity=128)
         self._health = diag.HealthScoreboard(len(self._manifest["shards"]))
         self._profile_hz: float | None = None
         try:
-            for shard in self._manifest["shards"]:
+            for shard_id, shard in enumerate(self._manifest["shards"]):
                 wal_path = (
                     os.path.join(wal_dir, f"{shard['path']}.wal") if wal_dir is not None else None
                 )
+                wal = WriteAheadLog(wal_path) if wal_path is not None else None
                 initargs = (
                     os.path.join(directory, shard["path"]),
                     shard["lo"],
                     cache_size,
                     wal_path,
-                    auto_compact,
                 )
-                self._init_args.append(initargs)
-                self._pools.append(self._spawn_pool(initargs))
+                self._wals.append(wal)
+                self._wal_paths.append(wal_path)
+                self._sets.append(
+                    ReplicaSet(
+                        shard_id,
+                        spawn=functools.partial(self._spawn_pool, initargs),
+                        num_replicas=replicas,
+                        wal=wal,
+                        backend=self._manifest["backend"],
+                        on_death=functools.partial(self._observe_replica_death, shard_id),
+                        on_failover=functools.partial(self._observe_failover, shard_id),
+                    )
+                )
                 self._stats.add_shard()
-            # Readiness barrier: every worker has loaded its shard (and,
-            # with a WAL, replayed its acknowledged mutation history).
-            for pool in self._pools:
-                pool.submit(_worker_ready).result()
+            # Start every replica of every shard, then collect the readiness
+            # barriers: every worker has loaded its shard (and, with a WAL,
+            # replayed its acknowledged mutation history).
+            for rset in self._sets:
+                rset.spawn()
+            for rset in self._sets:
+                rset.await_ready()
+            self._pools = [rset.replicas[0].pool for rset in self._sets]
             if wal_dir is not None:
                 # WAL replay may have advanced a shard's local id high-water
                 # mark past what the (possibly stale, crash-survived) shards
                 # manifest recorded.
                 self._refresh_next_id()
+            if replicas > 1 or (auto_compact and wal_dir is not None):
+                self._supervisor = diag.Supervisor(
+                    self._supervise_tick, interval_s=0.2, name="replica-supervisor"
+                )
+                self._supervisor.start()
         except BaseException:
             self.close()
             raise
@@ -557,6 +495,13 @@ class ShardedEngine:
             initargs=initargs,
         )
 
+    def _observe_replica_death(self, shard_id: int) -> None:
+        self._stats.observe_worker_error(shard_id)
+        self._health.observe(shard_id, error=True)
+
+    def _observe_failover(self, shard_id: int) -> None:
+        self._stats.observe_failover(shard_id)
+
     def _refresh_next_id(self) -> None:
         """Raise the global id high-water mark to cover every shard's overlay."""
         for shard_id, shard in enumerate(self._manifest["shards"]):
@@ -566,32 +511,79 @@ class ShardedEngine:
             self._next_id = max(self._next_id, int(info["next_id"]) + shard["lo"])
 
     def respawn_shard(self, shard_id: int) -> None:
-        """Replace one shard's worker process with a fresh one.
+        """Replace every worker process of one shard with fresh ones.
 
-        The new worker reloads the shard container and -- when serving with
-        a WAL -- replays the shard's log before the readiness barrier
-        releases, so every acknowledged mutation survives the respawn even
-        if the old worker died mid-write (``kill -9`` included).
+        Each new worker reloads the shard container and -- when serving with
+        a WAL -- replays the shard's log before being readmitted, so every
+        acknowledged mutation survives the respawn even if the old worker
+        died mid-write (``kill -9`` included).
         """
         self._require_open()
-        old = self._pools[shard_id]
-        old.shutdown(wait=False, cancel_futures=True)
-        pool = self._spawn_pool(self._init_args[shard_id])
-        self._pools[shard_id] = pool
-        pool.submit(_worker_ready).result()
+        rset = self._sets[shard_id]
+        wal_path = self._wal_paths[shard_id]
+        for replica in rset.replicas:
+            rset.respawn(replica, wal_path)
+        self._pools[shard_id] = rset.replicas[0].pool
         if self._profile_hz is not None:
-            # The old worker took its profiler with it; re-arm the fresh one.
-            pool.submit(_worker_start_profiler, self._profile_hz).result()
+            # The old workers took their profilers with them; re-arm.
+            for replica in rset.replicas:
+                replica.pool.submit(_worker_start_profiler, self._profile_hz).result()
         if self._wal_dir is not None:
             self._refresh_next_id()
+
+    def _supervise_tick(self) -> None:
+        """One supervisor sweep: heal dead replicas, drive auto-compaction."""
+        self._tick_count += 1
+        if self._num_replicas > 1:
+            for shard_id, rset in enumerate(self._sets):
+                healed = rset.heal(self._wal_paths[shard_id])
+                if not healed:
+                    continue
+                self._pools[shard_id] = rset.replicas[0].pool
+                if self._profile_hz is not None:
+                    for replica in healed:
+                        try:
+                            replica.pool.submit(
+                                _worker_start_profiler, self._profile_hz
+                            ).result()
+                        except Exception:
+                            # A healed replica without a profiler still
+                            # serves; count it rather than fail the sweep.
+                            self._stats.observe_worker_error(shard_id)
+                            continue
+        if (
+            self._auto_policy is not None
+            and self._wal_dir is not None
+            and self._tick_count % 10 == 0
+        ):
+            for shard_id, rset in enumerate(self._sets):
+                if rset.compacting:
+                    continue
+                try:
+                    info = rset.submit(_worker_mutation_info).result()
+                except ShardWorkerError:
+                    continue
+                if self._auto_policy.should_compact(int(info["delta_records"]), 0.0):
+                    try:
+                        self._compact_shard(shard_id)
+                    except (ShardWorkerError, RuntimeError):
+                        continue
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         """Shut the worker processes down; the engine is unusable afterwards."""
-        pools, self._pools = self._pools, []
-        for pool in pools:
-            pool.shutdown(wait=False, cancel_futures=True)
+        supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.stop()
+        sets, self._sets = self._sets, []
+        self._pools = []
+        for rset in sets:
+            rset.close()
+        wals, self._wals = self._wals, []
+        for wal in wals:
+            if wal is not None:
+                wal.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -610,6 +602,10 @@ class ShardedEngine:
         return self._manifest["num_shards"]
 
     @property
+    def num_replicas(self) -> int:
+        return self._num_replicas
+
+    @property
     def backend_name(self) -> str:
         return self._manifest["backend"]
 
@@ -623,23 +619,23 @@ class ShardedEngine:
 
     def reset_stats(self) -> None:
         self._stats = ShardedStats()
-        for _pool in self._pools:
+        for _rset in self._sets:
             self._stats.add_shard()
-        self._health = diag.HealthScoreboard(len(self._pools))
+        self._health = diag.HealthScoreboard(len(self._sets))
 
     def load_queries(self) -> list[Any] | None:
         """The workload persisted next to the shards, if any."""
         return self._backend.load_queries(self._directory)
 
     def worker_stats(self) -> list[dict]:
-        """Every worker engine's own EngineStats snapshot, in shard order."""
+        """One worker engine's EngineStats snapshot per shard, in order."""
         return [
             self._shard_result(shard_id, self._submit_to_shard(shard_id, _worker_stats))
-            for shard_id in range(len(self._pools))
+            for shard_id in range(len(self._sets))
         ]
 
     def metrics_wire(self) -> dict:
-        """Parent registry plus every worker's registry, merged into one dump.
+        """Parent registry plus every live worker's registry, merged.
 
         Worker histograms share bucket ladders, so the merged histogram
         answers quantile queries exactly as one that observed every shard's
@@ -647,11 +643,9 @@ class ShardedEngine:
         """
         merged = MetricsRegistry()
         merged.merge_wire(self._stats.registry.to_wire())
-        for shard_id in range(len(self._pools)):
-            wire = self._shard_result(
-                shard_id, self._submit_to_shard(shard_id, _worker_metrics)
-            )
-            merged.merge_wire(wire)
+        for rset in self._sets:
+            for wire in rset.broadcast(_worker_metrics):
+                merged.merge_wire(wire)
         return merged.to_wire()
 
     def recent_traces(self, last: int | None = None) -> list[dict]:
@@ -667,42 +661,71 @@ class ShardedEngine:
         """
         self._require_open()
         self._profile_hz = float(hz) if hz else diag.DEFAULT_PROFILE_HZ
-        futures = [
-            self._submit_to_shard(shard_id, _worker_start_profiler, self._profile_hz)
-            for shard_id in range(len(self._pools))
-        ]
-        for shard_id, future in enumerate(futures):
-            self._shard_result(shard_id, future)
+        if self._num_replicas == 1:
+            futures = [
+                self._submit_to_shard(shard_id, _worker_start_profiler, self._profile_hz)
+                for shard_id in range(len(self._sets))
+            ]
+            for shard_id, future in enumerate(futures):
+                self._shard_result(shard_id, future)
+        else:
+            for rset in self._sets:
+                rset.broadcast(_worker_start_profiler, self._profile_hz, ignore_errors=False)
 
     def stop_profiling(self) -> None:
         """Disarm every worker's profiler (tolerates already-dead workers)."""
         self._profile_hz = None
-        for shard_id in range(len(self._pools)):
-            try:
-                self._shard_result(
-                    shard_id, self._submit_to_shard(shard_id, _worker_stop_profiler)
-                )
-            except ShardWorkerError:
-                continue
+        for rset in self._sets:
+            rset.broadcast(_worker_stop_profiler)
 
     def profile_wire(self) -> list[dict]:
         """Every armed worker's profiler snapshot (mergeable wire dumps)."""
         self._require_open()
         wires: list[dict] = []
-        for shard_id in range(len(self._pools)):
-            try:
-                wire = self._shard_result(
-                    shard_id, self._submit_to_shard(shard_id, _worker_profile_wire)
-                )
-            except ShardWorkerError:
-                continue
-            if wire is not None:
-                wires.append(wire)
+        for rset in self._sets:
+            for wire in rset.broadcast(_worker_profile_wire):
+                if wire is not None:
+                    wires.append(wire)
         return wires
 
     def shard_health(self) -> list[dict]:
-        """Rolling-window per-shard health scoreboard (parent's view)."""
-        return self._health.report()
+        """Rolling-window per-shard health, with the replica-set view.
+
+        The scoreboard grades request outcomes; the replica overlay refines
+        it: a shard with zero live replicas is ``failing`` (it cannot
+        answer), one with some replicas down or catching up is ``degraded``
+        (it answers, redundancy is reduced).
+        """
+        report = self._health.report()
+        for entry in report:
+            shard_id = entry["shard"]
+            if shard_id >= len(self._sets):
+                continue
+            replicas = self._sets[shard_id].status()
+            live = sum(1 for replica in replicas if replica["state"] == LIVE)
+            entry["replicas"] = replicas
+            entry["num_replicas"] = len(replicas)
+            entry["live_replicas"] = live
+            if live == 0:
+                entry["status"] = "failing"
+            elif live < len(replicas):
+                entry["status"] = "degraded"
+        return report
+
+    def replica_status(self) -> list[dict]:
+        """Per-shard replica lifecycle view (the ``/stats`` replica table)."""
+        status = []
+        for shard_id, rset in enumerate(self._sets):
+            wal = self._wals[shard_id]
+            status.append(
+                {
+                    "shard_id": shard_id,
+                    "num_replicas": self._num_replicas,
+                    "wal_last_seq": wal.last_seq if wal is not None else None,
+                    "replicas": rset.status(),
+                }
+            )
+        return status
 
     # -- mutation ----------------------------------------------------------
 
@@ -728,6 +751,16 @@ class ShardedEngine:
                 return shard
         return shards[-1]
 
+    def _apply_to_shard(
+        self, shard_id: int, local_ops: list[dict], durability: str | None
+    ) -> dict:
+        try:
+            return self._sets[shard_id].apply(local_ops, durability)
+        except ShardWorkerError:
+            self._stats.observe_worker_error(shard_id)
+            self._health.observe(shard_id, error=True)
+            raise
+
     def mutate(
         self,
         backend_name: str,
@@ -736,15 +769,16 @@ class ShardedEngine:
     ) -> dict:
         """Apply one mutation batch, routed to the owning id-range shards.
 
-        The parent assigns every upsert its global id up front (so routing is
-        deterministic and each worker's WAL records explicit, replayable
-        ids), groups the ops per shard preserving batch order, and submits
-        one sub-batch per touched shard in parallel.  Results come back in
-        the original batch order with global ids; ``wal_seq`` maps each
-        touched shard to the sequence number its sub-batch was acknowledged
-        at.  A sub-batch is atomic per shard (one WAL record), but a failure
-        on one shard does not roll back sub-batches already applied on
-        others.
+        The parent assigns every upsert its global id up front (so routing
+        is deterministic and each shard's WAL records explicit, replayable
+        ids), groups the ops per shard preserving batch order, and applies
+        one sub-batch per touched shard -- to *every* live replica of that
+        shard, then the shard's WAL (see :meth:`repro.engine.replication.
+        ReplicaSet.apply`).  Results come back in the original batch order
+        with global ids; ``wal_seq`` maps each touched shard to the
+        sequence number its sub-batch was acknowledged at.  A sub-batch is
+        atomic per shard (one WAL record), but a failure on one shard does
+        not roll back sub-batches already applied on others.
         """
         self._require_open()
         self._check_backend(backend_name)
@@ -792,20 +826,33 @@ class ShardedEngine:
                 shard = self._shard_for_id(obj_id)
                 local = {"op": "delete", "id": obj_id - shard["lo"]}
             routed.setdefault(shard["shard_id"], []).append((position, shard["lo"], local))
-        futures = {
-            shard_id: self._submit_to_shard(
-                shard_id,
-                _worker_mutate,
-                [local for _position, _lo, local in entries],
-                durability,
+        outcomes: dict[int, dict] = {}
+        if len(routed) == 1:
+            shard_id, entries = next(iter(routed.items()))
+            outcomes[shard_id] = self._apply_to_shard(
+                shard_id, [local for _position, _lo, local in entries], durability
             )
-            for shard_id, entries in routed.items()
-        }
+        else:
+            # Each shard's apply blocks on its replica fan-out and WAL
+            # append; overlap the touched shards so a multi-shard batch
+            # pays the slowest shard, not the sum.
+            with ThreadPoolExecutor(max_workers=len(routed)) as fan:
+                futures = {
+                    shard_id: fan.submit(
+                        self._apply_to_shard,
+                        shard_id,
+                        [local for _position, _lo, local in entries],
+                        durability,
+                    )
+                    for shard_id, entries in routed.items()
+                }
+                for shard_id, future in futures.items():
+                    outcomes[shard_id] = future.result()
         results: list[dict | None] = [None] * len(ops)
         wal_seqs: dict[str, int] = {}
         level = durability
         for shard_id, entries in routed.items():
-            outcome = self._shard_result(shard_id, futures[shard_id])
+            outcome = outcomes[shard_id]
             level = outcome["durability"]
             wal_seqs[str(shard_id)] = outcome["wal_seq"]
             for (position, lo, _local), result in zip(entries, outcome["results"]):
@@ -841,26 +888,33 @@ class ShardedEngine:
         outcome = self.mutate(backend_name, [{"op": "delete", "id": obj_id}], durability)
         return bool(outcome["results"][0]["deleted"])
 
+    def _compact_shard(self, shard_id: int) -> dict:
+        rset = self._sets[shard_id]
+        # Persist (and afterwards truncate the WAL) only when a WAL exists;
+        # the WAL-less engine compacts in place without touching the
+        # containers, exactly as the single-worker engine always has.
+        persist_dir = (
+            os.path.join(self._directory, self._manifest["shards"][shard_id]["path"])
+            if self._wals[shard_id] is not None
+            else None
+        )
+        summary = dict(rset.compact(persist_dir, self._wal_paths[shard_id]))
+        summary["shard_id"] = shard_id
+        return summary
+
     def compact(self, backend_name: str | None = None) -> list[dict]:
         """Fold every shard's delta store into its rebuilt main index.
 
-        Shards compact independently (each is its own container), so the
-        cost is one index rebuild per *shard*, not per dataset.  Returns the
-        per-shard summaries in shard order.
+        Shards compact independently (each is its own container), one shard
+        at a time; within a shard the replica set rolls the rebuild over
+        its replicas so the write path never blocks while siblings serve
+        (see :meth:`repro.engine.replication.ReplicaSet.compact`).  Returns
+        the per-shard summaries in shard order.
         """
         self._require_open()
         if backend_name is not None:
             self._check_backend(backend_name)
-        futures = [
-            self._submit_to_shard(shard_id, _worker_compact)
-            for shard_id in range(len(self._pools))
-        ]
-        summaries = []
-        for shard_id, future in enumerate(futures):
-            summary = dict(self._shard_result(shard_id, future))
-            summary["shard_id"] = shard_id
-            summaries.append(summary)
-        return summaries
+        return [self._compact_shard(shard_id) for shard_id in range(len(self._sets))]
 
     def mutation_info(self, backend_name: str | None = None) -> dict:
         """Aggregate overlay counters, plus the per-shard breakdown."""
@@ -868,7 +922,7 @@ class ShardedEngine:
         if backend_name is not None:
             self._check_backend(backend_name)
         per_shard = []
-        for shard_id in range(len(self._pools)):
+        for shard_id in range(len(self._sets)):
             info = dict(
                 self._shard_result(
                     shard_id, self._submit_to_shard(shard_id, _worker_mutation_info)
@@ -888,18 +942,28 @@ class ShardedEngine:
         }
 
     def durability_info(self, backend_name: str | None = None) -> dict:
-        """Aggregate durability posture, plus the per-shard breakdown."""
+        """Aggregate durability posture, plus the per-shard breakdown.
+
+        The parent owns the WAL lineage (workers are replay-only readers),
+        so the per-shard ``wal`` / ``default_durability`` fields come from
+        the parent's logs, overriding the workers' memory-only view.
+        """
         self._require_open()
         if backend_name is not None:
             self._check_backend(backend_name)
         per_shard = []
-        for shard_id in range(len(self._pools)):
+        for shard_id in range(len(self._sets)):
             info = dict(
                 self._shard_result(
                     shard_id, self._submit_to_shard(shard_id, _worker_durability_info)
                 )
             )
             info["shard_id"] = shard_id
+            wal = self._wals[shard_id]
+            info["default_durability"] = "wal" if wal is not None else "memory"
+            info["wal"] = (
+                {"attached": True, **wal.describe()} if wal is not None else {"attached": False}
+            )
             per_shard.append(info)
         return {
             "backend": self.backend_name,
@@ -912,9 +976,14 @@ class ShardedEngine:
     def wait_for_compaction(self, timeout: float | None = None) -> bool:
         """Block until no shard has a background compaction in flight."""
         self._require_open()
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while any(rset.compacting for rset in self._sets):
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
         futures = [
             self._submit_to_shard(shard_id, _worker_wait_for_compaction, timeout)
-            for shard_id in range(len(self._pools))
+            for shard_id in range(len(self._sets))
         ]
         settled = True
         for shard_id, future in enumerate(futures):
@@ -927,7 +996,9 @@ class ShardedEngine:
         After ``flush`` the index directory reopens with all mutations
         intact; the manifest records the id-space high-water mark so new
         upserts keep getting fresh ids, and the last shard's range absorbs
-        the ids appended since the build.  Returns the written manifest.
+        the ids appended since the build.  Each persisted container
+        checkpoints its shard's WAL position, after which the parent
+        truncates the log's folded prefix.  Returns the written manifest.
         """
         self._require_open()
         shards = self._manifest["shards"]
@@ -938,6 +1009,11 @@ class ShardedEngine:
                 shard_id, self._submit_to_shard(shard_id, _worker_flush, directory)
             )
             shard["descriptor"] = container_manifest["descriptor"]
+            wal = self._wals[shard_id]
+            if wal is not None:
+                checkpoint = int(container_manifest.get("wal_seq", 0) or 0)
+                if checkpoint:
+                    wal.truncate_upto(checkpoint)
             info = self._shard_result(
                 shard_id, self._submit_to_shard(shard_id, _worker_mutation_info)
             )
@@ -955,34 +1031,37 @@ class ShardedEngine:
     # -- serving -----------------------------------------------------------
 
     def _require_open(self) -> None:
-        if not self._pools:
+        if not self._sets:
             raise RuntimeError("the sharded engine has been closed")
 
-    def _submit_to_shard(self, shard_id: int, fn: Any, *args: Any) -> Future:
+    def _submit_to_shard(self, shard_id: int, fn: Any, *args: Any, min_seq: int = 0) -> Any:
         try:
-            return self._pools[shard_id].submit(fn, *args)
-        except BrokenProcessPool as exc:
+            return self._sets[shard_id].submit(fn, *args, min_seq=min_seq)
+        except ShardWorkerError:
             self._stats.observe_worker_error(shard_id)
             self._health.observe(shard_id, error=True)
-            raise ShardWorkerError(shard_id, f"worker process is gone ({exc})") from exc
+            raise
 
-    def _shard_result(self, shard_id: int, future: Future) -> Any:
+    def _shard_result(self, shard_id: int, routed: Any) -> Any:
         try:
-            return future.result()
-        except BrokenProcessPool as exc:
+            return routed.result()
+        except ShardWorkerError:
             self._stats.observe_worker_error(shard_id)
             self._health.observe(shard_id, error=True)
-            raise ShardWorkerError(shard_id, f"worker process died mid-query ({exc})") from exc
+            raise
 
-    def _submit(self, query: Query) -> list[Future]:
+    def _submit(self, query: Query) -> list[Any]:
         if query.backend != self.backend_name:
             raise ValueError(
                 f"this sharded index serves backend {self.backend_name!r}, "
                 f"got a query for {query.backend!r}"
             )
+        floors = parse_session(query.session)
         return [
-            self._submit_to_shard(shard_id, _worker_search, query)
-            for shard_id in range(len(self._pools))
+            self._submit_to_shard(
+                shard_id, _worker_search, query, min_seq=floors.get(shard_id, 0)
+            )
+            for shard_id in range(len(self._sets))
         ]
 
     def _merge(self, query: Query, parts: list[dict], elapsed: float) -> Response:
@@ -1089,12 +1168,18 @@ class ShardedEngine:
         queries = list(queries)
         if not queries:
             return []
+        floors: dict[int, int] = {}
         for query in queries:
             if query.backend != self.backend_name:
                 raise ValueError(
                     f"this sharded index serves backend {self.backend_name!r}, "
                     f"got a query for {query.backend!r}"
                 )
+            # The batch shares one routing floor per shard (the max over
+            # its queries' tokens): conservative, and it keeps every chunk
+            # on replicas that satisfy all of its queries.
+            for shard_id, seq in parse_session(query.session).items():
+                floors[shard_id] = max(floors.get(shard_id, 0), seq)
         if chunk_size is None:
             # Enough chunks to pipeline (about four per shard cycle), capped
             # so huge batches still amortise the IPC cost.
@@ -1106,8 +1191,10 @@ class ShardedEngine:
         timer = Timer()
         in_flight = [
             [
-                self._submit_to_shard(shard_id, _worker_search_many, chunk)
-                for shard_id in range(len(self._pools))
+                self._submit_to_shard(
+                    shard_id, _worker_search_many, chunk, min_seq=floors.get(shard_id, 0)
+                )
+                for shard_id in range(len(self._sets))
             ]
             for chunk in chunks
         ]

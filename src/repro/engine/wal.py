@@ -165,6 +165,19 @@ def wal_summary(path: str) -> dict:
     }
 
 
+def replay_batches(path: str, after_seq: int = 0) -> list[WalBatch]:
+    """Valid batches with ``seq`` past a checkpoint (the shared-lineage view).
+
+    Replicas sharing one parent-owned WAL catch up by reading the file
+    directly: the parent appends, every replica replays whatever suffix it
+    has not folded in yet.  A missing file is an empty history (the parent
+    has not appended anything), not an error.
+    """
+    if not os.path.exists(path):
+        return []
+    return [batch for batch in read_wal(path)[0] if batch.seq > after_seq]
+
+
 class WriteAheadLog:
     """An append-only, checksummed mutation log for one served index.
 

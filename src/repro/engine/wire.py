@@ -41,9 +41,14 @@ optional ``{backend}``; see :func:`decode_upsert` / :func:`decode_delete`
 / :func:`decode_compact`.
 
 Schema versioning: version 2 added ``/mutate`` and the ``durability``
-field.  Version-1 bodies are a strict subset of version-2 semantics, so
-servers accept both (:data:`SUPPORTED_WIRE_SCHEMA_VERSIONS`) and old
-clients keep working unchanged.
+field; version 3 added the read-your-writes ``session`` token -- a
+``"shard:seq,shard:seq"`` rendering of the ``wal_seq`` map a mutation was
+acknowledged at (see :func:`format_session` / :func:`parse_session`),
+carried on queries so a replicated server can skip replicas that have not
+caught up with the caller's own writes.  Each version's bodies are a
+strict subset of the next version's semantics, so servers accept all of
+them (:data:`SUPPORTED_WIRE_SCHEMA_VERSIONS`) and old clients keep
+working unchanged.
 
 Every malformed input raises :class:`WireFormatError`, which the server
 maps to HTTP 400 with the message in the body -- clients see *why* the
@@ -58,10 +63,10 @@ from repro.engine.api import Query, Response
 from repro.engine.backend import available_backends, get_backend
 
 #: Version of the request/response JSON schema (bump on incompatible changes).
-WIRE_SCHEMA_VERSION = 2
+WIRE_SCHEMA_VERSION = 3
 
-#: Versions this server still decodes (v1 bodies are a subset of v2).
-SUPPORTED_WIRE_SCHEMA_VERSIONS = frozenset({1, 2})
+#: Versions this server still decodes (each is a subset of the next).
+SUPPORTED_WIRE_SCHEMA_VERSIONS = frozenset({1, 2, 3})
 
 #: Durability levels a mutation request may ask for.
 WIRE_DURABILITY_LEVELS = ("memory", "wal")
@@ -69,6 +74,63 @@ WIRE_DURABILITY_LEVELS = ("memory", "wal")
 
 class WireFormatError(ValueError):
     """A request body that cannot be decoded into a valid :class:`Query`."""
+
+
+def format_session(wal_seqs: Any) -> str | None:
+    """Render a mutation's ``wal_seq`` map as a session token.
+
+    The replicated engine acknowledges a batch with ``{"shard": seq}``
+    (one entry per touched shard); the token is the comma-joined
+    ``shard:seq`` rendering, stable under merging.  Returns None when
+    there is nothing durable to wait for (an unsharded or WAL-less ack).
+    """
+    if not isinstance(wal_seqs, dict):
+        return None
+    parts = []
+    for shard, seq in wal_seqs.items():
+        if seq is None:
+            continue
+        parts.append((int(shard), int(seq)))
+    if not parts:
+        return None
+    return ",".join(f"{shard}:{seq}" for shard, seq in sorted(parts))
+
+
+def parse_session(token: str | None) -> dict[int, int]:
+    """Decode a session token into its ``{shard: seq}`` floor map.
+
+    Tolerant by design: a malformed token (or fragment) is treated as no
+    constraint rather than an error -- read-your-writes is a routing hint,
+    and a garbled hint must never turn a valid query into a 400.
+    """
+    floors: dict[int, int] = {}
+    if not token or not isinstance(token, str):
+        return floors
+    for part in token.split(","):
+        shard, _sep, seq = part.partition(":")
+        try:
+            shard_id, floor = int(shard), int(seq)
+        except ValueError:
+            continue
+        if shard_id < 0 or floor <= 0:
+            continue  # no real shard/seq is negative; a 0 floor is no floor
+        floors[shard_id] = max(floors.get(shard_id, 0), floor)
+    return floors
+
+
+def merge_session(*tokens: str | None) -> str | None:
+    """Combine session tokens, keeping the highest floor per shard.
+
+    A client that mutates twice must wait for the *later* of the two acks
+    on every shard; merging the tokens keeps one compact cursor.
+    """
+    floors: dict[int, int] = {}
+    for token in tokens:
+        for shard, seq in parse_session(token).items():
+            floors[shard] = max(floors.get(shard, 0), seq)
+    if not floors:
+        return None
+    return ",".join(f"{shard}:{seq}" for shard, seq in sorted(floors.items()))
 
 
 def _check_schema_version(body: dict) -> None:
@@ -95,6 +157,8 @@ def encode_query(query: Query) -> dict:
         body["k"] = query.k
     if query.chain_length is not None:
         body["chain_length"] = query.chain_length
+    if query.session is not None:
+        body["session"] = query.session
     return body
 
 
@@ -129,6 +193,9 @@ def decode_query(body: Any) -> Query:
     algorithm = body.get("algorithm", "ring")
     if not isinstance(algorithm, str):
         raise WireFormatError("'algorithm' must be a string")
+    session = body.get("session")
+    if session is not None and not isinstance(session, str):
+        raise WireFormatError("'session' must be a session token string")
     try:
         backend.check_algorithm(algorithm)
         query = Query(
@@ -138,6 +205,7 @@ def decode_query(body: Any) -> Query:
             k=body.get("k"),
             chain_length=body.get("chain_length"),
             algorithm=algorithm,
+            session=session,
         )
         if query.tau is not None:
             # Domain-specific threshold semantics (e.g. sets: Jaccard in

@@ -173,3 +173,82 @@ def test_witness_catches_reintroduced_scrape_hazard():
     problems = check_consistent(graph.edges.keys(), log.edges())
     assert len(problems) == 1
     assert "lock-order cycle" in problems[0]
+
+
+# ---------------------------------------------------------------------------
+# The replication regression: writer vs rolling compaction vs supervisor heal
+# ---------------------------------------------------------------------------
+
+
+def test_replica_writer_vs_compaction_vs_heal_is_deadlock_free(tmp_path):
+    """The documented ``_write_lock -> _lock -> WAL._lock`` order holds live.
+
+    Three concurrent actors contend on one shard's :class:`ReplicaSet`:
+    a mutation writer (write lock, then the replica table, then the WAL
+    append), a rolling compaction (drain markers under the table lock,
+    readmission's final replay under the write lock, WAL truncation) and
+    the supervisor healing a SIGKILLed replica (respawn + catch-up).  Any
+    inversion against the statically derived graph turns the union cyclic
+    and fails here before it can deadlock in production.
+    """
+    import os
+    import signal
+    import time
+
+    from repro.datasets.tokens import zipfian_set_workload
+    from repro.engine import build_shards
+    from repro.engine.sharding import ShardedEngine
+    from repro.sets import SetDataset
+
+    workload = zipfian_set_workload(60, 6, seed=17)
+    directory = str(tmp_path / "shards")
+    build_shards("sets", SetDataset(workload.records, num_classes=4), directory, 1)
+    log = WitnessLog()
+    engine = ShardedEngine(directory, wal_dir=str(tmp_path / "wal"), replicas=2)
+    try:
+        from repro.analysis.witness import instrument_replica_set
+
+        instrument_replica_set(engine._sets[0], log)
+
+        failures: list[BaseException] = []
+        stop = threading.Event()
+
+        def write():
+            try:
+                rnd = random.Random(3)
+                while not stop.is_set():
+                    record = sorted({rnd.randint(0, 40) for _ in range(4)})
+                    engine.mutate("sets", [{"op": "upsert", "record": record}])
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        writer = threading.Thread(target=write, name="witness-replica-writer")
+        writer.start()
+        try:
+            engine.compact()  # rolling: drains one replica at a time
+            victim = engine.replica_status()[0]["replicas"][0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                entry = engine.shard_health()[0]
+                if entry["live_replicas"] == entry["num_replicas"]:
+                    break
+                time.sleep(0.05)
+            engine.compact()  # a second rolling pass over the healed set
+        finally:
+            stop.set()
+            writer.join(timeout=30)
+        assert not writer.is_alive() and failures == []
+    finally:
+        engine.close()
+
+    observed = log.edges()
+    # The three documented orders all fired at least once.
+    from repro.analysis.witness import REPLICA_LOCK, REPLICA_WRITE_LOCK, WAL_LOCK
+
+    assert (REPLICA_WRITE_LOCK, REPLICA_LOCK) in observed
+    assert (REPLICA_WRITE_LOCK, WAL_LOCK) in observed
+
+    graph, _ = build_lock_graph(AnalysisContext(str(REPO_ROOT)))
+    problems = check_consistent(graph.edges.keys(), observed)
+    assert problems == []

@@ -95,3 +95,122 @@ def test_busy_error_with_numeric_retry_after_still_parses():
         client.search("strings", "x", tau=1)
     assert excinfo.value.retry_after == 2.5
     thread.join(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# Automatic retry: a flaky server that fails N times then answers
+# ---------------------------------------------------------------------------
+
+
+def _flaky_server(responses: list[bytes | None]) -> tuple[str, int, threading.Thread]:
+    """Serve one canned response per accepted connection, in order.
+
+    ``None`` slams the connection shut without answering (a connection
+    reset from the client's point of view).  Each response closes the
+    connection, so every attempt reconnects -- the worst case for the
+    retry loop.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    host, port = listener.getsockname()
+
+    def serve() -> None:
+        for response in responses:
+            connection, _addr = listener.accept()
+            if response is None:
+                connection.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, b"\x01\x00\x00\x00\x00\x00\x00\x00"
+                )
+                connection.close()
+                continue
+            connection.recv(65536)
+            connection.sendall(response)
+            connection.close()
+        listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return host, port, thread
+
+
+_OK_HEALTH = _respond("HTTP/1.1 200 OK", [], b'{"status": "ok"}')
+_BUSY = _respond("HTTP/1.1 429 Too Many Requests", ["Retry-After: 0"], b'{"error": "busy"}')
+_DOWN = _respond("HTTP/1.1 503 Service Unavailable", ["Retry-After: 0"], b'{"error": "failover"}')
+_BAD = _respond("HTTP/1.1 400 Bad Request", [], b'{"error": "nope"}')
+
+
+def test_retry_budget_absorbs_busy_then_succeeds():
+    host, port, thread = _flaky_server([_BUSY, _BUSY, _OK_HEALTH])
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0, retries=3, backoff_base=0.001)
+    assert client.healthz()["status"] == "ok"
+    assert client.retries_used == 2
+    thread.join(timeout=5)
+
+
+def test_retry_budget_absorbs_unavailable_then_succeeds():
+    host, port, thread = _flaky_server([_DOWN, _OK_HEALTH])
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0, retries=1, backoff_base=0.001)
+    assert client.healthz()["status"] == "ok"
+    thread.join(timeout=5)
+
+
+def test_retry_budget_absorbs_connection_reset():
+    host, port, thread = _flaky_server([None, None, _OK_HEALTH])
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0, retries=2, backoff_base=0.001)
+    assert client.healthz()["status"] == "ok"
+    assert client.retries_used == 2
+    thread.join(timeout=5)
+
+
+def test_exhausted_retry_budget_raises_the_last_error():
+    host, port, thread = _flaky_server([_BUSY, _BUSY, _BUSY])
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0, retries=2, backoff_base=0.001)
+    with pytest.raises(ServerBusyError):
+        client.healthz()
+    thread.join(timeout=5)
+
+
+def test_zero_retries_keeps_fail_fast_behaviour():
+    host, port, thread = _flaky_server([_DOWN])
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0)
+    with pytest.raises(ServerUnavailableError):
+        client.healthz()
+    assert client.retries_used == 0
+    thread.join(timeout=5)
+
+
+def test_permanent_errors_are_never_retried():
+    # One canned 400: a second attempt would hang on accept(), so passing
+    # fast proves no retry was attempted.
+    host, port, thread = _flaky_server([_BAD])
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0, retries=5, backoff_base=0.001)
+    with pytest.raises(Exception, match="HTTP 400"):
+        client.healthz()
+    assert client.retries_used == 0
+    thread.join(timeout=5)
+
+
+def test_retry_budget_is_per_call():
+    host, port, thread = _flaky_server([_BUSY, _OK_HEALTH, _BUSY, _OK_HEALTH])
+    client = EngineClient(f"http://{host}:{port}", timeout=5.0, retries=1, backoff_base=0.001)
+    assert client.healthz()["status"] == "ok"
+    assert client.healthz()["status"] == "ok"  # the budget reset between calls
+    assert client.retries_used == 2
+    thread.join(timeout=5)
+
+
+def test_retry_delay_honours_retry_after_as_a_floor():
+    client = EngineClient("http://127.0.0.1:1", retries=1, backoff_base=0.001, backoff_cap=0.5)
+    for attempt in range(4):
+        assert client._retry_delay(attempt, 0.2) >= 0.2
+        assert client._retry_delay(attempt, None) <= 0.5
+    # A huge hint is capped so a hostile server cannot stall the client.
+    assert client._retry_delay(0, 3600.0) == 0.5
+
+
+def test_client_rejects_bad_retry_configuration():
+    with pytest.raises(ValueError, match="retries"):
+        EngineClient("http://127.0.0.1:1", retries=-1)
+    with pytest.raises(ValueError, match="backoff"):
+        EngineClient("http://127.0.0.1:1", backoff_base=0.0)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
 import threading
@@ -463,8 +464,14 @@ def test_dead_shard_worker_maps_to_503_without_wedging(tmp_path, datasets, taus)
                 client.search("strings", datasets["strings"].record(0), tau=taus["strings"])
 
             # The batcher survives: health and stats still answer, and the
-            # failure is accounted as unavailability, not a crash.
-            assert client.healthz()["status"] == "ok"
+            # failure is accounted as unavailability, not a crash.  With no
+            # replica left for shard 0, /healthz reports "failing" as a 503
+            # so load balancers stop routing here.
+            with pytest.raises(ServerUnavailableError):
+                client.healthz()
+            status, data, _retry = client._raw_request("GET", "/healthz")
+            assert status == 503
+            assert json.loads(data)["status"] == "failing"
             assert handle.server.stats.errors_unavailable >= 1
             with pytest.raises(ServerUnavailableError):
                 client.search("strings", datasets["strings"].record(1), tau=taus["strings"])
